@@ -1,0 +1,49 @@
+// Command aggbench runs the experiment suite of EXPERIMENTS.md and prints
+// each table (plain text by default, Markdown with -markdown).
+//
+// Usage:
+//
+//	aggbench [-quick] [-markdown] [-only E2,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	markdown := flag.Bool("markdown", false, "emit Markdown tables")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty runs all")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(id)
+		if id != "" {
+			wanted[strings.ToUpper(id)] = true
+		}
+	}
+
+	printed := 0
+	for _, e := range bench.Registry(*quick) {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		t := e.Run()
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintf(os.Stderr, "aggbench: no experiment matched -only=%q\n", *only)
+		os.Exit(1)
+	}
+}

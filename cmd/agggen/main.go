@@ -1,0 +1,56 @@
+// Command agggen generates a synthetic sparse database and writes it to
+// stdout in the text format of internal/dbio (one line per declaration,
+// tuple and weight), so it can be stored in a file or piped into aggquery.
+//
+// Usage:
+//
+//	agggen -kind grid -n 10000 -seed 1 > db.txt
+//	agggen -kind bounded-degree -n 5000 | aggquery -stdin -query triangles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dbio"
+	"repro/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "bounded-degree", "workload kind: bounded-degree, grid, forest, pref-attach, road")
+	n := flag.Int("n", 1000, "approximate number of database elements")
+	degree := flag.Int("degree", 3, "degree / branching / attachment parameter")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var db *workload.Database
+	switch *kind {
+	case "bounded-degree":
+		db = workload.BoundedDegree(*n, *degree, *seed)
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		db = workload.Grid(side, side, *seed)
+	case "forest":
+		db = workload.Forest(*n, *degree, *seed)
+	case "pref-attach":
+		db = workload.PreferentialAttachment(*n, *degree, *seed)
+	case "road":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		db = workload.RoadNetwork(side, side, *n/10, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "agggen: unknown workload kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if err := dbio.Write(os.Stdout, db.A, db.Weights()); err != nil {
+		fmt.Fprintf(os.Stderr, "agggen: %v\n", err)
+		os.Exit(1)
+	}
+}

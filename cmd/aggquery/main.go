@@ -1,0 +1,152 @@
+// Command aggquery evaluates a weighted query on a sparse database and
+// reports the query value in several semirings together with statistics
+// about the compiled circuit (Theorem 6 of the paper).
+//
+// The database is either generated on the fly (-kind/-n) or read from a file
+// or stdin in the internal/dbio text format.  The query is either one of a
+// set of predefined queries (-query) or an arbitrary weighted expression in
+// the surface syntax of internal/parser (-expr).
+//
+// Usage:
+//
+//	aggquery -query triangles -kind grid -n 4096
+//	agggen -kind grid -n 4096 | aggquery -stdin -query triangles
+//	aggquery -kind bounded-degree -n 2000 \
+//	  -expr 'sum x, y . [E(x,y) & S(x)] * w(x,y)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compile"
+	"repro/internal/dbio"
+	"repro/internal/expr"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+func main() {
+	query := flag.String("query", "triangles", "predefined query: triangles, paths, edges, heavy-pairs")
+	exprText := flag.String("expr", "", "weighted expression in surface syntax (overrides -query)")
+	kind := flag.String("kind", "bounded-degree", "generated workload kind (ignored with -stdin/-file)")
+	n := flag.Int("n", 2000, "generated database size (ignored with -stdin/-file)")
+	seed := flag.Int64("seed", 1, "random seed")
+	stdin := flag.Bool("stdin", false, "read the database from stdin (dbio format)")
+	file := flag.String("file", "", "read the database from this file (dbio format)")
+	flag.Parse()
+
+	a, weights, err := loadDatabase(*stdin, *file, *kind, *n, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aggquery: %v\n", err)
+		os.Exit(1)
+	}
+
+	e, err := selectQuery(*exprText, *query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aggquery: %v\n", err)
+		os.Exit(2)
+	}
+	if err := expr.Validate(e, a.Sig); err != nil {
+		fmt.Fprintf(os.Stderr, "aggquery: query does not match the database signature: %v\n", err)
+		os.Exit(2)
+	}
+
+	res, err := compile.Compile(a, e, compile.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aggquery: compile: %v\n", err)
+		os.Exit(1)
+	}
+	st := res.Circuit.Statistics()
+	fmt.Printf("database: n=%d tuples=%d\n", a.N, a.TupleCount())
+	fmt.Printf("query: %s\n", parser.FormatExpr(e))
+	fmt.Printf("circuit: gates=%d edges=%d depth=%d permGates=%d maxPermRows=%d\n",
+		st.Gates, st.Edges, st.Depth, st.PermGates, st.MaxPermRows)
+
+	nat := compile.Evaluate[int64](res, semiring.Nat, weights)
+	fmt.Printf("value in (N,+,·):            %d\n", nat)
+	mp := compile.Evaluate[semiring.Ext](res, semiring.MinPlus,
+		dbio.ConvertWeights(weights, func(v int64) semiring.Ext { return semiring.Fin(v) }))
+	fmt.Printf("value in (N∪{∞},min,+):      %s\n", semiring.MinPlus.Format(mp))
+	bv := compile.Evaluate[bool](res, semiring.Bool,
+		dbio.ConvertWeights(weights, func(v int64) bool { return v != 0 }))
+	fmt.Printf("value in (B,∨,∧):            %v\n", bv)
+}
+
+func loadDatabase(stdin bool, file, kind string, n int, seed int64) (*structure.Structure, *structure.Weights[int64], error) {
+	switch {
+	case stdin:
+		db, err := dbio.Read(os.Stdin)
+		if err != nil {
+			return nil, nil, err
+		}
+		return db.A, db.W, nil
+	case file != "":
+		db, err := dbio.ReadFile(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		return db.A, db.W, nil
+	default:
+		var db *workload.Database
+		switch kind {
+		case "bounded-degree":
+			db = workload.BoundedDegree(n, 3, seed)
+		case "grid":
+			side := 1
+			for side*side < n {
+				side++
+			}
+			db = workload.Grid(side, side, seed)
+		case "pref-attach":
+			db = workload.PreferentialAttachment(n, 2, seed)
+		case "forest":
+			db = workload.Forest(n, 3, seed)
+		case "road":
+			side := 1
+			for side*side < n {
+				side++
+			}
+			db = workload.RoadNetwork(side, side, n/10, seed)
+		default:
+			return nil, nil, fmt.Errorf("unknown workload %q", kind)
+		}
+		return db.A, db.Weights(), nil
+	}
+}
+
+func selectQuery(exprText, name string) (expr.Expr, error) {
+	if exprText != "" {
+		return parser.ParseExpr(exprText)
+	}
+	qs := queries()
+	e, ok := qs[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown query %q (available: triangles, paths, edges, heavy-pairs)", name)
+	}
+	return e, nil
+}
+
+func queries() map[string]expr.Expr {
+	return map[string]expr.Expr{
+		"triangles": expr.Agg([]string{"x", "y", "z"}, expr.Times(
+			expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.R("E", "z", "x"))),
+			expr.W("w", "x", "y"), expr.W("w", "y", "z"), expr.W("w", "z", "x"),
+		)),
+		"paths": expr.Agg([]string{"x", "y", "z"}, expr.Times(
+			expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.Neg(logic.Equal("x", "z")))),
+			expr.W("u", "x"), expr.W("u", "z"),
+		)),
+		"edges": expr.Agg([]string{"x", "y"}, expr.Times(
+			expr.Guard(logic.R("E", "x", "y")), expr.W("w", "x", "y"),
+		)),
+		"heavy-pairs": expr.Agg([]string{"x", "y"}, expr.Times(
+			expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("S", "x"), logic.Neg(logic.R("S", "y")))),
+			expr.W("u", "x"), expr.W("u", "y"),
+		)),
+	}
+}

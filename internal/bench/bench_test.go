@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:     "EX",
+		Title:  "example",
+		Claim:  "a claim",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:  []string{"a note"},
+	}
+	text := tab.String()
+	if !strings.Contains(text, "EX") || !strings.Contains(text, "a note") || !strings.Contains(text, "3") {
+		t.Errorf("plain rendering missing content:\n%s", text)
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Errorf("markdown rendering missing content:\n%s", md)
+	}
+}
+
+func TestRegistryCoversAllExperiments(t *testing.T) {
+	reg := Registry(true)
+	if len(reg) != 10 {
+		t.Fatalf("expected 10 experiments, got %d", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+// TestSmallExperimentsRun executes a few experiments at tiny sizes to make
+// sure the harness itself is sound (values cross-checked inside panics on
+// mismatch).
+func TestSmallExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	small := []int{300, 600}
+	tables := []*Table{
+		E1CircuitCompilation(small),
+		E2WeightedTriangles(small, 600),
+		E3Permanent([]int{500, 1000}),
+		E4DynamicUpdates(small),
+		E5Enumeration(small),
+		E9Coloring([]int{300}),
+		E10ProvenancePermanent([]int{500}),
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("experiment %s produced no rows", tab.ID)
+		}
+		if tab.String() == "" || tab.Markdown() == "" {
+			t.Errorf("experiment %s produced empty rendering", tab.ID)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package circuit
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// randomCircuit builds a random circuit over nInputs unary weight inputs
+// using additions, multiplications, constants and small permanent gates.
+// Gate value bounds are tracked (inputs take values below 5) so that the
+// circuit value stays well inside int64 and cross-semiring comparisons are
+// exact.
+func randomCircuit(r *rand.Rand, nInputs, extraGates int) *Circuit {
+	const maxBound = int64(1) << 40
+	c := NewBuilder()
+	gates := make([]int, 0, nInputs+extraGates)
+	bounds := map[int]int64{}
+	add := func(g int, bound int64) {
+		gates = append(gates, g)
+		if old, ok := bounds[g]; !ok || bound > old {
+			bounds[g] = bound
+		}
+	}
+	for i := 0; i < nInputs; i++ {
+		add(c.Input(key("w", i)), 4)
+	}
+	pick := func() int { return gates[r.Intn(len(gates))] }
+	for i := 0; i < extraGates; i++ {
+		switch r.Intn(4) {
+		case 0:
+			a, b, d := pick(), pick(), pick()
+			add(c.Add(a, b, d), bounds[a]+bounds[b]+bounds[d])
+		case 1:
+			a, b := pick(), pick()
+			if bounds[a] > 0 && bounds[b] > maxBound/bounds[a] {
+				add(c.Add(a, b), bounds[a]+bounds[b])
+				continue
+			}
+			add(c.Mul(a, b), bounds[a]*bounds[b])
+		case 2:
+			n := int64(r.Intn(4))
+			add(c.ConstInt(n), n)
+		default:
+			rows := r.Intn(2) + 1
+			cols := r.Intn(3) + rows
+			entries := make([]PermEntry, 0, rows*cols)
+			var maxEntry int64 = 1
+			for row := 0; row < rows; row++ {
+				for col := 0; col < cols; col++ {
+					g := pick()
+					if bounds[g] > maxEntry {
+						maxEntry = bounds[g]
+					}
+					entries = append(entries, PermEntry{Row: row, Col: col, Gate: g})
+				}
+			}
+			// Crude permanent bound: (#injections) · maxEntry^rows.
+			injections := int64(cols)
+			if rows == 2 {
+				injections = int64(cols) * int64(cols-1)
+			}
+			bound := injections
+			overflow := false
+			for j := 0; j < rows; j++ {
+				if maxEntry != 0 && bound > maxBound/maxEntry {
+					overflow = true
+					break
+				}
+				bound *= maxEntry
+			}
+			if overflow {
+				a, b := pick(), pick()
+				add(c.Add(a, b), bounds[a]+bounds[b])
+				continue
+			}
+			add(c.Perm(rows, cols, entries), bound)
+		}
+	}
+	c.SetOutput(gates[len(gates)-1])
+	return c
+}
+
+func randomValues(r *rand.Rand, nInputs int) []int64 {
+	vals := make([]int64, nInputs)
+	for i := range vals {
+		vals[i] = int64(r.Intn(5))
+	}
+	return vals
+}
+
+func valuationFor(vals []int64) Valuation[int64] {
+	return func(k structure.WeightKey) (int64, bool) {
+		t := structure.ParseTupleKey(k.Tuple)
+		if k.Weight != "w" || len(t) != 1 || t[0] < 0 || t[0] >= len(vals) {
+			return 0, false
+		}
+		return vals[t[0]], true
+	}
+}
+
+// TestEvaluateAgreesAcrossSemirings checks that evaluating in ℕ (int64) and
+// in ℤ (big.Int ring) gives the same number for non-negative inputs, and
+// that the boolean evaluation is exactly "the ℕ value is non-zero" — the
+// homomorphism property the paper's universality relies on.
+func TestEvaluateAgreesAcrossSemirings(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for round := 0; round < 60; round++ {
+		nInputs := r.Intn(6) + 2
+		c := randomCircuit(r, nInputs, r.Intn(10)+3)
+		vals := randomValues(r, nInputs)
+
+		nat := Evaluate[int64](c, semiring.Nat, valuationFor(vals))
+		bi := Evaluate[*big.Int](c, semiring.Big, func(k structure.WeightKey) (*big.Int, bool) {
+			v, ok := valuationFor(vals)(k)
+			if !ok {
+				return nil, false
+			}
+			return big.NewInt(v), true
+		})
+		if !bi.IsInt64() || bi.Int64() != nat {
+			t.Fatalf("round %d: ℕ evaluation %d differs from big-int evaluation %s", round, nat, bi)
+		}
+
+		boolVal := Evaluate[bool](c, semiring.Bool, func(k structure.WeightKey) (bool, bool) {
+			v, ok := valuationFor(vals)(k)
+			return v != 0, ok
+		})
+		if boolVal != (nat != 0) {
+			t.Fatalf("round %d: boolean evaluation %v inconsistent with ℕ value %d", round, boolVal, nat)
+		}
+	}
+}
+
+// TestEvaluateAllConsistentWithEvaluate checks that the output entry of
+// EvaluateAll matches Evaluate and that every addition/multiplication gate
+// value is consistent with its children's values.
+func TestEvaluateAllConsistentWithEvaluate(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for round := 0; round < 40; round++ {
+		nInputs := r.Intn(5) + 2
+		c := randomCircuit(r, nInputs, r.Intn(12)+3)
+		vals := randomValues(r, nInputs)
+		v := valuationFor(vals)
+
+		all := EvaluateAll[int64](c, semiring.Nat, v)
+		if got, want := all[c.Output], Evaluate[int64](c, semiring.Nat, v); got != want {
+			t.Fatalf("round %d: EvaluateAll output %d, Evaluate %d", round, got, want)
+		}
+		for id, g := range c.Gates {
+			switch g.Kind {
+			case KindAdd:
+				var sum int64
+				for _, ch := range g.Children {
+					sum += all[ch]
+				}
+				if all[id] != sum {
+					t.Fatalf("round %d: add gate %d value %d, children sum %d", round, id, all[id], sum)
+				}
+			case KindMul:
+				prod := int64(1)
+				for _, ch := range g.Children {
+					prod *= all[ch]
+				}
+				if all[id] != prod {
+					t.Fatalf("round %d: mul gate %d value %d, children product %d", round, id, all[id], prod)
+				}
+			}
+		}
+	}
+}
+
+// TestDynamicMatchesRecomputationOnRandomCircuits drives the dynamic
+// evaluator with long random update sequences on random circuits and
+// compares against recomputation from scratch after every update.
+func TestDynamicMatchesRecomputationOnRandomCircuits(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for round := 0; round < 25; round++ {
+		nInputs := r.Intn(6) + 2
+		c := randomCircuit(r, nInputs, r.Intn(10)+4)
+		vals := randomValues(r, nInputs)
+		dyn := NewDynamic[int64](c, semiring.Nat, valuationFor(vals))
+		for step := 0; step < 20; step++ {
+			i := r.Intn(nInputs)
+			vals[i] = int64(r.Intn(5))
+			dyn.SetInput(key("w", i), vals[i])
+			want := Evaluate[int64](c, semiring.Nat, valuationFor(vals))
+			if got := dyn.Value(); got != want {
+				t.Fatalf("round %d step %d: dynamic value %d, recomputed %d", round, step, got, want)
+			}
+		}
+	}
+}
+
+// TestDynamicMatchesRecomputationMinPlus repeats the dynamic-vs-recompute
+// property in a non-ring semiring (min-plus), exercising the generic
+// maintenance path.
+func TestDynamicMatchesRecomputationMinPlus(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for round := 0; round < 20; round++ {
+		nInputs := r.Intn(5) + 2
+		c := randomCircuit(r, nInputs, r.Intn(8)+4)
+		vals := randomValues(r, nInputs)
+		toExt := func(v int64) semiring.Ext {
+			if v == 0 {
+				return semiring.Infinite
+			}
+			return semiring.Fin(v)
+		}
+		valuation := func() Valuation[semiring.Ext] {
+			return func(k structure.WeightKey) (semiring.Ext, bool) {
+				v, ok := valuationFor(vals)(k)
+				if !ok {
+					return semiring.Infinite, false
+				}
+				return toExt(v), true
+			}
+		}
+		dyn := NewDynamic[semiring.Ext](c, semiring.MinPlus, valuation())
+		for step := 0; step < 15; step++ {
+			i := r.Intn(nInputs)
+			vals[i] = int64(r.Intn(5))
+			dyn.SetInput(key("w", i), toExt(vals[i]))
+			want := Evaluate[semiring.Ext](c, semiring.MinPlus, valuation())
+			if got := dyn.Value(); !semiring.MinPlus.Equal(got, want) {
+				t.Fatalf("round %d step %d: dynamic %s, recomputed %s",
+					round, step, semiring.MinPlus.Format(got), semiring.MinPlus.Format(want))
+			}
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/perm"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// Dynamic is an incrementally maintained evaluation of a circuit: after a
+// linear-time initialisation, the value of the output gate is kept up to
+// date while individual weight inputs change.
+//
+// The per-update cost realises Theorem 8 of the paper:
+//
+//   - for arbitrary semirings, permanent gates are maintained by the
+//     segment-tree structure of perm.Dynamic and wide addition gates by a
+//     balanced aggregation tree, giving O(log n) semiring operations per
+//     update;
+//   - when the semiring is a ring, permanent gates use inclusion–exclusion
+//     (perm.RingDynamic) and addition gates use difference updates, giving
+//     O(1) operations per update;
+//   - when the semiring is finite, permanent gates use column-type counting
+//     (perm.FiniteDynamic) and addition gates use value counting, again
+//     giving O(1) operations per update.
+//
+// The strategy is chosen automatically from the semiring's capabilities.
+type Dynamic[T any] struct {
+	c *Circuit
+	s semiring.Semiring[T]
+
+	ring   semiring.Ring[T]   // nil unless the semiring is a ring
+	finite semiring.Finite[T] // nil unless the semiring is finite
+	elems  []T                // carrier, when finite
+
+	vals    []T
+	parents [][]int
+
+	adders []*adderState[T]
+	perms  []permState[T]
+}
+
+type adderState[T any] struct {
+	children []int
+	// occurrences[child] lists the positions of that child within children,
+	// so that an update touches only the changed child's occurrences.
+	occurrences map[int][]int
+	// ring path: nothing extra (difference updates on vals).
+	// finite path: counts[i] = number of children currently equal to elems[i].
+	counts []int64
+	// generic path: a complete binary aggregation tree over the children.
+	tree []T
+	size int
+}
+
+type permState[T any] struct {
+	maintainer perm.Maintainer[T]
+	// positions[child] lists the wired (row, col) positions of that child.
+	positions map[int][][2]int
+}
+
+// NewDynamic initialises the dynamic evaluator under the given valuation.
+func NewDynamic[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T]) *Dynamic[T] {
+	if c.Output < 0 {
+		panic("circuit: no output gate set")
+	}
+	d := &Dynamic[T]{c: c, s: s}
+	if r, ok := s.(semiring.Ring[T]); ok {
+		d.ring = r
+	}
+	if f, ok := s.(semiring.Finite[T]); ok {
+		d.finite = f
+		d.elems = f.Elements()
+	}
+	d.vals = EvaluateAll(c, s, v)
+	d.parents = make([][]int, len(c.Gates))
+	d.adders = make([]*adderState[T], len(c.Gates))
+	d.perms = make([]permState[T], len(c.Gates))
+	for id, g := range c.Gates {
+		for _, ch := range c.children(id) {
+			d.parents[ch] = append(d.parents[ch], id)
+		}
+		switch g.Kind {
+		case KindAdd:
+			d.adders[id] = d.newAdderState(g.Children)
+		case KindPerm:
+			d.perms[id] = d.newPermState(g)
+		}
+	}
+	// Deduplicate parent lists (a child may be wired several times).
+	for ch := range d.parents {
+		d.parents[ch] = dedupInts(d.parents[ch])
+	}
+	return d
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (d *Dynamic[T]) newAdderState(children []int) *adderState[T] {
+	st := &adderState[T]{children: children, occurrences: map[int][]int{}}
+	for pos, ch := range children {
+		st.occurrences[ch] = append(st.occurrences[ch], pos)
+	}
+	switch {
+	case d.ring != nil:
+		// Difference updates need no auxiliary state.
+	case d.finite != nil:
+		st.counts = make([]int64, len(d.elems))
+		for _, ch := range children {
+			st.counts[d.elemIndex(d.vals[ch])]++
+		}
+	default:
+		// Balanced aggregation tree over the children values.
+		st.size = 1
+		for st.size < len(children) {
+			st.size *= 2
+		}
+		st.tree = make([]T, 2*st.size)
+		for i := range st.tree {
+			st.tree[i] = d.s.Zero()
+		}
+		for i, ch := range children {
+			st.tree[st.size+i] = d.vals[ch]
+		}
+		for i := st.size - 1; i >= 1; i-- {
+			st.tree[i] = d.s.Add(st.tree[2*i], st.tree[2*i+1])
+		}
+	}
+	return st
+}
+
+func (d *Dynamic[T]) elemIndex(v T) int {
+	for i, e := range d.elems {
+		if d.s.Equal(e, v) {
+			return i
+		}
+	}
+	panic("circuit: value outside the finite semiring carrier")
+}
+
+func (d *Dynamic[T]) newPermState(g Gate) permState[T] {
+	m := perm.NewMatrix[T](d.s, g.Rows, g.Cols)
+	positions := make(map[int][][2]int)
+	for _, e := range g.Entries {
+		m.Set(e.Row, e.Col, d.vals[e.Gate])
+		positions[e.Gate] = append(positions[e.Gate], [2]int{e.Row, e.Col})
+	}
+	var maint perm.Maintainer[T]
+	switch {
+	case d.ring != nil:
+		maint = perm.NewRingDynamic(d.ring, m)
+	case d.finite != nil:
+		maint = perm.NewFiniteDynamic(d.finite, m)
+	default:
+		maint = perm.NewDynamic(d.s, m)
+	}
+	return permState[T]{maintainer: maint, positions: positions}
+}
+
+// Value returns the current value of the output gate.
+func (d *Dynamic[T]) Value() T { return d.vals[d.c.Output] }
+
+// GateValue returns the current value of an arbitrary gate.
+func (d *Dynamic[T]) GateValue(id int) T { return d.vals[id] }
+
+// SetInput updates one weight input to the given value and propagates the
+// change.  Unknown keys (keys the circuit does not reference) are ignored,
+// matching the convention that weights outside the circuit cannot influence
+// the query value.
+func (d *Dynamic[T]) SetInput(key structure.WeightKey, value T) {
+	id := d.c.InputGate(key)
+	if id < 0 {
+		return
+	}
+	d.setGateValue(id, value)
+}
+
+// setGateValue changes the value of gate id and propagates upwards.  For
+// every affected parent, only the positions of the children that actually
+// changed are touched, so the per-update cost depends on the circuit's
+// fan-out and depth but never on the fan-in of wide gates.
+func (d *Dynamic[T]) setGateValue(id int, value T) {
+	old := d.vals[id]
+	if d.s.Equal(old, value) {
+		return
+	}
+	d.vals[id] = value
+	dirty := map[int]bool{}
+	var queue []int
+	push := func(g int) {
+		if !dirty[g] {
+			dirty[g] = true
+			queue = append(queue, g)
+		}
+	}
+	// pending[p] records, per parent, the changed children and their values
+	// right before the change.
+	pending := map[int]map[int]T{}
+	record := func(parent, child int, oldVal T) {
+		m, ok := pending[parent]
+		if !ok {
+			m = map[int]T{}
+			pending[parent] = m
+		}
+		if _, seen := m[child]; !seen {
+			m[child] = oldVal
+		}
+	}
+	for _, p := range d.parents[id] {
+		record(p, id, old)
+		push(p)
+	}
+	for len(queue) > 0 {
+		// Pop the smallest id to respect topological order.
+		sort.Ints(queue)
+		g := queue[0]
+		queue = queue[1:]
+		dirty[g] = false
+		oldValues := pending[g]
+		delete(pending, g)
+		newVal := d.recomputeGate(g, oldValues)
+		if d.s.Equal(newVal, d.vals[g]) {
+			continue
+		}
+		oldG := d.vals[g]
+		d.vals[g] = newVal
+		for _, p := range d.parents[g] {
+			record(p, g, oldG)
+			push(p)
+		}
+	}
+}
+
+// recomputeGate refreshes the auxiliary structures of gate g given that some
+// of its children changed (their previous values are in oldValues), and
+// returns the new value of g.
+func (d *Dynamic[T]) recomputeGate(g int, oldValues map[int]T) T {
+	gate := d.c.Gates[g]
+	switch gate.Kind {
+	case KindAdd:
+		return d.recomputeAdd(g, gate, oldValues)
+	case KindMul:
+		acc := d.s.One()
+		for _, ch := range gate.Children {
+			acc = d.s.Mul(acc, d.vals[ch])
+		}
+		return acc
+	case KindPerm:
+		st := d.perms[g]
+		for child, oldVal := range oldValues {
+			if d.s.Equal(oldVal, d.vals[child]) {
+				continue
+			}
+			for _, pos := range st.positions[child] {
+				st.maintainer.Update(pos[0], pos[1], d.vals[child])
+			}
+		}
+		return st.maintainer.Value()
+	default:
+		panic(fmt.Sprintf("circuit: gate %d of kind %v cannot be recomputed dynamically", g, gate.Kind))
+	}
+}
+
+func (d *Dynamic[T]) recomputeAdd(g int, gate Gate, oldValues map[int]T) T {
+	st := d.adders[g]
+	_ = gate
+	switch {
+	case d.ring != nil:
+		acc := d.vals[g]
+		for ch, oldVal := range oldValues {
+			occ := int64(len(st.occurrences[ch]))
+			if occ == 0 {
+				continue
+			}
+			delta := d.ring.Add(d.vals[ch], d.ring.Neg(oldVal))
+			acc = d.ring.Add(acc, semiring.ScalarMul[T](d.ring, occ, delta))
+		}
+		return acc
+	case d.finite != nil:
+		for ch, oldVal := range oldValues {
+			if d.s.Equal(oldVal, d.vals[ch]) {
+				continue
+			}
+			occ := int64(len(st.occurrences[ch]))
+			st.counts[d.elemIndex(oldVal)] -= occ
+			st.counts[d.elemIndex(d.vals[ch])] += occ
+		}
+		acc := d.s.Zero()
+		for i, cnt := range st.counts {
+			if cnt > 0 {
+				acc = d.s.Add(acc, semiring.ScalarMul(d.s, cnt, d.elems[i]))
+			}
+		}
+		return acc
+	default:
+		for ch, oldVal := range oldValues {
+			if d.s.Equal(oldVal, d.vals[ch]) {
+				continue
+			}
+			for _, i := range st.occurrences[ch] {
+				pos := st.size + i
+				st.tree[pos] = d.vals[ch]
+				for pos >= 2 {
+					pos /= 2
+					st.tree[pos] = d.s.Add(st.tree[2*pos], st.tree[2*pos+1])
+				}
+			}
+		}
+		return st.tree[1]
+	}
+}
+
+// There is a subtlety in the ring fast path of recomputeAdd: a child that
+// changed several times between recomputations of the same parent would make
+// the recorded "old value" stale.  The propagation above recomputes a parent
+// immediately after each child change (parents are processed in topological
+// order within a single SetInput call and oldValues records the value right
+// before the present change), so each delta is applied exactly once.
+var _ = struct{}{}

@@ -1,0 +1,498 @@
+package compile
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/expr"
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// maxForestDepth bounds the elimination-forest depth handled by the shape
+// machinery (depth sets are stored as 64-bit masks).
+const maxForestDepth = 63
+
+// colorForest is the elimination forest of the subgraph of the Gaifman graph
+// induced by a set of colours, together with realisability indices used to
+// prune shape enumeration.
+type colorForest struct {
+	forest *graph.Forest
+	// toOrig maps subgraph vertex indices to original elements.
+	toOrig []int
+	// roots lists the forest roots (subgraph indices).
+	roots []int
+	// depthMask has bit d set when some node has depth d.
+	depthMask uint64
+	// siblingMeet[m+1][d1] has bit d2 set when two nodes at depths d1, d2 in
+	// *different* child subtrees have their deepest common ancestor at depth
+	// m; index 0 encodes m = -1 ("different trees").
+	siblingMeet [][]uint64
+	maxDepth    int
+}
+
+// buildColorForest constructs the elimination forest for the induced
+// subgraph on the given original elements.
+func buildColorForest(gaifman *graph.Graph, vertices []int) (*colorForest, error) {
+	sub, toOrig, _ := gaifman.InducedSubgraph(vertices)
+	f := graph.EliminationForest(sub)
+	if f.MaxDepth > maxForestDepth {
+		return nil, fmt.Errorf("compile: elimination forest depth %d exceeds the supported maximum %d; the colouring is too coarse for this graph", f.MaxDepth, maxForestDepth)
+	}
+	cf := &colorForest{forest: f, toOrig: toOrig, roots: f.Roots(), maxDepth: f.MaxDepth}
+	n := f.N()
+	// depthsBelow[v]: bitmask of depths occurring in the subtree rooted at v.
+	depthsBelow := make([]uint64, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return f.Depth[order[i]] > f.Depth[order[j]] })
+	for _, v := range order {
+		depthsBelow[v] |= 1 << uint(f.Depth[v])
+		cf.depthMask |= 1 << uint(f.Depth[v])
+	}
+	// Propagate child masks to parents: iterating in decreasing depth order
+	// is a valid post-order because children are strictly deeper, so a
+	// node's own mask is complete before it is folded into its parent.
+	for _, v := range order {
+		if !f.IsRoot(v) {
+			depthsBelow[f.Parent[v]] |= depthsBelow[v]
+		}
+	}
+	// Sibling meets at internal nodes.
+	cf.siblingMeet = make([][]uint64, cf.maxDepth+2)
+	for i := range cf.siblingMeet {
+		cf.siblingMeet[i] = make([]uint64, cf.maxDepth+1)
+	}
+	recordSiblings := func(meetIdx int, childMasks []uint64) {
+		if len(childMasks) < 2 {
+			return
+		}
+		// prefix/suffix ORs to get "others" per child in linear time.
+		prefix := make([]uint64, len(childMasks)+1)
+		suffix := make([]uint64, len(childMasks)+1)
+		for i, m := range childMasks {
+			prefix[i+1] = prefix[i] | m
+		}
+		for i := len(childMasks) - 1; i >= 0; i-- {
+			suffix[i] = suffix[i+1] | childMasks[i]
+		}
+		for i, m := range childMasks {
+			others := prefix[i] | suffix[i+1]
+			if others == 0 {
+				continue
+			}
+			mm := m
+			for mm != 0 {
+				d1 := trailingZeros64(mm)
+				mm &= mm - 1
+				cf.siblingMeet[meetIdx][d1] |= others
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		children := f.Children(v)
+		if len(children) >= 2 {
+			masks := make([]uint64, len(children))
+			for i, c := range children {
+				masks[i] = depthsBelow[c]
+			}
+			recordSiblings(f.Depth[v]+1, masks)
+		}
+	}
+	// Different trees: the virtual forest "root" has the tree roots as
+	// children.
+	if len(cf.roots) >= 2 {
+		masks := make([]uint64, len(cf.roots))
+		for i, r := range cf.roots {
+			masks[i] = depthsBelow[r]
+		}
+		recordSiblings(0, masks)
+	}
+	return cf, nil
+}
+
+func trailingZeros64(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// realizable reports whether some pair of nodes at depths d1, d2 meets at
+// depth m (m = meetDifferentTrees for different trees).  Comparable pairs
+// (m equal to one of the depths) are not consulted here.
+func (cf *colorForest) realizable(d1, d2, m int) bool {
+	if d1 > cf.maxDepth || d2 > cf.maxDepth {
+		return false
+	}
+	idx := m + 1
+	if idx < 0 || idx >= len(cf.siblingMeet) {
+		return false
+	}
+	return cf.siblingMeet[idx][d1]&(1<<uint(d2)) != 0
+}
+
+func (cf *colorForest) depthRealizable(d int) bool {
+	if d < 0 || d > cf.maxDepth {
+		return false
+	}
+	return cf.depthMask&(1<<uint(d)) != 0
+}
+
+// ---------------------------------------------------------------------------
+// Monomial preparation
+// ---------------------------------------------------------------------------
+
+// preparedMonomial is a monomial with its variables indexed and its
+// coefficient adjusted for bound variables that do not occur in any literal
+// or weight term (each such variable contributes a factor |A|).
+type preparedMonomial struct {
+	vars     []string
+	varIndex map[string]int
+	literals []expr.Literal
+	weights  []expr.WeightTerm
+	// nullaryWeights are weight terms of arity 0 (applied once, outside the
+	// per-variable machinery).
+	nullaryWeights []expr.WeightTerm
+	coeff          *big.Int
+}
+
+// prepareMonomial indexes the variables of a closed monomial and folds
+// unused bound variables into the coefficient.
+func prepareMonomial(m *expr.Monomial, domainSize int) (*preparedMonomial, error) {
+	if free := m.FreeVars(); len(free) > 0 {
+		return nil, fmt.Errorf("compile: monomial has free variables %v; close the expression first (see dynamicq for queries with free variables)", free)
+	}
+	used := map[string]bool{}
+	for _, v := range m.Vars() {
+		used[v] = true
+	}
+	pm := &preparedMonomial{varIndex: map[string]int{}, coeff: big.NewInt(m.Coeff)}
+	unused := 0
+	for _, v := range m.Bound {
+		if used[v] {
+			pm.varIndex[v] = len(pm.vars)
+			pm.vars = append(pm.vars, v)
+		} else {
+			unused++
+		}
+	}
+	if unused > 0 {
+		scale := new(big.Int).Exp(big.NewInt(int64(domainSize)), big.NewInt(int64(unused)), nil)
+		pm.coeff.Mul(pm.coeff, scale)
+	}
+	for _, w := range m.Weights {
+		if len(w.Args) == 0 {
+			pm.nullaryWeights = append(pm.nullaryWeights, w)
+		} else {
+			pm.weights = append(pm.weights, w)
+		}
+	}
+	pm.literals = m.Literals
+	return pm, nil
+}
+
+// shapeConstraintsFor derives the shape constraints of a prepared monomial
+// over a given colour forest.
+func (pm *preparedMonomial) shapeConstraintsFor(cf *colorForest) shapeConstraints {
+	c := shapeConstraints{
+		numVars:         len(pm.vars),
+		maxDepth:        cf.maxDepth,
+		realizable:      cf.realizable,
+		depthRealizable: cf.depthRealizable,
+	}
+	addPairs := func(dst *[][2]int, args []string) {
+		idx := make([]int, 0, len(args))
+		for _, a := range args {
+			idx = append(idx, pm.varIndex[a])
+		}
+		for i := 0; i < len(idx); i++ {
+			for j := i + 1; j < len(idx); j++ {
+				if idx[i] != idx[j] {
+					*dst = append(*dst, [2]int{idx[i], idx[j]})
+				}
+			}
+		}
+	}
+	for _, l := range pm.literals {
+		if l.IsEquality() {
+			p := [2]int{pm.varIndex[l.Args[0]], pm.varIndex[l.Args[1]]}
+			if l.Positive {
+				c.mustEqual = append(c.mustEqual, p)
+			} else {
+				c.mustDiffer = append(c.mustDiffer, p)
+			}
+			continue
+		}
+		if l.Positive {
+			// A positive relation literal can only hold on a Gaifman clique,
+			// whose elements are pairwise ancestor-related in the forest.
+			addPairs(&c.mustCompare, l.Args)
+		}
+	}
+	for _, w := range pm.weights {
+		if len(w.Args) >= 2 {
+			// Weights of arity ≥ 2 are non-zero only on relation tuples.
+			addPairs(&c.mustCompare, w.Args)
+		}
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Shape compilation over a colour forest
+// ---------------------------------------------------------------------------
+
+// shapeBuilder compiles one (monomial, colour assignment, shape) triple into
+// a circuit over the data forest, following the recursion of Claim 1 in the
+// paper: at each level, a permanent gate assigns the shape slots injectively
+// to data nodes, and the entries recurse into the corresponding subtrees.
+type shapeBuilder struct {
+	c  *circuit.Circuit
+	a  *structure.Structure
+	cf *colorForest
+	pm *preparedMonomial
+	// colorAssign[i] is the required colour of variable i; colorOf maps an
+	// original element to its colour.
+	colorAssign []int
+	colorOf     []int
+	dynamicRels map[string]bool
+
+	tree *shapeTree
+	// slotColor[s] is the required colour of slot s, or -1 when
+	// unconstrained, or -2 when contradictory.
+	slotColor []int
+	// slotLiterals / slotWeights are the literals and weight terms whose
+	// deepest argument slot is s.
+	slotLiterals [][]int
+	slotWeights  [][]int
+	feasible     bool
+}
+
+// newShapeBuilder prepares the attachment of literals and weight terms to
+// shape slots.  It reports infeasibility (the shape cannot support the
+// monomial) via the feasible flag.
+func newShapeBuilder(c *circuit.Circuit, a *structure.Structure, cf *colorForest, pm *preparedMonomial,
+	colorAssign []int, colorOf []int, dynamicRels map[string]bool, sh *shape) *shapeBuilder {
+
+	b := &shapeBuilder{
+		c: c, a: a, cf: cf, pm: pm,
+		colorAssign: colorAssign, colorOf: colorOf, dynamicRels: dynamicRels,
+		feasible: true,
+	}
+	b.tree = buildShapeTree(sh)
+	b.slotColor = make([]int, b.tree.numSlots)
+	for s := range b.slotColor {
+		b.slotColor[s] = -1
+	}
+	for v, slot := range b.tree.varSlot {
+		want := colorAssign[v]
+		switch b.slotColor[slot] {
+		case -1:
+			b.slotColor[slot] = want
+		case want:
+		default:
+			b.feasible = false
+			return b
+		}
+	}
+	b.slotLiterals = make([][]int, b.tree.numSlots)
+	b.slotWeights = make([][]int, b.tree.numSlots)
+
+	deepestSlot := func(args []string) (int, bool) {
+		best := -1
+		for _, arg := range args {
+			slot := b.tree.varSlot[b.pm.varIndex[arg]]
+			if best == -1 || b.tree.slotDepth[slot] > b.tree.slotDepth[best] {
+				best = slot
+			}
+		}
+		// All argument slots must be ancestors of (or equal to) the deepest
+		// slot; otherwise the arguments are not pairwise comparable.
+		for _, arg := range args {
+			slot := b.tree.varSlot[b.pm.varIndex[arg]]
+			if !b.slotIsAncestor(slot, best) {
+				return best, false
+			}
+		}
+		return best, true
+	}
+
+	for li, l := range pm.literals {
+		if l.IsEquality() {
+			continue // consumed by the shape constraints
+		}
+		slot, comparable := deepestSlot(l.Args)
+		if !comparable {
+			if l.Positive {
+				// Cannot be satisfied within this shape (enumeration should
+				// already have pruned it, but stay safe).
+				b.feasible = false
+				return b
+			}
+			// Negative literal over a non-clique: automatically satisfied.
+			continue
+		}
+		b.slotLiterals[slot] = append(b.slotLiterals[slot], li)
+	}
+	for wi, w := range pm.weights {
+		slot, comparable := deepestSlot(w.Args)
+		if !comparable {
+			// A weight of arity ≥ 2 is zero outside relation tuples, hence
+			// zero on non-cliques: the whole monomial vanishes on this shape.
+			b.feasible = false
+			return b
+		}
+		b.slotWeights[slot] = append(b.slotWeights[slot], wi)
+	}
+	return b
+}
+
+// slotIsAncestor reports whether slot a is an ancestor of (or equal to)
+// slot b in the shape tree.
+func (b *shapeBuilder) slotIsAncestor(a, s int) bool {
+	for s >= 0 {
+		if s == a {
+			return true
+		}
+		s = b.tree.slotParent[s]
+	}
+	return false
+}
+
+// build compiles the shape into a circuit gate and reports whether the gate
+// is (structurally) the zero gate.
+func (b *shapeBuilder) build() int {
+	if !b.feasible {
+		return b.c.Zero()
+	}
+	assign := make([]int, b.tree.numSlots)
+	for i := range assign {
+		assign[i] = -1
+	}
+	return b.rec(b.tree.roots, b.cf.roots, assign)
+}
+
+// rec builds the circuit assigning the given shape slots (all at one depth,
+// sharing a parent) injectively to the candidate data nodes.
+func (b *shapeBuilder) rec(slots []int, candidates []int, assign []int) int {
+	if len(slots) == 0 {
+		return b.c.One()
+	}
+	var entries []circuit.PermEntry
+	cols := 0
+	for _, v := range candidates {
+		colUsed := false
+		for ri, s := range slots {
+			g := b.entry(s, v, assign)
+			if g == b.c.Zero() {
+				continue
+			}
+			if !colUsed {
+				colUsed = true
+				cols++
+			}
+			entries = append(entries, circuit.PermEntry{Row: ri, Col: cols - 1, Gate: g})
+		}
+	}
+	return b.c.Perm(len(slots), cols, entries)
+}
+
+// entry builds the circuit for assigning data node v to shape slot s in the
+// context assign (which fixes the data nodes of all ancestor slots).
+func (b *shapeBuilder) entry(s, v int, assign []int) int {
+	// Colour filter.
+	if want := b.slotColor[s]; want >= 0 && b.colorOf[b.cf.toOrig[v]] != want {
+		return b.c.Zero()
+	}
+	assign[s] = v
+	defer func() { assign[s] = -1 }()
+
+	factors := make([]int, 0, 4)
+	// Literals attached to this slot.
+	for _, li := range b.slotLiterals[s] {
+		l := b.pm.literals[li]
+		tuple := b.literalTuple(l.Args, assign)
+		if b.dynamicRels[l.Rel] {
+			factors = append(factors, b.c.Input(relationInputKey(l.Rel, tuple, l.Positive)))
+			continue
+		}
+		holds := b.a.HasTuple(l.Rel, tuple...)
+		if holds != l.Positive {
+			return b.c.Zero()
+		}
+	}
+	// Weight terms attached to this slot.
+	for _, wi := range b.slotWeights[s] {
+		w := b.pm.weights[wi]
+		tuple := b.literalTuple(w.Args, assign)
+		factors = append(factors, b.c.Input(structure.MakeWeightKey(w.W, tuple)))
+	}
+	// Recurse into the children slots over the children of v.
+	child := b.rec(b.tree.slotChildren[s], b.cf.forest.Children(v), assign)
+	if child == b.c.Zero() {
+		return b.c.Zero()
+	}
+	factors = append(factors, child)
+	return b.c.Mul(factors...)
+}
+
+// literalTuple resolves the argument variables of a literal or weight term
+// to original elements under the current slot assignment.
+func (b *shapeBuilder) literalTuple(args []string, assign []int) structure.Tuple {
+	t := make(structure.Tuple, len(args))
+	for i, arg := range args {
+		slot := b.tree.varSlot[b.pm.varIndex[arg]]
+		node := assign[slot]
+		if node < 0 {
+			panic(fmt.Sprintf("compile: argument %s resolved before its slot was assigned", arg))
+		}
+		t[i] = b.cf.toOrig[node]
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic relation inputs
+// ---------------------------------------------------------------------------
+
+const (
+	dynamicPositivePrefix = "rel+:"
+	dynamicNegativePrefix = "rel-:"
+)
+
+// relationInputKey is the weight key of the 0/1 input representing the
+// (possibly negated) membership of a tuple in a dynamic relation
+// (the weight functions v⁺_R, v⁻_R of Lemma 40).
+func relationInputKey(rel string, tuple structure.Tuple, positive bool) structure.WeightKey {
+	prefix := dynamicPositivePrefix
+	if !positive {
+		prefix = dynamicNegativePrefix
+	}
+	return structure.WeightKey{Weight: prefix + rel, Tuple: tuple.Key()}
+}
+
+// DecodeRelationKey reports whether the weight key is a dynamic-relation
+// input and, if so, returns the relation, tuple and sign.
+func DecodeRelationKey(key structure.WeightKey) (rel string, tuple structure.Tuple, positive bool, ok bool) {
+	switch {
+	case len(key.Weight) > len(dynamicPositivePrefix) && key.Weight[:len(dynamicPositivePrefix)] == dynamicPositivePrefix:
+		return key.Weight[len(dynamicPositivePrefix):], structure.ParseTupleKey(key.Tuple), true, true
+	case len(key.Weight) > len(dynamicNegativePrefix) && key.Weight[:len(dynamicNegativePrefix)] == dynamicNegativePrefix:
+		return key.Weight[len(dynamicNegativePrefix):], structure.ParseTupleKey(key.Tuple), false, true
+	default:
+		return "", nil, false, false
+	}
+}
+
+// RelationInputKeys returns the pair of weight keys (asserted, negated) that
+// represent membership of the tuple in a dynamic relation.
+func RelationInputKeys(rel string, tuple structure.Tuple) (positive, negative structure.WeightKey) {
+	return relationInputKey(rel, tuple, true), relationInputKey(rel, tuple, false)
+}

@@ -1,0 +1,157 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// mapWeights converts the int64 test weights into another carrier.
+func mapWeights[T any](w *structure.Weights[int64], embed func(int64) T) *structure.Weights[T] {
+	out := structure.NewWeights[T]()
+	w.ForEach(func(k structure.WeightKey, v int64) {
+		out.Set(k.Weight, structure.ParseTupleKey(k.Tuple), embed(v))
+	})
+	return out
+}
+
+// checkSemiring compiles nothing: it evaluates the already compiled circuit
+// in semiring s and compares against the naive evaluator in the same
+// semiring.
+func checkSemiring[T any](t *testing.T, name string, s semiring.Semiring[T],
+	res *Result, a *structure.Structure, w *structure.Weights[T], e expr.Expr) {
+	t.Helper()
+	got := Evaluate[T](res, s, w)
+	want := expr.Eval[T](s, a, w, e, map[string]structure.Element{})
+	if !s.Equal(got, want) {
+		t.Fatalf("%s: circuit value %s, naive value %s for %s", name, s.Format(got), s.Format(want), e)
+	}
+}
+
+// TestUniversalityAcrossSemirings is the paper's headline property of
+// Theorem 6: the same compiled circuit evaluates the query correctly in any
+// commutative semiring, by just plugging in different weight valuations.
+func TestUniversalityAcrossSemirings(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	mod7 := semiring.NewModular(7)
+	trunc := semiring.NewTruncated(4)
+	prod := semiring.NewProduct[int64, semiring.Ext](semiring.Nat, semiring.MinPlus)
+
+	queries := []expr.Expr{triangleQuery()}
+	for trial := 0; trial < 10; trial++ {
+		queries = append(queries, expr.Agg([]string{"x", "y"}, randomSimpleBody(r)))
+	}
+
+	for i, e := range queries {
+		a, w := testDB(8, 14, int64(100+i))
+		res, err := Compile(a, e, Options{})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+
+		checkSemiring(t, "Nat", semiring.Nat, res, a, w, e)
+		checkSemiring(t, "IntRing", semiring.Int, res, a, w, e)
+		checkSemiring(t, "Modular7", mod7, res, a, mapWeights(w, func(v int64) int64 { return v % 7 }), e)
+		checkSemiring(t, "Truncated4", trunc, res, a, mapWeights(w, func(v int64) int64 {
+			if v > 4 {
+				return 4
+			}
+			return v
+		}), e)
+		checkSemiring(t, "Bool", semiring.Bool, res, a, mapWeights(w, func(v int64) bool { return v != 0 }), e)
+		checkSemiring(t, "GF2", semiring.GF2, res, a, mapWeights(w, func(v int64) bool { return v%2 == 1 }), e)
+		checkSemiring(t, "MinPlus", semiring.MinPlus, res, a,
+			mapWeights(w, func(v int64) semiring.Ext { return semiring.Fin(v) }), e)
+		checkSemiring(t, "MaxPlus", semiring.MaxPlus, res, a,
+			mapWeights(w, func(v int64) semiring.Ext { return semiring.Fin(v) }), e)
+		checkSemiring(t, "MaxTimes", semiring.MaxTimes, res, a,
+			mapWeights(w, func(v int64) float64 { return float64(v) / 4 }), e)
+		checkSemiring(t, "Fuzzy", semiring.Fuzzy, res, a,
+			mapWeights(w, func(v int64) float64 { return float64(v) / 4 }), e)
+		checkSemiring(t, "Nat×MinPlus", prod, res, a,
+			mapWeights(w, func(v int64) semiring.Pair[int64, semiring.Ext] {
+				return semiring.Pair[int64, semiring.Ext]{First: v, Second: semiring.Fin(v)}
+			}), e)
+	}
+}
+
+// TestProductSemiringFactorsThroughProjections checks that evaluating a
+// compiled circuit in a product semiring yields exactly the pair of values
+// obtained by evaluating in the two factors separately — so a single
+// evaluation pass computes, e.g., a count and a minimum cost at once.
+func TestProductSemiringFactorsThroughProjections(t *testing.T) {
+	prod := semiring.NewProduct[int64, semiring.Ext](semiring.Nat, semiring.MinPlus)
+	for seed := int64(0); seed < 5; seed++ {
+		a, w := testDB(10, 22, seed)
+		res, err := Compile(a, triangleQuery(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nat := Evaluate[int64](res, semiring.Nat, w)
+		mp := Evaluate[semiring.Ext](res, semiring.MinPlus,
+			mapWeights(w, func(v int64) semiring.Ext { return semiring.Fin(v) }))
+		pair := Evaluate[semiring.Pair[int64, semiring.Ext]](res, prod,
+			mapWeights(w, func(v int64) semiring.Pair[int64, semiring.Ext] {
+				return semiring.Pair[int64, semiring.Ext]{First: v, Second: semiring.Fin(v)}
+			}))
+		if pair.First != nat || !semiring.MinPlus.Equal(pair.Second, mp) {
+			t.Fatalf("seed %d: product evaluation (%d, %s) differs from factor evaluations (%d, %s)",
+				seed, pair.First, semiring.MinPlus.Format(pair.Second), nat, semiring.MinPlus.Format(mp))
+		}
+	}
+}
+
+// TestCountingTropicalFindsCheapestTriangleAndItsMultiplicity evaluates the
+// triangle query in the counting tropical semiring and cross-checks both
+// components against a direct enumeration of triangles.
+func TestCountingTropicalFindsCheapestTriangleAndItsMultiplicity(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		a, w := testDB(9, 20, seed)
+		res, err := Compile(a, triangleQuery(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Evaluate[semiring.CostCount](res, semiring.CountingTropical,
+			mapWeights(w, func(v int64) semiring.CostCount { return semiring.CC(v, 1) }))
+
+		// Direct enumeration of directed triangles.
+		bestCost := int64(-1)
+		bestCount := int64(0)
+		for _, xy := range a.Tuples("E") {
+			x, y := xy[0], xy[1]
+			for _, yz := range a.Tuples("E") {
+				if yz[0] != y {
+					continue
+				}
+				z := yz[1]
+				if !a.HasTuple("E", z, x) {
+					continue
+				}
+				wxy, _ := w.Get("w", structure.Tuple{x, y})
+				wyz, _ := w.Get("w", structure.Tuple{y, z})
+				wzx, _ := w.Get("w", structure.Tuple{z, x})
+				cost := wxy + wyz + wzx
+				switch {
+				case bestCost < 0 || cost < bestCost:
+					bestCost, bestCount = cost, 1
+				case cost == bestCost:
+					bestCount++
+				}
+			}
+		}
+		if bestCost < 0 {
+			if !semiring.CountingTropical.Equal(got, semiring.CountingTropical.Zero()) {
+				t.Fatalf("seed %d: no triangles but circuit reports %s", seed, semiring.CountingTropical.Format(got))
+			}
+			continue
+		}
+		want := semiring.CC(bestCost, bestCount)
+		if !semiring.CountingTropical.Equal(got, want) {
+			t.Fatalf("seed %d: counting-tropical value %s, direct enumeration %s",
+				seed, semiring.CountingTropical.Format(got), semiring.CountingTropical.Format(want))
+		}
+	}
+}

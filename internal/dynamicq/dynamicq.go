@@ -1,0 +1,189 @@
+// Package dynamicq provides the user-facing dynamic query evaluation of
+// Theorem 8 (and the update side of Theorem 24): after linear-time
+// preprocessing of a sparse database, the value of a weighted query can be
+// read at any tuple of the free variables, and both the weights and the
+// tuples of designated dynamic relations can be updated, with logarithmic
+// cost in general and constant cost over rings and finite semirings.
+package dynamicq
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/compile"
+	"repro/internal/expr"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// freeVarWeightPrefix names the fresh unary weight symbols v_1, ..., v_k
+// introduced by the free-variable reduction in the proof of Theorem 8.
+const freeVarWeightPrefix = ".fv:"
+
+// Query is a compiled weighted query f(x̄) over a structure, ready for
+// evaluation, point queries and updates in a fixed semiring.
+type Query[T any] struct {
+	s       semiring.Semiring[T]
+	res     *compile.Result
+	dyn     *circuit.Dynamic[T]
+	weights *structure.Weights[T]
+	free    []string
+	// relation membership shadowing the dynamic relations of the circuit.
+	relState map[string]map[string]bool
+}
+
+// CompileQuery compiles the weighted expression e, whose free variables
+// (if any) become query parameters, over the structure a.  The weights w
+// provide the initial valuation; they are not mutated by updates (the
+// evaluator keeps its own state).
+func CompileQuery[T any](s semiring.Semiring[T], a *structure.Structure, w *structure.Weights[T], e expr.Expr, opts compile.Options) (*Query[T], error) {
+	free := expr.FreeVars(e)
+
+	// Close the expression: f' = Σ_x̄ f(x̄) · v_1(x_1) ··· v_k(x_k), where the
+	// v_i are fresh unary weight symbols that default to 0 (Theorem 8).
+	closed := e
+	sig := a.Sig
+	if len(free) > 0 {
+		var extra []structure.WeightSymbol
+		factors := []expr.Expr{e}
+		for i, v := range free {
+			name := fmt.Sprintf("%s%d", freeVarWeightPrefix, i)
+			extra = append(extra, structure.WeightSymbol{Name: name, Arity: 1})
+			factors = append(factors, expr.W(name, v))
+		}
+		var err error
+		sig, err = a.Sig.WithWeights(extra...)
+		if err != nil {
+			return nil, fmt.Errorf("dynamicq: extending signature: %w", err)
+		}
+		closed = expr.Agg(free, expr.Times(factors...))
+	}
+
+	// Re-home the structure onto the extended signature if needed.
+	base := a
+	if sig != a.Sig {
+		base = structure.NewStructure(sig, a.N)
+		for _, r := range a.Sig.Relations {
+			for _, t := range a.Tuples(r.Name) {
+				base.MustAddTuple(r.Name, t...)
+			}
+		}
+	}
+
+	res, err := compile.Compile(base, closed, opts)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query[T]{
+		s:        s,
+		res:      res,
+		weights:  w,
+		free:     free,
+		relState: map[string]map[string]bool{},
+	}
+	for rel := range res.DynamicRelations {
+		state := map[string]bool{}
+		for _, t := range res.Structure.Tuples(rel) {
+			state[t.Key()] = true
+		}
+		q.relState[rel] = state
+	}
+	q.dyn = circuit.NewDynamic(res.Circuit, s, compile.NewValuation(res, s, w))
+	return q, nil
+}
+
+// FreeVars returns the query's free variables in the order expected by
+// Value.
+func (q *Query[T]) FreeVars() []string { return append([]string(nil), q.free...) }
+
+// Result exposes the underlying compilation result (circuit statistics,
+// colouring, normalised polynomial).
+func (q *Query[T]) Result() *compile.Result { return q.res }
+
+// ValueClosed returns the value of a closed query (no free variables).
+func (q *Query[T]) ValueClosed() (T, error) {
+	var zero T
+	if len(q.free) != 0 {
+		return zero, fmt.Errorf("dynamicq: query has free variables %v; use Value", q.free)
+	}
+	return q.dyn.Value(), nil
+}
+
+// Value returns the value of the query at the given tuple of the free
+// variables.  Following the proof of Theorem 8, the point query is simulated
+// by 2k temporary weight updates: the fresh weights v_i are raised to 1 at
+// the queried elements, the output is read, and the weights are reset.
+func (q *Query[T]) Value(args ...structure.Element) (T, error) {
+	var zero T
+	if len(args) != len(q.free) {
+		return zero, fmt.Errorf("dynamicq: query has %d free variables, got %d arguments", len(q.free), len(args))
+	}
+	if len(args) == 0 {
+		return q.dyn.Value(), nil
+	}
+	for i, a := range args {
+		key := structure.MakeWeightKey(fmt.Sprintf("%s%d", freeVarWeightPrefix, i), structure.Tuple{a})
+		q.dyn.SetInput(key, q.s.One())
+	}
+	out := q.dyn.Value()
+	for i, a := range args {
+		key := structure.MakeWeightKey(fmt.Sprintf("%s%d", freeVarWeightPrefix, i), structure.Tuple{a})
+		q.dyn.SetInput(key, q.s.Zero())
+	}
+	return out, nil
+}
+
+// SetWeight updates the weight w(tuple) to the given value.
+func (q *Query[T]) SetWeight(weight string, tuple structure.Tuple, value T) error {
+	decl, ok := q.res.Structure.Sig.Weight(weight)
+	if !ok {
+		return fmt.Errorf("dynamicq: unknown weight symbol %q", weight)
+	}
+	if decl.Arity != len(tuple) {
+		return fmt.Errorf("dynamicq: weight %q has arity %d, got tuple of length %d", weight, decl.Arity, len(tuple))
+	}
+	q.weights.Set(weight, tuple, value)
+	q.dyn.SetInput(structure.MakeWeightKey(weight, tuple), value)
+	return nil
+}
+
+// SetTuple inserts (present=true) or removes (present=false) a tuple of a
+// dynamic relation.  The update must preserve the Gaifman graph: the
+// elements of the tuple must already form a clique in the Gaifman graph of
+// the compiled structure (Theorem 24's update model).
+func (q *Query[T]) SetTuple(rel string, tuple structure.Tuple, present bool) error {
+	if !q.res.DynamicRelations[rel] {
+		return fmt.Errorf("dynamicq: relation %q was not declared dynamic at compile time", rel)
+	}
+	decl, _ := q.res.Structure.Sig.Relation(rel)
+	if decl.Arity != len(tuple) {
+		return fmt.Errorf("dynamicq: relation %q has arity %d, got tuple of length %d", rel, decl.Arity, len(tuple))
+	}
+	if present {
+		g := q.res.Structure.Gaifman()
+		for i := 0; i < len(tuple); i++ {
+			for j := i + 1; j < len(tuple); j++ {
+				if tuple[i] != tuple[j] && !g.HasEdge(tuple[i], tuple[j]) {
+					return fmt.Errorf("dynamicq: inserting %s%v would change the Gaifman graph (elements %d and %d are not adjacent); only Gaifman-preserving updates are supported", rel, tuple, tuple[i], tuple[j])
+				}
+			}
+		}
+	}
+	q.relState[rel][tuple.Key()] = present
+	pos, neg := compile.RelationInputKeys(rel, tuple)
+	q.dyn.SetInput(pos, semiring.Iverson(q.s, present))
+	q.dyn.SetInput(neg, semiring.Iverson(q.s, !present))
+	return nil
+}
+
+// HasTuple reports the current membership of a tuple in a dynamic relation
+// (tracking the updates applied so far).
+func (q *Query[T]) HasTuple(rel string, tuple structure.Tuple) bool {
+	if state, ok := q.relState[rel]; ok {
+		if v, ok := state[tuple.Key()]; ok {
+			return v
+		}
+		return false
+	}
+	return q.res.Structure.HasTuple(rel, tuple...)
+}

@@ -1,0 +1,394 @@
+package dynamicq
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/expr"
+	"repro/internal/logic"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+func testDB(n, m int, seed int64) (*structure.Structure, *structure.Weights[int64]) {
+	sig := structure.MustSignature(
+		[]structure.RelSymbol{{Name: "E", Arity: 2}, {Name: "U", Arity: 1}},
+		[]structure.WeightSymbol{{Name: "w", Arity: 2}, {Name: "u", Arity: 1}},
+	)
+	r := rand.New(rand.NewSource(seed))
+	a := structure.NewStructure(sig, n)
+	w := structure.NewWeights[int64]()
+	for len(a.Tuples("E")) < m {
+		x, y := r.Intn(n), r.Intn(n)
+		if x == y {
+			continue
+		}
+		a.MustAddTuple("E", x, y)
+		w.Set("w", structure.Tuple{x, y}, int64(r.Intn(5)+1))
+	}
+	for v := 0; v < n; v++ {
+		if r.Intn(2) == 0 {
+			a.MustAddTuple("U", v)
+		}
+		w.Set("u", structure.Tuple{v}, int64(r.Intn(4)))
+	}
+	return a, w
+}
+
+// naive evaluates a query with free variables by brute force.
+func naive(a *structure.Structure, w *structure.Weights[int64], e expr.Expr, env map[string]structure.Element) int64 {
+	return expr.Eval[int64](semiring.Nat, a, w, e, env)
+}
+
+func TestClosedQueryWithWeightUpdates(t *testing.T) {
+	// Total weighted out-degree sum: Σ_{x,y} [E(x,y)]·w(x,y)·u(x).
+	q := expr.Agg([]string{"x", "y"}, expr.Times(
+		expr.Guard(logic.R("E", "x", "y")), expr.W("w", "x", "y"), expr.W("u", "x"),
+	))
+	a, w := testDB(10, 25, 1)
+	query, err := CompileQuery[int64](semiring.Nat, a, w, q, compile.Options{})
+	if err != nil {
+		t.Fatalf("CompileQuery: %v", err)
+	}
+	got, err := query.ValueClosed()
+	if err != nil {
+		t.Fatalf("ValueClosed: %v", err)
+	}
+	if want := naive(a, w, q, map[string]structure.Element{}); got != want {
+		t.Fatalf("initial value %d, want %d", got, want)
+	}
+	// Random weight updates, cross-checked against naive evaluation.
+	r := rand.New(rand.NewSource(2))
+	for step := 0; step < 30; step++ {
+		if r.Intn(2) == 0 && len(a.Tuples("E")) > 0 {
+			tpl := a.Tuples("E")[r.Intn(len(a.Tuples("E")))]
+			v := int64(r.Intn(6))
+			if err := query.SetWeight("w", tpl, v); err != nil {
+				t.Fatalf("SetWeight: %v", err)
+			}
+			w.Set("w", tpl, v)
+		} else {
+			el := structure.Tuple{r.Intn(a.N)}
+			v := int64(r.Intn(4))
+			if err := query.SetWeight("u", el, v); err != nil {
+				t.Fatalf("SetWeight: %v", err)
+			}
+			w.Set("u", el, v)
+		}
+		got, _ := query.ValueClosed()
+		if want := naive(a, w, q, map[string]structure.Element{}); got != want {
+			t.Fatalf("step %d: value %d, want %d", step, got, want)
+		}
+	}
+	// Invalid updates are rejected.
+	if err := query.SetWeight("nope", structure.Tuple{0}, 1); err == nil {
+		t.Errorf("unknown weight symbol accepted")
+	}
+	if err := query.SetWeight("u", structure.Tuple{0, 1}, 1); err == nil {
+		t.Errorf("weight arity mismatch accepted")
+	}
+	if _, err := query.Value(3); err == nil {
+		t.Errorf("Value with arguments on a closed query should fail")
+	}
+}
+
+func TestFreeVariableQueries(t *testing.T) {
+	// Weighted out-neighbourhood: f(x) = Σ_y [E(x,y)]·w(x,y).
+	q := expr.Agg([]string{"y"}, expr.Times(expr.Guard(logic.R("E", "x", "y")), expr.W("w", "x", "y")))
+	a, w := testDB(9, 20, 3)
+	query, err := CompileQuery[int64](semiring.Nat, a, w, q, compile.Options{})
+	if err != nil {
+		t.Fatalf("CompileQuery: %v", err)
+	}
+	if fv := query.FreeVars(); len(fv) != 1 || fv[0] != "x" {
+		t.Fatalf("FreeVars = %v", fv)
+	}
+	for x := 0; x < a.N; x++ {
+		got, err := query.Value(x)
+		if err != nil {
+			t.Fatalf("Value(%d): %v", x, err)
+		}
+		want := naive(a, w, q, map[string]structure.Element{"x": x})
+		if got != want {
+			t.Fatalf("f(%d) = %d, want %d", x, got, want)
+		}
+	}
+	// Repeated queries must not corrupt state (the temporary updates are
+	// rolled back each time).
+	for trial := 0; trial < 3; trial++ {
+		got, _ := query.Value(0)
+		want := naive(a, w, q, map[string]structure.Element{"x": 0})
+		if got != want {
+			t.Fatalf("repeated query drifted: %d vs %d", got, want)
+		}
+	}
+	if _, err := query.Value(); err == nil {
+		t.Errorf("missing arguments should be rejected")
+	}
+	if _, err := query.ValueClosed(); err == nil {
+		t.Errorf("ValueClosed on a query with free variables should fail")
+	}
+}
+
+func TestTwoFreeVariables(t *testing.T) {
+	// f(x,z) = Σ_y [E(x,y) ∧ E(y,z)] · u(y): weighted 2-paths between x and z.
+	q := expr.Agg([]string{"y"}, expr.Times(
+		expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"))),
+		expr.W("u", "y"),
+	))
+	a, w := testDB(8, 18, 5)
+	query, err := CompileQuery[int64](semiring.Nat, a, w, q, compile.Options{})
+	if err != nil {
+		t.Fatalf("CompileQuery: %v", err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		x, z := r.Intn(a.N), r.Intn(a.N)
+		got, err := query.Value(x, z)
+		if err != nil {
+			t.Fatalf("Value(%d,%d): %v", x, z, err)
+		}
+		want := naive(a, w, q, map[string]structure.Element{"x": x, "z": z})
+		if got != want {
+			t.Fatalf("f(%d,%d) = %d, want %d", x, z, got, want)
+		}
+	}
+}
+
+func TestDynamicRelationUpdates(t *testing.T) {
+	// Count edges whose reverse is absent, with dynamic E.
+	q := expr.Agg([]string{"x", "y"}, expr.Times(
+		expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.Neg(logic.R("E", "y", "x")))),
+		expr.W("u", "x"),
+	))
+	a, w := testDB(8, 16, 11)
+	query, err := CompileQuery[int64](semiring.Nat, a, w, q, compile.Options{DynamicRelations: []string{"E"}})
+	if err != nil {
+		t.Fatalf("CompileQuery: %v", err)
+	}
+	// Mirror structure for the naive reference.
+	mirror := a.Clone()
+	check := func(step int) {
+		t.Helper()
+		got, _ := query.ValueClosed()
+		want := naive(mirror, w, q, map[string]structure.Element{})
+		if got != want {
+			t.Fatalf("step %d: value %d, want %d", step, got, want)
+		}
+	}
+	check(-1)
+	r := rand.New(rand.NewSource(13))
+	edges := append([]structure.Tuple(nil), a.Tuples("E")...)
+	for step := 0; step < 30; step++ {
+		tpl := edges[r.Intn(len(edges))]
+		// Toggle either the edge itself or its reverse (the reverse pair is
+		// also a Gaifman clique, so the update is permitted).
+		target := tpl
+		if r.Intn(2) == 0 {
+			target = structure.Tuple{tpl[1], tpl[0]}
+		}
+		present := r.Intn(2) == 0
+		if err := query.SetTuple("E", target, present); err != nil {
+			t.Fatalf("SetTuple: %v", err)
+		}
+		// Apply to the mirror.
+		rebuildWith(mirror, "E", target, present)
+		if query.HasTuple("E", target) != present {
+			t.Fatalf("HasTuple does not reflect the update")
+		}
+		check(step)
+	}
+	// Non-Gaifman-preserving insertions are rejected.
+	var u, v structure.Element = -1, -1
+	g := a.Gaifman()
+outer:
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if i != j && !g.HasEdge(i, j) {
+				u, v = i, j
+				break outer
+			}
+		}
+	}
+	if u >= 0 {
+		if err := query.SetTuple("E", structure.Tuple{u, v}, true); err == nil {
+			t.Errorf("Gaifman-changing insertion accepted")
+		}
+	}
+	// Updating a non-dynamic relation is rejected.
+	if err := query.SetTuple("U", structure.Tuple{0}, true); err == nil {
+		t.Errorf("update of a non-dynamic relation accepted")
+	}
+}
+
+// rebuildWith sets membership of a tuple in a relation of the mirror
+// structure (Structure has no deletion, so rebuild).
+func rebuildWith(a *structure.Structure, rel string, tuple structure.Tuple, present bool) {
+	old := a.Tuples(rel)
+	keep := make([]structure.Tuple, 0, len(old)+1)
+	for _, t := range old {
+		if !t.Equal(tuple) {
+			keep = append(keep, t)
+		}
+	}
+	if present {
+		keep = append(keep, tuple)
+	}
+	// Rebuild in place: copy everything else.
+	fresh := structure.NewStructure(a.Sig, a.N)
+	for _, r := range a.Sig.Relations {
+		if r.Name == rel {
+			for _, t := range keep {
+				fresh.MustAddTuple(rel, t...)
+			}
+			continue
+		}
+		for _, t := range a.Tuples(r.Name) {
+			fresh.MustAddTuple(r.Name, t...)
+		}
+	}
+	*a = *fresh
+}
+
+func TestRingAndFiniteSemiringPaths(t *testing.T) {
+	// The same query compiled over ℤ (ring fast path) and ℤ/5 (finite fast
+	// path) must agree with naive evaluation after updates.
+	q := expr.Agg([]string{"x", "y"}, expr.Times(
+		expr.Guard(logic.R("E", "x", "y")), expr.W("w", "x", "y"), expr.W("u", "y"),
+	))
+	a, w := testDB(9, 22, 17)
+
+	intQuery, err := CompileQuery[int64](semiring.Int, a, w, q, compile.Options{})
+	if err != nil {
+		t.Fatalf("CompileQuery(Int): %v", err)
+	}
+	mod := semiring.NewModular(5)
+	modQuery, err := CompileQuery[int64](mod, a, w, q, compile.Options{})
+	if err != nil {
+		t.Fatalf("CompileQuery(Mod5): %v", err)
+	}
+	ratWeights := structure.NewWeights[*big.Rat]()
+	w.ForEach(func(k structure.WeightKey, v int64) {
+		ratWeights.Set(k.Weight, structure.ParseTupleKey(k.Tuple), big.NewRat(v, 1))
+	})
+	ratQuery, err := CompileQuery[*big.Rat](semiring.Rat, a, ratWeights, q, compile.Options{})
+	if err != nil {
+		t.Fatalf("CompileQuery(Rat): %v", err)
+	}
+
+	r := rand.New(rand.NewSource(23))
+	for step := 0; step < 20; step++ {
+		tpl := a.Tuples("E")[r.Intn(len(a.Tuples("E")))]
+		v := int64(r.Intn(9) - 3)
+		if err := intQuery.SetWeight("w", tpl, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := modQuery.SetWeight("w", tpl, mod.Add(v, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ratQuery.SetWeight("w", tpl, big.NewRat(v, 1)); err != nil {
+			t.Fatal(err)
+		}
+		w.Set("w", tpl, v)
+
+		want := int64(0)
+		for _, e := range a.Tuples("E") {
+			we, _ := w.Get("w", e)
+			ue, _ := w.Get("u", structure.Tuple{e[1]})
+			want += we * ue
+		}
+		if got, _ := intQuery.ValueClosed(); got != want {
+			t.Fatalf("Int path: %d, want %d", got, want)
+		}
+		if got, _ := modQuery.ValueClosed(); !mod.Equal(got, want) {
+			t.Fatalf("Mod5 path: %d, want %d", got, mod.Add(want, 0))
+		}
+		if got, _ := ratQuery.ValueClosed(); got.Cmp(big.NewRat(want, 1)) != 0 {
+			t.Fatalf("Rat path: %s, want %d", got.RatString(), want)
+		}
+	}
+}
+
+func TestPageRankExample(t *testing.T) {
+	// Example 9 of the paper: one PageRank round,
+	// f(x) = (1-d)/N + d · Σ_y [E(y,x)] · w(y) · invdeg(y).
+	sig := structure.MustSignature(
+		[]structure.RelSymbol{{Name: "E", Arity: 2}},
+		[]structure.WeightSymbol{
+			{Name: "w", Arity: 1},
+			{Name: "invdeg", Arity: 1},
+			{Name: "base", Arity: 0},
+		},
+	)
+	r := rand.New(rand.NewSource(31))
+	n := 12
+	a := structure.NewStructure(sig, n)
+	for len(a.Tuples("E")) < 30 {
+		x, y := r.Intn(n), r.Intn(n)
+		if x != y {
+			a.MustAddTuple("E", x, y)
+		}
+	}
+	outdeg := make([]int64, n)
+	for _, t := range a.Tuples("E") {
+		outdeg[t[0]]++
+	}
+	damping := big.NewRat(85, 100)
+	w := structure.NewWeights[*big.Rat]()
+	for v := 0; v < n; v++ {
+		w.Set("w", structure.Tuple{v}, big.NewRat(1, int64(n)))
+		if outdeg[v] > 0 {
+			w.Set("invdeg", structure.Tuple{v}, big.NewRat(1, outdeg[v]))
+		}
+	}
+	w.Set("base", structure.Tuple{}, new(big.Rat).Quo(new(big.Rat).Sub(big.NewRat(1, 1), damping), big.NewRat(int64(n), 1)))
+
+	// f(x) = base + Σ_y [E(y,x)]·w(y)·invdeg(y)·d; the damping factor d is
+	// folded into invdeg to keep the expression within natural constants.
+	for v := 0; v < n; v++ {
+		if outdeg[v] > 0 {
+			cur, _ := w.Get("invdeg", structure.Tuple{v})
+			w.Set("invdeg", structure.Tuple{v}, new(big.Rat).Mul(cur, damping))
+		}
+	}
+	f := expr.Plus(
+		expr.W("base"),
+		expr.Agg([]string{"y"}, expr.Times(expr.Guard(logic.R("E", "y", "x")), expr.W("w", "y"), expr.W("invdeg", "y"))),
+	)
+	query, err := CompileQuery[*big.Rat](semiring.Rat, a, w, f, compile.Options{})
+	if err != nil {
+		t.Fatalf("CompileQuery: %v", err)
+	}
+	// The new PageRank vector must sum to (1-d) + d·(mass of nodes with
+	// outgoing edges); with every node having out-degree ≥ 1 it sums to 1.
+	total := new(big.Rat)
+	for x := 0; x < n; x++ {
+		v, err := query.Value(x)
+		if err != nil {
+			t.Fatalf("Value(%d): %v", x, err)
+		}
+		want := expr.Eval[*big.Rat](semiring.Rat, a, w, f, map[string]structure.Element{"x": x})
+		if v.Cmp(want) != 0 {
+			t.Fatalf("pagerank(%d) = %s, want %s", x, v.RatString(), want.RatString())
+		}
+		total.Add(total, v)
+	}
+	if total.Sign() <= 0 {
+		t.Fatalf("total PageRank mass should be positive, got %s", total.RatString())
+	}
+	// A weight update (a node's previous-round weight changes) is reflected
+	// in constant time; cross-check one query point.
+	w.Set("w", structure.Tuple{0}, big.NewRat(1, 2))
+	if err := query.SetWeight("w", structure.Tuple{0}, big.NewRat(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < n; x++ {
+		v, _ := query.Value(x)
+		want := expr.Eval[*big.Rat](semiring.Rat, a, w, f, map[string]structure.Element{"x": x})
+		if v.Cmp(want) != 0 {
+			t.Fatalf("after update pagerank(%d) = %s, want %s", x, v.RatString(), want.RatString())
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package enumerate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/compile"
+	"repro/internal/expr"
+	"repro/internal/logic"
+	"repro/internal/provenance"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// answerWeightPrefix names the fresh unary weight symbols carrying the
+// answer-tuple generators e^i_a (Section 6 of the paper).
+const answerWeightPrefix = ".en:"
+
+// Answers is the dynamic constant-delay enumerator for the answer set of a
+// first-order query ϕ(x̄) on a sparse database (Theorem 24): linear-time
+// preprocessing, constant delay between answers, and constant-time
+// Gaifman-preserving updates to the dynamic relations.
+type Answers struct {
+	enum *Enumerator
+	res  *compile.Result
+	vars []string
+	// relState tracks membership of dynamic relation tuples after updates.
+	relState map[string]map[string]bool
+}
+
+// EnumerateAnswers preprocesses the query ϕ over the structure a.  The
+// answer tuples are over the variables vars (each answer assigns an element
+// to each variable, in order).  Relations listed in opts.DynamicRelations
+// may later be updated through SetTuple, provided the updates preserve the
+// Gaifman graph.
+func EnumerateAnswers(a *structure.Structure, phi logic.Formula, vars []string, opts compile.Options) (*Answers, error) {
+	for _, v := range logic.FreeVars(phi) {
+		found := false
+		for _, u := range vars {
+			if u == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("enumerate: formula has free variable %q not listed in the answer variables %v", v, vars)
+		}
+	}
+	// Extend the signature with one unary weight symbol per answer variable.
+	extra := make([]structure.WeightSymbol, len(vars))
+	for i := range vars {
+		extra[i] = structure.WeightSymbol{Name: answerWeight(i), Arity: 1}
+	}
+	sig, err := a.Sig.WithWeights(extra...)
+	if err != nil {
+		return nil, fmt.Errorf("enumerate: extending signature: %w", err)
+	}
+	base := structure.NewStructure(sig, a.N)
+	for _, r := range a.Sig.Relations {
+		for _, t := range a.Tuples(r.Name) {
+			base.MustAddTuple(r.Name, t...)
+		}
+	}
+	// f = Σ_x̄ [ϕ(x̄)] · w_1(x_1) ··· w_k(x_k)  (equation (4) of the paper).
+	factors := []expr.Expr{expr.Guard(phi)}
+	for i, v := range vars {
+		factors = append(factors, expr.W(answerWeight(i), v))
+	}
+	f := expr.Expr(expr.Times(factors...))
+	if len(vars) > 0 {
+		f = expr.Agg(vars, expr.Times(factors...))
+	}
+	res, err := compile.Compile(base, f, opts)
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answers{res: res, vars: vars, relState: map[string]map[string]bool{}}
+	for rel := range res.DynamicRelations {
+		state := map[string]bool{}
+		for _, t := range res.Structure.Tuples(rel) {
+			state[t.Key()] = true
+		}
+		ans.relState[rel] = state
+	}
+	ans.enum = New(res.Circuit, ans.inputValue)
+	return ans, nil
+}
+
+func answerWeight(i int) string { return answerWeightPrefix + strconv.Itoa(i) }
+
+// inputValue supplies the initial value of every circuit input: answer
+// generators for the fresh unary weights, 0/1 for dynamic relation
+// memberships, zero otherwise.
+func (ans *Answers) inputValue(key structure.WeightKey) Value {
+	if rel, tuple, positive, ok := compile.DecodeRelationKey(key); ok {
+		holds := ans.res.Structure.HasTuple(rel, tuple...)
+		return Bool(holds == positive)
+	}
+	if strings.HasPrefix(key.Weight, answerWeightPrefix) {
+		idx, err := strconv.Atoi(key.Weight[len(answerWeightPrefix):])
+		if err != nil {
+			return Zero()
+		}
+		t := structure.ParseTupleKey(key.Tuple)
+		if len(t) != 1 {
+			return Zero()
+		}
+		return Gen(answerGenerator(idx, t[0]))
+	}
+	return Zero()
+}
+
+func answerGenerator(varIdx int, elem structure.Element) provenance.Generator {
+	return provenance.Generator(fmt.Sprintf("%d|%d", varIdx, elem))
+}
+
+func decodeGenerator(g provenance.Generator) (varIdx int, elem structure.Element, err error) {
+	parts := strings.SplitN(string(g), "|", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("enumerate: malformed answer generator %q", g)
+	}
+	varIdx, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	elem, err = strconv.Atoi(parts[1])
+	return varIdx, elem, err
+}
+
+// Variables returns the answer variables in output order.
+func (ans *Answers) Variables() []string { return append([]string(nil), ans.vars...) }
+
+// Result exposes the underlying compilation result.
+func (ans *Answers) Result() *compile.Result { return ans.res }
+
+// Empty reports whether the query currently has no answers.
+func (ans *Answers) Empty() bool { return ans.enum.Empty() }
+
+// TupleCursor enumerates answer tuples with constant delay.
+type TupleCursor struct {
+	ans   *Answers
+	inner Cursor
+}
+
+// Cursor returns a fresh cursor over the current answer set.  Cursors are
+// invalidated by updates; create a new one after SetTuple.
+func (ans *Answers) Cursor() *TupleCursor {
+	return &TupleCursor{ans: ans, inner: ans.enum.Cursor()}
+}
+
+// Next returns the next answer tuple, or ok=false when the enumeration is
+// complete.
+func (c *TupleCursor) Next() (structure.Tuple, bool) {
+	m, ok := c.inner.Next()
+	if !ok {
+		return nil, false
+	}
+	tuple := make(structure.Tuple, len(c.ans.vars))
+	for i := range tuple {
+		tuple[i] = -1
+	}
+	for _, g := range m {
+		idx, elem, err := decodeGenerator(g)
+		if err != nil || idx < 0 || idx >= len(tuple) {
+			continue
+		}
+		tuple[idx] = elem
+	}
+	return tuple, true
+}
+
+// Collect drains a fresh cursor into a slice of answers (limit ≤ 0 means no
+// limit); intended for tests and examples.
+func (ans *Answers) Collect(limit int) []structure.Tuple {
+	var out []structure.Tuple
+	cur := ans.Cursor()
+	for {
+		t, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+	}
+}
+
+// Count returns the current number of answers by evaluating the circuit in
+// ℕ under the homomorphism sending every generator to 1 (without
+// enumerating them); useful for sanity checks and benchmarks.
+func (ans *Answers) Count() int64 {
+	val := func(key structure.WeightKey) (int64, bool) {
+		v := ans.inputCurrent(key)
+		if v == nil || v.Empty() {
+			return 0, false
+		}
+		return 1, true
+	}
+	return circuit.Evaluate[int64](ans.res.Circuit, semiring.Nat, val)
+}
+
+// inputCurrent returns the current value of an input, reflecting dynamic
+// updates applied so far.
+func (ans *Answers) inputCurrent(key structure.WeightKey) Value {
+	if rel, tuple, positive, ok := compile.DecodeRelationKey(key); ok {
+		if state, tracked := ans.relState[rel]; tracked {
+			return Bool(state[tuple.Key()] == positive)
+		}
+		return Bool(ans.res.Structure.HasTuple(rel, tuple...) == positive)
+	}
+	return ans.inputValue(key)
+}
+
+// SetTuple inserts or removes a tuple of a dynamic relation, maintaining the
+// enumeration data structure in constant time.  Insertions must preserve the
+// Gaifman graph of the preprocessed structure.
+func (ans *Answers) SetTuple(rel string, tuple structure.Tuple, present bool) error {
+	if !ans.res.DynamicRelations[rel] {
+		return fmt.Errorf("enumerate: relation %q was not declared dynamic at preprocessing time", rel)
+	}
+	decl, _ := ans.res.Structure.Sig.Relation(rel)
+	if decl.Arity != len(tuple) {
+		return fmt.Errorf("enumerate: relation %q has arity %d, got tuple of length %d", rel, decl.Arity, len(tuple))
+	}
+	if present {
+		g := ans.res.Structure.Gaifman()
+		for i := 0; i < len(tuple); i++ {
+			for j := i + 1; j < len(tuple); j++ {
+				if tuple[i] != tuple[j] && !g.HasEdge(tuple[i], tuple[j]) {
+					return fmt.Errorf("enumerate: inserting %s%v would change the Gaifman graph; only Gaifman-preserving updates are supported (Theorem 24)", rel, tuple)
+				}
+			}
+		}
+	}
+	ans.relState[rel][tuple.Key()] = present
+	pos, neg := compile.RelationInputKeys(rel, tuple)
+	ans.enum.SetInput(pos, Bool(present))
+	ans.enum.SetInput(neg, Bool(!present))
+	return nil
+}
+
+// HasTuple reports current membership in a dynamic relation.
+func (ans *Answers) HasTuple(rel string, tuple structure.Tuple) bool {
+	if state, ok := ans.relState[rel]; ok {
+		return state[tuple.Key()]
+	}
+	return ans.res.Structure.HasTuple(rel, tuple...)
+}

@@ -1,0 +1,850 @@
+// Package enumerate implements the iterator side of the paper: evaluation of
+// compiled circuits in the free (provenance) semiring where every value is
+// represented by a constant-delay enumerator (Theorem 22), and on top of it
+// constant-delay enumeration of the answers to first-order queries with
+// Gaifman-preserving updates (Theorem 24).
+//
+// After a linear-time preprocessing pass over the circuit, the enumerator
+// for any gate — in particular the output gate — can be (re)created in
+// constant time and produces the monomials of the gate's free-semiring value
+// with constant delay between consecutive outputs.  Permanent gates use the
+// column-type bookkeeping of Lemma 39 so that only columns that can still be
+// extended to a full system of distinct representatives are ever touched.
+package enumerate
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/circuit"
+	"repro/internal/provenance"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// Value is the free-semiring value of a circuit input, given by its
+// emptiness and the ability to enumerate its monomials.
+type Value interface {
+	// Empty reports whether the value is the zero polynomial.
+	Empty() bool
+	// Cursor returns a fresh enumerator over the monomials of the value.
+	Cursor() Cursor
+}
+
+// Cursor enumerates monomials of a free-semiring element.  Next returns the
+// next monomial, or ok=false when exhausted.
+type Cursor interface {
+	Next() (provenance.Monomial, bool)
+}
+
+// ---------------------------------------------------------------------------
+// Input values
+// ---------------------------------------------------------------------------
+
+// Zero is the empty (zero) value.
+func Zero() Value { return zeroValue{} }
+
+// One is the unit value: a single empty monomial.
+func One() Value { return unitValue{} }
+
+// Gen is the value consisting of a single generator.
+func Gen(g provenance.Generator) Value { return genValue{g: g} }
+
+// Bool returns One() for true and Zero() for false; it is the value of the
+// 0/1 relation-membership inputs of Lemma 40.
+func Bool(b bool) Value {
+	if b {
+		return One()
+	}
+	return Zero()
+}
+
+// FromPoly wraps an explicit polynomial as an input value.
+func FromPoly(p *provenance.Poly) Value { return polyValue{p: p} }
+
+type zeroValue struct{}
+
+func (zeroValue) Empty() bool    { return true }
+func (zeroValue) Cursor() Cursor { return &sliceCursor{} }
+
+type unitValue struct{}
+
+func (unitValue) Empty() bool { return false }
+func (unitValue) Cursor() Cursor {
+	return &sliceCursor{items: []provenance.Monomial{provenance.NewMonomial()}}
+}
+
+type genValue struct{ g provenance.Generator }
+
+func (v genValue) Empty() bool { return false }
+func (v genValue) Cursor() Cursor {
+	return &sliceCursor{items: []provenance.Monomial{provenance.NewMonomial(v.g)}}
+}
+
+type polyValue struct{ p *provenance.Poly }
+
+func (v polyValue) Empty() bool { return v.p.IsZero() }
+func (v polyValue) Cursor() Cursor {
+	var items []provenance.Monomial
+	for _, t := range v.p.Monomials() {
+		for i := int64(0); i < t.Count; i++ {
+			items = append(items, t.Monomial)
+		}
+	}
+	return &sliceCursor{items: items}
+}
+
+// sliceCursor enumerates a fixed slice of monomials.
+type sliceCursor struct {
+	items []provenance.Monomial
+	pos   int
+}
+
+func (c *sliceCursor) Next() (provenance.Monomial, bool) {
+	if c.pos >= len(c.items) {
+		return nil, false
+	}
+	m := c.items[c.pos]
+	c.pos++
+	return m, true
+}
+
+// ---------------------------------------------------------------------------
+// Enumerator over a circuit
+// ---------------------------------------------------------------------------
+
+// Enumerator evaluates a circuit in the free semiring with iterator
+// representation: after linear preprocessing it provides constant-delay
+// cursors for the output gate and supports input updates in constant time
+// per affected gate (the circuits produced by the compiler have bounded
+// depth and fan-out, hence bounded reach-out).
+type Enumerator struct {
+	c *circuit.Circuit
+
+	// inputValue[id] is the value of input gate id.
+	inputValue map[int]Value
+	empty      []bool
+	parents    [][]int
+
+	adders []*adderMeta
+	perms  []*permGateMeta
+}
+
+// adderMeta maintains, for an addition gate, the positions (occurrence
+// indices within Children) whose child is currently non-empty.
+type adderMeta struct {
+	children  []int
+	positions []int       // positions with non-empty children
+	index     map[int]int // position → index in positions, -1 when absent
+	// occurrences[child] lists the positions of that child, so that an
+	// update touches only the changed child's occurrences.
+	occurrences map[int][]int
+}
+
+// permGateMeta maintains the Lemma 39 bookkeeping of a permanent gate.
+type permGateMeta struct {
+	rows, cols int
+	// entry[col][row] is the child gate wired at (row, col), or -1.
+	entry [][]int
+	// colType[col] is the bitmask of rows whose wired child is non-empty.
+	colType []int
+	// byType[t] lists the columns of type t; posInType[col] is the column's
+	// index within its list (for O(1) removal).
+	byType    [][]int
+	posInType []int
+	// colsOfChild[child] lists the columns where that child is wired.
+	colsOfChild map[int][]int
+}
+
+// New builds the enumerator for a circuit under the given input assignment.
+// Inputs not covered by the assignment are zero.
+func New(c *circuit.Circuit, inputs func(key structure.WeightKey) Value) *Enumerator {
+	if c.Output < 0 {
+		panic("enumerate: circuit has no output gate")
+	}
+	e := &Enumerator{
+		c:          c,
+		inputValue: map[int]Value{},
+		empty:      make([]bool, c.NumGates()),
+		parents:    make([][]int, c.NumGates()),
+		adders:     make([]*adderMeta, c.NumGates()),
+		perms:      make([]*permGateMeta, c.NumGates()),
+	}
+	for id, g := range c.Gates {
+		switch g.Kind {
+		case circuit.KindInput:
+			v := Value(zeroValue{})
+			if inputs != nil {
+				if got := inputs(g.Key); got != nil {
+					v = got
+				}
+			}
+			e.inputValue[id] = v
+			e.empty[id] = v.Empty()
+		case circuit.KindConst:
+			e.empty[id] = g.N.Sign() == 0
+		case circuit.KindAdd:
+			meta := &adderMeta{children: g.Children, index: map[int]int{}, occurrences: map[int][]int{}}
+			allEmpty := true
+			for pos, ch := range g.Children {
+				e.parents[ch] = append(e.parents[ch], id)
+				meta.occurrences[ch] = append(meta.occurrences[ch], pos)
+				if !e.empty[ch] {
+					meta.index[pos] = len(meta.positions)
+					meta.positions = append(meta.positions, pos)
+					allEmpty = false
+				} else {
+					meta.index[pos] = -1
+				}
+			}
+			e.adders[id] = meta
+			e.empty[id] = allEmpty
+		case circuit.KindMul:
+			anyEmpty := false
+			for _, ch := range g.Children {
+				e.parents[ch] = append(e.parents[ch], id)
+				if e.empty[ch] {
+					anyEmpty = true
+				}
+			}
+			e.empty[id] = anyEmpty
+		case circuit.KindPerm:
+			meta := &permGateMeta{rows: g.Rows, cols: g.Cols}
+			meta.entry = make([][]int, g.Cols)
+			for col := range meta.entry {
+				meta.entry[col] = make([]int, g.Rows)
+				for r := range meta.entry[col] {
+					meta.entry[col][r] = -1
+				}
+			}
+			for _, en := range g.Entries {
+				meta.entry[en.Col][en.Row] = en.Gate
+				e.parents[en.Gate] = append(e.parents[en.Gate], id)
+			}
+			meta.colType = make([]int, g.Cols)
+			meta.byType = make([][]int, 1<<uint(g.Rows))
+			meta.posInType = make([]int, g.Cols)
+			meta.colsOfChild = map[int][]int{}
+			for _, en := range g.Entries {
+				meta.colsOfChild[en.Gate] = append(meta.colsOfChild[en.Gate], en.Col)
+			}
+			for col := 0; col < g.Cols; col++ {
+				t := 0
+				for r := 0; r < g.Rows; r++ {
+					ch := meta.entry[col][r]
+					if ch >= 0 && !e.empty[ch] {
+						t |= 1 << uint(r)
+					}
+				}
+				meta.colType[col] = t
+				meta.posInType[col] = len(meta.byType[t])
+				meta.byType[t] = append(meta.byType[t], col)
+			}
+			e.perms[id] = meta
+			e.empty[id] = !meta.matchable((1<<uint(g.Rows))-1, nil)
+		}
+	}
+	// Deduplicate parent lists.
+	for ch := range e.parents {
+		e.parents[ch] = dedupSortedInts(e.parents[ch])
+	}
+	return e
+}
+
+func dedupSortedInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Empty reports whether the output gate has the zero value (no monomials).
+func (e *Enumerator) Empty() bool { return e.empty[e.c.Output] }
+
+// GateEmpty reports emptiness of an arbitrary gate.
+func (e *Enumerator) GateEmpty(id int) bool { return e.empty[id] }
+
+// Cursor returns a fresh constant-delay cursor over the monomials of the
+// output gate.
+func (e *Enumerator) Cursor() Cursor { return e.gateCursor(e.c.Output) }
+
+// CollectAll drains a fresh cursor into a slice, stopping after limit
+// monomials (limit ≤ 0 means no limit).  Intended for tests and examples.
+func (e *Enumerator) CollectAll(limit int) []provenance.Monomial {
+	var out []provenance.Monomial
+	cur := e.Cursor()
+	for {
+		m, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, m)
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+	}
+}
+
+// SetInput replaces the value of a weight input and updates the emptiness
+// bookkeeping along the input's fan-out cone.
+func (e *Enumerator) SetInput(key structure.WeightKey, v Value) {
+	id := e.c.InputGate(key)
+	if id < 0 {
+		return
+	}
+	if v == nil {
+		v = zeroValue{}
+	}
+	e.inputValue[id] = v
+	newEmpty := v.Empty()
+	if newEmpty == e.empty[id] {
+		return
+	}
+	e.empty[id] = newEmpty
+	e.propagate(id)
+}
+
+// propagate refreshes the metadata and emptiness of all gates reachable from
+// the changed gate, in topological (id) order.  Each affected parent only
+// revisits the positions of its children that actually flipped emptiness, so
+// the cost per update is bounded by the circuit's fan-out and depth, not by
+// the fan-in of wide gates.
+func (e *Enumerator) propagate(changed int) {
+	dirty := map[int]bool{}
+	var queue []int
+	push := func(g int) {
+		if !dirty[g] {
+			dirty[g] = true
+			queue = append(queue, g)
+		}
+	}
+	// pending[p] is the set of children of p whose emptiness flipped.
+	pending := map[int][]int{}
+	for _, p := range e.parents[changed] {
+		pending[p] = append(pending[p], changed)
+		push(p)
+	}
+	for len(queue) > 0 {
+		// Smallest id first keeps children finalised before parents.
+		minIdx := 0
+		for i := range queue {
+			if queue[i] < queue[minIdx] {
+				minIdx = i
+			}
+		}
+		g := queue[minIdx]
+		queue = append(queue[:minIdx], queue[minIdx+1:]...)
+		dirty[g] = false
+		changedChildren := pending[g]
+		delete(pending, g)
+		newEmpty := e.refreshGate(g, changedChildren)
+		if newEmpty == e.empty[g] {
+			continue
+		}
+		e.empty[g] = newEmpty
+		for _, p := range e.parents[g] {
+			pending[p] = append(pending[p], g)
+			push(p)
+		}
+	}
+}
+
+// refreshGate recomputes the metadata of gate g given the children whose
+// emptiness flipped, and returns the gate's emptiness.
+func (e *Enumerator) refreshGate(g int, changedChildren []int) bool {
+	gate := e.c.Gates[g]
+	switch gate.Kind {
+	case circuit.KindAdd:
+		meta := e.adders[g]
+		for _, ch := range changedChildren {
+			want := !e.empty[ch]
+			for _, pos := range meta.occurrences[ch] {
+				has := meta.index[pos] >= 0
+				if has == want {
+					continue
+				}
+				if want {
+					meta.index[pos] = len(meta.positions)
+					meta.positions = append(meta.positions, pos)
+				} else {
+					// Swap-remove.
+					idx := meta.index[pos]
+					last := meta.positions[len(meta.positions)-1]
+					meta.positions[idx] = last
+					meta.index[last] = idx
+					meta.positions = meta.positions[:len(meta.positions)-1]
+					meta.index[pos] = -1
+				}
+			}
+		}
+		return len(meta.positions) == 0
+	case circuit.KindMul:
+		for _, ch := range gate.Children {
+			if e.empty[ch] {
+				return true
+			}
+		}
+		return false
+	case circuit.KindPerm:
+		meta := e.perms[g]
+		touched := map[int]bool{}
+		for _, ch := range changedChildren {
+			for _, col := range meta.colsOfChild[ch] {
+				if touched[col] {
+					continue
+				}
+				touched[col] = true
+				t := 0
+				for r := 0; r < meta.rows; r++ {
+					cch := meta.entry[col][r]
+					if cch >= 0 && !e.empty[cch] {
+						t |= 1 << uint(r)
+					}
+				}
+				if t == meta.colType[col] {
+					continue
+				}
+				// Move the column between type lists.
+				old := meta.colType[col]
+				idx := meta.posInType[col]
+				lst := meta.byType[old]
+				last := lst[len(lst)-1]
+				lst[idx] = last
+				meta.posInType[last] = idx
+				meta.byType[old] = lst[:len(lst)-1]
+				meta.colType[col] = t
+				meta.posInType[col] = len(meta.byType[t])
+				meta.byType[t] = append(meta.byType[t], col)
+			}
+		}
+		return !meta.matchable((1<<uint(meta.rows))-1, nil)
+	default:
+		return e.empty[g]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cursors per gate kind
+// ---------------------------------------------------------------------------
+
+// gateCursor creates a cursor over the monomials of a gate.  Empty gates get
+// an empty cursor.
+func (e *Enumerator) gateCursor(id int) Cursor {
+	if e.empty[id] {
+		return &sliceCursor{}
+	}
+	gate := e.c.Gates[id]
+	switch gate.Kind {
+	case circuit.KindInput:
+		return e.inputValue[id].Cursor()
+	case circuit.KindConst:
+		return &constCursor{remaining: new(big.Int).Set(gate.N)}
+	case circuit.KindAdd:
+		return &concatCursor{e: e, meta: e.adders[id]}
+	case circuit.KindMul:
+		return newProductCursor(e, gate.Children)
+	case circuit.KindPerm:
+		return newPermCursor(e, e.perms[id])
+	default:
+		panic(fmt.Sprintf("enumerate: unsupported gate kind %v", gate.Kind))
+	}
+}
+
+// constCursor yields the empty monomial N times.
+type constCursor struct {
+	remaining *big.Int
+}
+
+func (c *constCursor) Next() (provenance.Monomial, bool) {
+	if c.remaining.Sign() <= 0 {
+		return nil, false
+	}
+	c.remaining.Sub(c.remaining, big.NewInt(1))
+	return provenance.NewMonomial(), true
+}
+
+// concatCursor enumerates an addition gate: the concatenation of its
+// non-empty children (per occurrence).
+type concatCursor struct {
+	e       *Enumerator
+	meta    *adderMeta
+	idx     int
+	current Cursor
+}
+
+func (c *concatCursor) Next() (provenance.Monomial, bool) {
+	for {
+		if c.current == nil {
+			if c.idx >= len(c.meta.positions) {
+				return nil, false
+			}
+			child := c.meta.children[c.meta.positions[c.idx]]
+			c.current = c.e.gateCursor(child)
+		}
+		if m, ok := c.current.Next(); ok {
+			return m, true
+		}
+		c.current = nil
+		c.idx++
+	}
+}
+
+// productCursor enumerates a multiplication gate: the product (concatenation
+// of monomials) over all combinations of children monomials, in
+// lexicographic cursor order.
+type productCursor struct {
+	e        *Enumerator
+	children []int
+	cursors  []Cursor
+	current  []provenance.Monomial
+	started  bool
+	done     bool
+}
+
+func newProductCursor(e *Enumerator, children []int) *productCursor {
+	return &productCursor{
+		e:        e,
+		children: children,
+		cursors:  make([]Cursor, len(children)),
+		current:  make([]provenance.Monomial, len(children)),
+	}
+}
+
+func (c *productCursor) Next() (provenance.Monomial, bool) {
+	if c.done {
+		return nil, false
+	}
+	if !c.started {
+		c.started = true
+		for i, ch := range c.children {
+			c.cursors[i] = c.e.gateCursor(ch)
+			m, ok := c.cursors[i].Next()
+			if !ok {
+				c.done = true
+				return nil, false
+			}
+			c.current[i] = m
+		}
+		return c.output(), true
+	}
+	// Odometer advance from the last child.
+	for i := len(c.children) - 1; i >= 0; i-- {
+		if m, ok := c.cursors[i].Next(); ok {
+			c.current[i] = m
+			return c.output(), true
+		}
+		if i == 0 {
+			c.done = true
+			return nil, false
+		}
+		c.cursors[i] = c.e.gateCursor(c.children[i])
+		m, ok := c.cursors[i].Next()
+		if !ok {
+			c.done = true
+			return nil, false
+		}
+		c.current[i] = m
+	}
+	c.done = true
+	return nil, false
+}
+
+func (c *productCursor) output() provenance.Monomial {
+	out := provenance.NewMonomial()
+	for _, m := range c.current {
+		out = out.Mul(m)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Permanent gate cursor (Lemma 23 / Lemma 39)
+// ---------------------------------------------------------------------------
+
+// matchable reports whether the rows in the mask can be matched to distinct
+// columns whose type covers them, excluding the listed used columns
+// (Hall's condition over the column-type counts).
+func (m *permGateMeta) matchable(rowMask int, used []int) bool {
+	if rowMask == 0 {
+		return true
+	}
+	// count[t] = available columns of type t (excluding used).
+	for sub := rowMask; ; sub = (sub - 1) & rowMask {
+		if sub != 0 {
+			need := popcount(sub)
+			have := 0
+			for t := 1; t < len(m.byType); t++ {
+				if t&sub == 0 {
+					continue
+				}
+				avail := len(m.byType[t])
+				for _, u := range used {
+					if m.colType[u] == t {
+						avail--
+					}
+				}
+				have += avail
+				if have >= need {
+					break
+				}
+			}
+			if have < need {
+				return false
+			}
+		}
+		if sub == 0 {
+			break
+		}
+	}
+	return true
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// permRowState is the enumeration state of one row of a permanent gate.
+type permRowState struct {
+	typeIdx int // current type (index into byType)
+	listIdx int // position within byType[typeIdx]
+	column  int
+	cell    Cursor
+	current provenance.Monomial
+}
+
+// permCursor enumerates a permanent gate: all products over injective
+// assignments of rows to non-empty columns.
+type permCursor struct {
+	e     *Enumerator
+	meta  *permGateMeta
+	rows  []*permRowState
+	used  []int
+	done  bool
+	begun bool
+}
+
+func newPermCursor(e *Enumerator, meta *permGateMeta) *permCursor {
+	return &permCursor{e: e, meta: meta}
+}
+
+func (c *permCursor) Next() (provenance.Monomial, bool) {
+	if c.done {
+		return nil, false
+	}
+	if !c.begun {
+		c.begun = true
+		c.rows = make([]*permRowState, c.meta.rows)
+		c.used = nil
+		if !c.initRow(0) {
+			c.done = true
+			return nil, false
+		}
+		return c.output(), true
+	}
+	// Advance: try the deepest row's cell cursor, then its column, then
+	// backtrack.
+	r := c.meta.rows - 1
+	for r >= 0 {
+		st := c.rows[r]
+		if m, ok := st.cell.Next(); ok {
+			st.current = m
+			// Deeper rows restart from their first monomial of their current
+			// column/cell; but their cells are exhausted only when we reach
+			// them, so restart them fully.
+			if c.reinitBelow(r) {
+				return c.output(), true
+			}
+			// Deeper rows unexpectedly failed (cannot happen thanks to the
+			// matchability precondition); treat as exhaustion.
+			c.done = true
+			return nil, false
+		}
+		// Cell exhausted: advance this row to its next viable column.
+		c.popUsed(r)
+		if c.advanceRowColumn(r) {
+			if c.reinitBelow(r) {
+				return c.output(), true
+			}
+			c.done = true
+			return nil, false
+		}
+		r--
+	}
+	c.done = true
+	return nil, false
+}
+
+// output concatenates the current monomials of all rows.
+func (c *permCursor) output() provenance.Monomial {
+	out := provenance.NewMonomial()
+	for _, st := range c.rows {
+		out = out.Mul(st.current)
+	}
+	return out
+}
+
+// initRow positions row r on its first viable column and first cell
+// monomial, recursing into deeper rows.
+func (c *permCursor) initRow(r int) bool {
+	if r == c.meta.rows {
+		return true
+	}
+	st := &permRowState{typeIdx: 0, listIdx: -1}
+	c.rows[r] = st
+	if !c.seekColumn(r, st) {
+		return false
+	}
+	return c.initRow(r + 1)
+}
+
+// reinitBelow restarts rows r+1.. with fresh columns and cells.
+func (c *permCursor) reinitBelow(r int) bool {
+	// Remove used columns of deeper rows.
+	c.used = c.used[:r+1]
+	for i := r + 1; i < c.meta.rows; i++ {
+		c.rows[i] = nil
+	}
+	return c.initRow(r + 1)
+}
+
+// popUsed removes row r's column from the used set.
+func (c *permCursor) popUsed(r int) {
+	if len(c.used) > r {
+		c.used = c.used[:r]
+	}
+}
+
+// advanceRowColumn moves row r to its next viable column (after the current
+// one) and initialises its cell cursor.
+func (c *permCursor) advanceRowColumn(r int) bool {
+	st := c.rows[r]
+	return c.seekColumn(r, st)
+}
+
+// seekColumn advances the (typeIdx, listIdx) pointer of row r to the next
+// column that is non-empty at row r, unused, and keeps the remaining rows
+// matchable; it then opens the cell cursor.  Returns false when exhausted.
+func (c *permCursor) seekColumn(r int, st *permRowState) bool {
+	remaining := 0
+	for rr := r + 1; rr < c.meta.rows; rr++ {
+		remaining |= 1 << uint(rr)
+	}
+	for t := st.typeIdx; t < len(c.meta.byType); t++ {
+		if t&(1<<uint(r)) == 0 {
+			st.typeIdx = t + 1
+			st.listIdx = -1
+			continue
+		}
+		list := c.meta.byType[t]
+		start := 0
+		if t == st.typeIdx {
+			start = st.listIdx + 1
+		}
+		for i := start; i < len(list); i++ {
+			col := list[i]
+			if c.isUsed(col) {
+				continue
+			}
+			// Viability: remaining rows must be matchable avoiding used∪{col}.
+			c.used = append(c.used, col)
+			ok := c.meta.matchable(remaining, c.used)
+			if !ok {
+				c.used = c.used[:len(c.used)-1]
+				// All columns of this type are equivalent for matchability,
+				// so skip the rest of the type.
+				break
+			}
+			cell := c.e.gateCursor(c.meta.entry[col][r])
+			m, cellOK := cell.Next()
+			if !cellOK {
+				// Cannot happen: the column type asserts non-emptiness.
+				c.used = c.used[:len(c.used)-1]
+				continue
+			}
+			st.typeIdx = t
+			st.listIdx = i
+			st.column = col
+			st.cell = cell
+			st.current = m
+			return true
+		}
+		st.typeIdx = t + 1
+		st.listIdx = -1
+	}
+	return false
+}
+
+func (c *permCursor) isUsed(col int) bool {
+	for _, u := range c.used {
+		if u == col {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Cross-checking helpers
+// ---------------------------------------------------------------------------
+
+// EvaluateExplicit evaluates the circuit in the explicit free semiring under
+// the same inputs; intended for differential testing on small instances.
+func EvaluateExplicit(c *circuit.Circuit, inputs func(key structure.WeightKey) Value) *provenance.Poly {
+	val := func(key structure.WeightKey) (*provenance.Poly, bool) {
+		if inputs == nil {
+			return nil, false
+		}
+		v := inputs(key)
+		if v == nil {
+			return nil, false
+		}
+		p := provenance.NewPoly()
+		cur := v.Cursor()
+		for {
+			m, ok := cur.Next()
+			if !ok {
+				break
+			}
+			p.AddMonomial(m, 1)
+		}
+		return p, true
+	}
+	return circuit.Evaluate[*provenance.Poly](c, provenance.Free, val)
+}
+
+// CountMonomials evaluates the circuit in ℕ under the homomorphism sending
+// every generator to 1: the number of monomials (with multiplicity) of the
+// output value.  It is used to cross-check enumeration completeness.
+func CountMonomials(c *circuit.Circuit, inputs func(key structure.WeightKey) Value) int64 {
+	val := func(key structure.WeightKey) (int64, bool) {
+		if inputs == nil {
+			return 0, false
+		}
+		v := inputs(key)
+		if v == nil || v.Empty() {
+			return 0, false
+		}
+		count := int64(0)
+		cur := v.Cursor()
+		for {
+			_, ok := cur.Next()
+			if !ok {
+				break
+			}
+			count++
+		}
+		return count, true
+	}
+	return circuit.Evaluate[int64](c, semiring.Nat, val)
+}

@@ -1,0 +1,84 @@
+package enumerate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/logic"
+	"repro/internal/structure"
+)
+
+// randomQFFormula builds a random quantifier-free formula over E, S, = with
+// the given variables, in negation normal form so that the compiled circuit
+// stays small.
+func randomQFFormula(r *rand.Rand, vars []string, depth int) logic.Formula {
+	pick := func() string { return vars[r.Intn(len(vars))] }
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(5) {
+		case 0:
+			return logic.R("E", pick(), pick())
+		case 1:
+			return logic.Neg(logic.R("E", pick(), pick()))
+		case 2:
+			return logic.R("S", pick())
+		case 3:
+			return logic.Neg(logic.R("S", pick()))
+		default:
+			return logic.Neg(logic.Equal(pick(), pick()))
+		}
+	}
+	if r.Intn(2) == 0 {
+		return logic.Conj(randomQFFormula(r, vars, depth-1), randomQFFormula(r, vars, depth-1))
+	}
+	return logic.Disj(randomQFFormula(r, vars, depth-1), randomQFFormula(r, vars, depth-1))
+}
+
+// TestEnumerateRandomFormulasMatchesNaive is the randomized counterpart of
+// TestEnumerateAnswersStatic: for random quantifier-free formulas, the
+// enumerated answer set equals the materialised answer set, without
+// repetitions, and Count/Empty are consistent.
+func TestEnumerateRandomFormulasMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for round := 0; round < 30; round++ {
+		a := enumerationStructure(9, 20, int64(round))
+		vars := []string{"x", "y"}
+		phi := randomQFFormula(r, vars, 2)
+		ans, err := EnumerateAnswers(a, phi, vars, compile.Options{})
+		if err != nil {
+			t.Fatalf("round %d (%s): %v", round, phi, err)
+		}
+		checkAnswers(t, ans, a, phi, vars)
+	}
+}
+
+// TestEnumerateRandomDynamicUpdates interleaves random Gaifman-preserving
+// updates to the unary predicate S with re-enumeration, comparing against a
+// structure that is rebuilt from scratch after every update.
+func TestEnumerateRandomDynamicUpdates(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for round := 0; round < 10; round++ {
+		a := enumerationStructure(8, 18, int64(200+round))
+		vars := []string{"x", "y"}
+		phi := logic.Conj(
+			logic.R("E", "x", "y"),
+			logic.R("S", "x"),
+			logic.Neg(logic.R("S", "y")),
+		)
+		ans, err := EnumerateAnswers(a, phi, vars, compile.Options{DynamicRelations: []string{"S"}})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// mirror tracks the intended current state of S.
+		mirror := a.Clone()
+		for step := 0; step < 12; step++ {
+			v := r.Intn(a.N)
+			present := r.Intn(2) == 0
+			if err := ans.SetTuple("S", structure.Tuple{v}, present); err != nil {
+				t.Fatalf("round %d step %d: %v", round, step, err)
+			}
+			setMirror(mirror, "S", structure.Tuple{v}, present)
+			checkAnswers(t, ans, mirror, phi, vars)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package expr implements weighted expressions: the query language of
+// Section 3 of the paper.  A weighted expression is built from semiring
+// constants, weight symbols applied to variables, Iverson brackets [ϕ] of
+// first-order formulas, addition, multiplication and aggregation Σ_x.
+//
+// The package provides the abstract syntax, a reference evaluator with
+// exponential data complexity (used as ground truth in tests and as the
+// naive baseline in benchmarks), and the normalisation into prenex
+// sum-of-monomials form consumed by the compiler.  The normalisation is the
+// implementation of Lemma 28 ("every expression is equivalent to a simple
+// expression") combined with the exclusive-disjunction rewriting of
+// Iverson brackets.
+package expr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// Expr is a weighted expression.
+type Expr interface {
+	// String renders the expression.
+	String() string
+	freeVars(bound map[string]bool, out map[string]bool)
+}
+
+// Const is the integer constant n, interpreted as the n-fold sum 1 + ... + 1
+// of the semiring unit.  Restricting constants to naturals keeps compiled
+// circuits semiring-agnostic; ring-specific constants may still be injected
+// as weights of arity 0.
+type Const struct {
+	N int64
+}
+
+// Weight is a weight symbol applied to variables: w(x1, ..., xk).
+type Weight struct {
+	W    string
+	Args []string
+}
+
+// Bracket is the Iverson bracket [ϕ] of a first-order formula, evaluating to
+// the semiring 1 when ϕ holds and to 0 otherwise.
+type Bracket struct {
+	F logic.Formula
+}
+
+// Add is a sum of expressions (0 when empty).
+type Add struct {
+	Args []Expr
+}
+
+// Mul is a product of expressions (1 when empty).
+type Mul struct {
+	Args []Expr
+}
+
+// Sum is aggregation: Σ over the listed variables of the body.
+type Sum struct {
+	Vars []string
+	Arg  Expr
+}
+
+// Convenience constructors.
+
+// N returns the constant expression n.
+func N(n int64) Expr { return Const{N: n} }
+
+// W returns the weight expression w(args...).
+func W(w string, args ...string) Expr { return Weight{W: w, Args: args} }
+
+// Guard returns the Iverson bracket [ϕ].
+func Guard(f logic.Formula) Expr { return Bracket{F: f} }
+
+// Plus returns the sum of the given expressions.
+func Plus(es ...Expr) Expr { return Add{Args: es} }
+
+// Times returns the product of the given expressions.
+func Times(es ...Expr) Expr { return Mul{Args: es} }
+
+// Agg returns Σ over vars of e.
+func Agg(vars []string, e Expr) Expr { return Sum{Vars: vars, Arg: e} }
+
+func (c Const) String() string { return fmt.Sprintf("%d", c.N) }
+func (w Weight) String() string {
+	s := w.W + "("
+	for i, a := range w.Args {
+		if i > 0 {
+			s += ","
+		}
+		s += a
+	}
+	return s + ")"
+}
+func (b Bracket) String() string { return "[" + b.F.String() + "]" }
+func (a Add) String() string     { return joinExprs(a.Args, " + ", "0") }
+func (m Mul) String() string     { return joinExprs(m.Args, " · ", "1") }
+func (s Sum) String() string {
+	vs := ""
+	for i, v := range s.Vars {
+		if i > 0 {
+			vs += ","
+		}
+		vs += v
+	}
+	return "Σ_{" + vs + "} (" + s.Arg.String() + ")"
+}
+
+func joinExprs(es []Expr, sep, empty string) string {
+	if len(es) == 0 {
+		return empty
+	}
+	out := ""
+	for i, e := range es {
+		if i > 0 {
+			out += sep
+		}
+		out += "(" + e.String() + ")"
+	}
+	return out
+}
+
+func (c Const) freeVars(_, _ map[string]bool) {}
+func (w Weight) freeVars(bound, out map[string]bool) {
+	for _, a := range w.Args {
+		if !bound[a] {
+			out[a] = true
+		}
+	}
+}
+func (b Bracket) freeVars(bound, out map[string]bool) {
+	for _, v := range logic.FreeVars(b.F) {
+		if !bound[v] {
+			out[v] = true
+		}
+	}
+}
+func (a Add) freeVars(bound, out map[string]bool) {
+	for _, e := range a.Args {
+		e.freeVars(bound, out)
+	}
+}
+func (m Mul) freeVars(bound, out map[string]bool) {
+	for _, e := range m.Args {
+		e.freeVars(bound, out)
+	}
+}
+func (s Sum) freeVars(bound, out map[string]bool) {
+	inner := make(map[string]bool, len(bound)+len(s.Vars))
+	for k, v := range bound {
+		inner[k] = v
+	}
+	for _, v := range s.Vars {
+		inner[v] = true
+	}
+	s.Arg.freeVars(inner, out)
+}
+
+// FreeVars returns the sorted free variables of e.
+func FreeVars(e Expr) []string {
+	out := map[string]bool{}
+	e.freeVars(map[string]bool{}, out)
+	vars := make([]string, 0, len(out))
+	for v := range out {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// ---------------------------------------------------------------------------
+// Reference evaluation (naive, exponential data complexity)
+// ---------------------------------------------------------------------------
+
+// Eval evaluates e on the structure a with weight assignment w in the
+// semiring s, under the environment env binding every free variable of e.
+// Its data complexity is O(N^aggregation-depth); it serves as the ground
+// truth for the compiled evaluators and as the naive baseline in the
+// benchmark harness.
+func Eval[T any](s semiring.Semiring[T], a *structure.Structure, w *structure.Weights[T], e Expr, env map[string]structure.Element) T {
+	switch x := e.(type) {
+	case Const:
+		return semiring.ScalarMul(s, x.N, s.One())
+	case Weight:
+		tuple := make(structure.Tuple, len(x.Args))
+		for i, v := range x.Args {
+			el, ok := env[v]
+			if !ok {
+				panic(fmt.Sprintf("expr: unbound variable %q in weight %s", v, x))
+			}
+			tuple[i] = el
+		}
+		if v, ok := w.Get(x.W, tuple); ok {
+			return v
+		}
+		return s.Zero()
+	case Bracket:
+		return semiring.Iverson(s, logic.Eval(x.F, a, env))
+	case Add:
+		acc := s.Zero()
+		for _, arg := range x.Args {
+			acc = s.Add(acc, Eval(s, a, w, arg, env))
+		}
+		return acc
+	case Mul:
+		acc := s.One()
+		for _, arg := range x.Args {
+			acc = s.Mul(acc, Eval(s, a, w, arg, env))
+		}
+		return acc
+	case Sum:
+		return evalSum(s, a, w, x.Vars, x.Arg, env)
+	default:
+		panic(fmt.Sprintf("expr: unknown expression type %T", e))
+	}
+}
+
+func evalSum[T any](s semiring.Semiring[T], a *structure.Structure, w *structure.Weights[T], vars []string, body Expr, env map[string]structure.Element) T {
+	if len(vars) == 0 {
+		return Eval(s, a, w, body, env)
+	}
+	v := vars[0]
+	saved, had := env[v]
+	acc := s.Zero()
+	for x := 0; x < a.N; x++ {
+		env[v] = x
+		acc = s.Add(acc, evalSum(s, a, w, vars[1:], body, env))
+	}
+	if had {
+		env[v] = saved
+	} else {
+		delete(env, v)
+	}
+	return acc
+}
+
+// Validate checks that e is well formed with respect to the signature:
+// weight symbols and relation symbols exist and are applied with the correct
+// arity.
+func Validate(e Expr, sig *structure.Signature) error {
+	switch x := e.(type) {
+	case Const:
+		if x.N < 0 {
+			return fmt.Errorf("expr: negative constant %d (constants denote n-fold sums of 1)", x.N)
+		}
+		return nil
+	case Weight:
+		decl, ok := sig.Weight(x.W)
+		if !ok {
+			return fmt.Errorf("expr: unknown weight symbol %q", x.W)
+		}
+		if decl.Arity != len(x.Args) {
+			return fmt.Errorf("expr: weight %q has arity %d, applied to %d arguments", x.W, decl.Arity, len(x.Args))
+		}
+		return nil
+	case Bracket:
+		return validateFormula(x.F, sig)
+	case Add:
+		for _, arg := range x.Args {
+			if err := Validate(arg, sig); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Mul:
+		for _, arg := range x.Args {
+			if err := Validate(arg, sig); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Sum:
+		return Validate(x.Arg, sig)
+	default:
+		return fmt.Errorf("expr: unknown expression type %T", e)
+	}
+}
+
+func validateFormula(f logic.Formula, sig *structure.Signature) error {
+	switch g := f.(type) {
+	case logic.Atom:
+		decl, ok := sig.Relation(g.Rel)
+		if !ok {
+			return fmt.Errorf("expr: unknown relation symbol %q", g.Rel)
+		}
+		if decl.Arity != len(g.Args) {
+			return fmt.Errorf("expr: relation %q has arity %d, applied to %d arguments", g.Rel, decl.Arity, len(g.Args))
+		}
+		return nil
+	case logic.Eq, logic.Truth:
+		return nil
+	case logic.Not:
+		return validateFormula(g.Arg, sig)
+	case logic.And:
+		for _, x := range g.Args {
+			if err := validateFormula(x, sig); err != nil {
+				return err
+			}
+		}
+		return nil
+	case logic.Or:
+		for _, x := range g.Args {
+			if err := validateFormula(x, sig); err != nil {
+				return err
+			}
+		}
+		return nil
+	case logic.Exists:
+		return validateFormula(g.Arg, sig)
+	case logic.Forall:
+		return validateFormula(g.Arg, sig)
+	default:
+		return fmt.Errorf("expr: unknown formula type %T", f)
+	}
+}

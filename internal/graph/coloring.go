@@ -1,0 +1,225 @@
+package graph
+
+import "sort"
+
+// Coloring is a (not necessarily proper) vertex colouring: Color[v] is the
+// colour of vertex v, colours are 0..NumColors-1.
+type Coloring struct {
+	Color     []int
+	NumColors int
+}
+
+// ClassSizes returns the number of vertices of each colour.
+func (c *Coloring) ClassSizes() []int {
+	sizes := make([]int, c.NumColors)
+	for _, col := range c.Color {
+		sizes[col]++
+	}
+	return sizes
+}
+
+// GreedyColoring properly colours g greedily along the given vertex order
+// (smallest available colour).  With a reversed degeneracy order this uses
+// at most degeneracy+1 colours.
+func GreedyColoring(g *Graph, order []int) *Coloring {
+	n := g.N()
+	color := make([]int, n)
+	for v := range color {
+		color[v] = -1
+	}
+	maxColor := 0
+	used := make([]int, n+1)
+	for i := range used {
+		used[i] = -1
+	}
+	for _, v := range order {
+		for _, w := range g.Neighbors(v) {
+			if color[w] >= 0 {
+				used[color[w]] = v
+			}
+		}
+		c := 0
+		for used[c] == v {
+			c++
+		}
+		color[v] = c
+		if c+1 > maxColor {
+			maxColor = c + 1
+		}
+	}
+	return &Coloring{Color: color, NumColors: maxColor}
+}
+
+// reverseDegeneracyOrder returns the degeneracy order reversed, which is the
+// classic order for greedy colouring with at most degeneracy+1 colours.
+func reverseDegeneracyOrder(g *Graph) []int {
+	order, _ := g.DegeneracyOrder()
+	rev := make([]int, len(order))
+	for i, v := range order {
+		rev[len(order)-1-i] = v
+	}
+	return rev
+}
+
+// FraternalAugmentation returns a supergraph of g obtained by one round of
+// fraternal augmentation: the graph is oriented by degeneracy and for every
+// pair of arcs u→w, v→w (a "fraternal" pair) the edge {u, v} is added, and
+// for every pair of arcs u→v→w (a "transitive" pair) the edge {u, w} is
+// added.
+//
+// Iterating this operation a bounded number of times on a graph from a
+// bounded-expansion class keeps the degeneracy bounded, and a greedy proper
+// colouring of the augmented graph yields a low-treedepth colouring
+// (Nešetřil–Ossona de Mendez; Proposition 1 of the paper).  This is the
+// standard practical recipe; the decomposition identity used by the
+// compiler is exact for any colouring, so colouring quality affects only
+// performance, never correctness.
+func FraternalAugmentation(g *Graph) *Graph {
+	o := g.DegeneracyOrientation()
+	h := g.Clone()
+	for v := 0; v < g.N(); v++ {
+		out := o.Out[v]
+		// Transitive arcs: v→w→x gives edge {v, x}.
+		for _, w := range out {
+			for _, x := range o.Out[w] {
+				if x != v {
+					h.AddEdge(v, x)
+				}
+			}
+		}
+	}
+	// Fraternal arcs: u→w and v→w gives edge {u, v}.  Collect in-arcs per
+	// target by scanning out-lists once.
+	in := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, w := range o.Out[v] {
+			in[w] = append(in[w], v)
+		}
+	}
+	for w := 0; w < g.N(); w++ {
+		src := in[w]
+		for i := 0; i < len(src); i++ {
+			for j := i + 1; j < len(src); j++ {
+				h.AddEdge(src[i], src[j])
+			}
+		}
+	}
+	return h
+}
+
+// LowTreedepthColoring computes a colouring of g intended to have the
+// low-treedepth property for parameter p: the subgraph induced by any set of
+// at most p colour classes should have small treedepth.
+//
+// The construction applies p-1 rounds of fraternal augmentation and greedily
+// colours the result along a reverse degeneracy order.  For p = 1 this is a
+// plain proper colouring (every single class is an independent set,
+// treedepth 1); for p = 2 the colouring is a star colouring (every two
+// classes induce a star forest, treedepth ≤ 2) whenever the augmentation
+// closure is reached.
+func LowTreedepthColoring(g *Graph, p int) *Coloring {
+	if p < 1 {
+		p = 1
+	}
+	h := g
+	for i := 0; i < p-1; i++ {
+		h = FraternalAugmentation(h)
+	}
+	return GreedyColoring(h, reverseDegeneracyOrder(h))
+}
+
+// SubsetStatistics describes the treedepth quality of a colouring for a
+// particular colour subset.
+type SubsetStatistics struct {
+	// Colors is the colour subset.
+	Colors []int
+	// Vertices is the number of vertices in the induced subgraph.
+	Vertices int
+	// Edges is the number of edges in the induced subgraph.
+	Edges int
+	// ForestDepth is the depth of the heuristic elimination forest of the
+	// induced subgraph (an upper bound on its treedepth, minus one plus
+	// one... the number of levels minus 1).
+	ForestDepth int
+}
+
+// ColoringQuality computes elimination-forest depth statistics for every
+// colour subset of size at most p.  It is used by experiment E9 and by
+// tests validating the colouring heuristics.
+func ColoringQuality(g *Graph, c *Coloring, p int) []SubsetStatistics {
+	classes := make([][]int, c.NumColors)
+	for v, col := range c.Color {
+		classes[col] = append(classes[col], v)
+	}
+	var stats []SubsetStatistics
+	var rec func(start int, chosen []int)
+	rec = func(start int, chosen []int) {
+		if len(chosen) > 0 {
+			var vertices []int
+			for _, col := range chosen {
+				vertices = append(vertices, classes[col]...)
+			}
+			sort.Ints(vertices)
+			sub, _, _ := g.InducedSubgraph(vertices)
+			f := EliminationForest(sub)
+			stats = append(stats, SubsetStatistics{
+				Colors:      append([]int(nil), chosen...),
+				Vertices:    sub.N(),
+				Edges:       sub.M(),
+				ForestDepth: f.MaxDepth,
+			})
+		}
+		if len(chosen) == p {
+			return
+		}
+		for col := start; col < c.NumColors; col++ {
+			rec(col+1, append(chosen, col))
+		}
+	}
+	rec(0, nil)
+	return stats
+}
+
+// MaxForestDepth returns the maximum elimination-forest depth over all
+// colour subsets of size at most p, a practical proxy for the treedepth
+// guarantee of Proposition 1.
+func MaxForestDepth(g *Graph, c *Coloring, p int) int {
+	max := 0
+	for _, s := range ColoringQuality(g, c, p) {
+		if s.ForestDepth > max {
+			max = s.ForestDepth
+		}
+	}
+	return max
+}
+
+// IsProperColoring reports whether c is a proper colouring of g.
+func IsProperColoring(g *Graph, c *Coloring) bool {
+	for _, e := range g.Edges() {
+		if c.Color[e[0]] == c.Color[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsets enumerates all subsets of {0,...,n-1} of size between 1 and k, in
+// lexicographic order.  It is shared by the compiler (colour-subset
+// decomposition, equation (12) of the paper) and the experiment harness.
+func Subsets(n, k int) [][]int {
+	var out [][]int
+	var rec func(start int, chosen []int)
+	rec = func(start int, chosen []int) {
+		if len(chosen) > 0 {
+			out = append(out, append([]int(nil), chosen...))
+		}
+		if len(chosen) == k {
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(chosen, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}

@@ -1,0 +1,597 @@
+// Package graph provides the sparse-graph substrate of the library:
+// undirected graphs, degeneracy orderings and orientations, spanning and
+// elimination forests, greedy colourings, transitive–fraternal
+// augmentations and low-treedepth colourings.
+//
+// These are the combinatorial tools behind classes of bounded expansion
+// (Section 2 of the paper): Proposition 1 (low treedepth colourings) and
+// the degeneracy-based functional encoding of Lemma 37.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1 stored as adjacency
+// lists.  Self-loops and parallel edges are rejected by AddEdge.
+type Graph struct {
+	n   int
+	adj [][]int
+	// edgeSet provides O(1) membership tests; keyed by packed endpoint pair.
+	edgeSet map[[2]int]struct{}
+	m       int
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{
+		n:       n,
+		adj:     make([][]int, n),
+		edgeSet: make(map[[2]int]struct{}),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Neighbors returns the adjacency list of v.  The returned slice must not be
+// modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// HasEdge reports whether the edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	_, ok := g.edgeSet[edgeKey(u, v)]
+	return ok
+}
+
+// AddEdge inserts the undirected edge {u, v}.  Self-loops and duplicate
+// edges are ignored so that callers can add edges from tuple scans without
+// pre-deduplication.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	key := edgeKey(u, v)
+	if _, ok := g.edgeSet[key]; ok {
+		return
+	}
+	g.edgeSet[key] = struct{}{}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.m++
+}
+
+// Edges returns all edges as (u, v) pairs with u < v, in no particular
+// order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for e := range g.edgeSet {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	h := New(g.n)
+	for e := range g.edgeSet {
+		h.AddEdge(e[0], e[1])
+	}
+	return h
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set,
+// together with the mapping from new vertex indices to original ones.
+// The inverse mapping (original → new, or -1) is also returned.
+func (g *Graph) InducedSubgraph(vertices []int) (sub *Graph, toOrig []int, toSub []int) {
+	toSub = make([]int, g.n)
+	for i := range toSub {
+		toSub[i] = -1
+	}
+	toOrig = make([]int, len(vertices))
+	for i, v := range vertices {
+		toSub[v] = i
+		toOrig[i] = v
+	}
+	sub = New(len(vertices))
+	for i, v := range vertices {
+		for _, w := range g.adj[v] {
+			j := toSub[w]
+			if j >= 0 && i < j {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	return sub, toOrig, toSub
+}
+
+// ConnectedComponents returns the vertex sets of the connected components.
+func (g *Graph) ConnectedComponents() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	stack := make([]int, 0, 16)
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{}
+		stack = append(stack[:0], s)
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// ---------------------------------------------------------------------------
+// Degeneracy
+// ---------------------------------------------------------------------------
+
+// DegeneracyOrder computes a degeneracy ordering using the standard
+// bucket-queue algorithm in O(n + m) time.  It returns the ordering (a
+// permutation of the vertices such that each vertex has few neighbours later
+// in the order) and the degeneracy d: every vertex has at most d neighbours
+// that appear after it in the returned order.
+func (g *Graph) DegeneracyOrder() (order []int, degeneracy int) {
+	n := g.n
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = len(g.adj[v])
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket queue keyed by current degree.
+	buckets := make([][]int, maxDeg+1)
+	pos := make([]int, n) // position of v within its bucket
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+		pos[v] = len(buckets[deg[v]]) - 1
+	}
+	removed := make([]bool, n)
+	order = make([]int, 0, n)
+	cur := 0
+	for len(order) < n {
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxDeg {
+			break
+		}
+		// Pop a vertex of minimum current degree.
+		b := buckets[cur]
+		v := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[v] {
+			continue
+		}
+		removed[v] = true
+		order = append(order, v)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, w := range g.adj[v] {
+			if removed[w] {
+				continue
+			}
+			// Decrease the degree of w lazily: append to the lower bucket;
+			// stale entries are skipped when popped.
+			deg[w]--
+			buckets[deg[w]] = append(buckets[deg[w]], w)
+			if deg[w] < cur {
+				cur = deg[w]
+			}
+		}
+	}
+	// Pass over any leftover stale entries (none expected, but keep the
+	// invariant that order is a permutation).
+	if len(order) != n {
+		for v := 0; v < n; v++ {
+			if !removed[v] {
+				order = append(order, v)
+			}
+		}
+	}
+	return order, degeneracy
+}
+
+// Orientation is an acyclic orientation of a graph: for each vertex, the
+// list of out-neighbours.
+type Orientation struct {
+	// Out[v] lists the out-neighbours of v.
+	Out [][]int
+	// MaxOutDegree is the maximum out-degree over all vertices.
+	MaxOutDegree int
+	// Rank[v] is the position of v in the ordering inducing the
+	// orientation; arcs go from lower to higher rank... see Orient.
+	Rank []int
+}
+
+// DegeneracyOrientation orients every edge from the endpoint that appears
+// earlier in a degeneracy ordering towards the later endpoint, producing an
+// acyclic orientation whose maximum out-degree equals the degeneracy.
+//
+// This is the orientation used by Lemma 37 of the paper to encode
+// arbitrary-arity relations with unary functions.
+func (g *Graph) DegeneracyOrientation() *Orientation {
+	order, _ := g.DegeneracyOrder()
+	rank := make([]int, g.n)
+	for i, v := range order {
+		rank[v] = i
+	}
+	out := make([][]int, g.n)
+	maxOut := 0
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.adj[v] {
+			if rank[v] < rank[w] {
+				out[v] = append(out[v], w)
+			}
+		}
+		// Deterministic order of out-neighbours (needed because the encoded
+		// functions f_i(v) = "i-th out-neighbour of v" must be stable).
+		sort.Ints(out[v])
+		if len(out[v]) > maxOut {
+			maxOut = len(out[v])
+		}
+	}
+	return &Orientation{Out: out, MaxOutDegree: maxOut, Rank: rank}
+}
+
+// OutIndex returns the 1-based index of w in v's out-neighbour list, or 0 if
+// w is not an out-neighbour of v.
+func (o *Orientation) OutIndex(v, w int) int {
+	for i, x := range o.Out[v] {
+		if x == w {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Forests
+// ---------------------------------------------------------------------------
+
+// Forest is a rooted spanning forest over the vertices 0..N-1 of some graph,
+// given by parent pointers.  Roots have Parent[v] == v, matching the
+// convention of the paper (parent of a root is the root itself).
+type Forest struct {
+	// Parent[v] is the parent of v, or v itself if v is a root.
+	Parent []int
+	// Depth[v] is the depth of v (roots have depth 0).
+	Depth []int
+	// children lists, computed lazily.
+	children [][]int
+	// MaxDepth is the maximum depth over all vertices.
+	MaxDepth int
+}
+
+// NewForest builds a Forest from parent pointers, computing depths.
+func NewForest(parent []int) *Forest {
+	n := len(parent)
+	f := &Forest{Parent: parent, Depth: make([]int, n)}
+	for v := range f.Depth {
+		f.Depth[v] = -1
+	}
+	var depth func(v int) int
+	depth = func(v int) int {
+		if f.Depth[v] >= 0 {
+			return f.Depth[v]
+		}
+		if parent[v] == v {
+			f.Depth[v] = 0
+			return 0
+		}
+		d := depth(parent[v]) + 1
+		f.Depth[v] = d
+		return d
+	}
+	for v := 0; v < n; v++ {
+		d := depth(v)
+		if d > f.MaxDepth {
+			f.MaxDepth = d
+		}
+	}
+	return f
+}
+
+// N returns the number of vertices of the forest.
+func (f *Forest) N() int { return len(f.Parent) }
+
+// IsRoot reports whether v is a root.
+func (f *Forest) IsRoot(v int) bool { return f.Parent[v] == v }
+
+// Roots returns all roots of the forest.
+func (f *Forest) Roots() []int {
+	var out []int
+	for v := range f.Parent {
+		if f.Parent[v] == v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Children returns the children of v.  The result is cached.
+func (f *Forest) Children(v int) []int {
+	if f.children == nil {
+		f.children = make([][]int, len(f.Parent))
+		for w, p := range f.Parent {
+			if p != w {
+				f.children[p] = append(f.children[p], w)
+			}
+		}
+	}
+	return f.children[v]
+}
+
+// Ancestor returns the ancestor of v exactly i levels above it, clamped at
+// the root (parent^i with the paper's convention parent(root) = root).
+func (f *Forest) Ancestor(v, i int) int {
+	for ; i > 0; i-- {
+		p := f.Parent[v]
+		if p == v {
+			return v
+		}
+		v = p
+	}
+	return v
+}
+
+// AncestorAtDepth returns the ancestor of v at the given depth, or -1 when
+// depth exceeds the depth of v.
+func (f *Forest) AncestorAtDepth(v, depth int) int {
+	if depth > f.Depth[v] {
+		return -1
+	}
+	return f.Ancestor(v, f.Depth[v]-depth)
+}
+
+// IsAncestor reports whether a is an ancestor of v (including a == v).
+func (f *Forest) IsAncestor(a, v int) bool {
+	if f.Depth[a] > f.Depth[v] {
+		return false
+	}
+	return f.AncestorAtDepth(v, f.Depth[a]) == a
+}
+
+// SpanningForestDFS computes a rooted spanning forest of g by depth-first
+// search.  For graphs of bounded treedepth the DFS forest has bounded depth
+// (at most 2^treedepth), which is the property exploited by Example 2 of the
+// paper.  The search is iterative to avoid stack overflow on deep graphs.
+func SpanningForestDFS(g *Graph) *Forest {
+	n := g.N()
+	parent := make([]int, n)
+	visited := make([]bool, n)
+	for v := range parent {
+		parent[v] = v
+	}
+	type frame struct {
+		v   int
+		idx int
+	}
+	var stack []frame
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		stack = append(stack[:0], frame{v: s})
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.idx >= len(g.adj[top.v]) {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			w := g.adj[top.v][top.idx]
+			top.idx++
+			if !visited[w] {
+				visited[w] = true
+				parent[w] = top.v
+				stack = append(stack, frame{v: w})
+			}
+		}
+	}
+	return NewForest(parent)
+}
+
+// EliminationForest computes a rooted forest over the vertices of g such
+// that every edge of g connects a vertex with one of its ancestors (an
+// elimination forest / treedepth decomposition).  The depth of the returned
+// forest is a heuristic upper bound on the treedepth of g.
+//
+// The construction removes, in each connected component, a vertex chosen to
+// break the component apart (a BFS-centre-of-a-longest-path heuristic with a
+// fallback to maximum degree) and recurses on the remaining components,
+// attaching their roots as children of the removed vertex.  Any forest built
+// this way is a valid elimination forest; only its depth depends on the
+// heuristic.
+func EliminationForest(g *Graph) *Forest {
+	n := g.N()
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = v
+	}
+	removed := make([]bool, n)
+
+	// Scratch buffers reused across recursive calls.
+	queue := make([]int, 0, n)
+	dist := make([]int, n)
+
+	// bfsFarthest returns the vertex farthest from start within the current
+	// (non-removed) component containing start, considering only vertices in
+	// the component.
+	bfsFarthest := func(start int, member []bool) int {
+		for _, v := range queue {
+			dist[v] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, start)
+		dist[start] = 0
+		far := start
+		for i := 0; i < len(queue); i++ {
+			v := queue[i]
+			for _, w := range g.adj[v] {
+				if member[w] && !removed[w] && dist[w] == -1 {
+					dist[w] = dist[v] + 1
+					if dist[w] > dist[far] {
+						far = w
+					}
+					queue = append(queue, w)
+				}
+			}
+		}
+		return far
+	}
+
+	// bfsMiddle returns the middle vertex of a BFS path from a to b.
+	bfsMiddle := func(a, b int, member []bool) int {
+		for _, v := range queue {
+			dist[v] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, a)
+		dist[a] = 0
+		prev := make(map[int]int)
+		for i := 0; i < len(queue); i++ {
+			v := queue[i]
+			if v == b {
+				break
+			}
+			for _, w := range g.adj[v] {
+				if member[w] && !removed[w] && dist[w] == -1 {
+					dist[w] = dist[v] + 1
+					prev[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+		if dist[b] == -1 {
+			return a
+		}
+		// Walk back half way from b.
+		steps := dist[b] / 2
+		v := b
+		for i := 0; i < steps; i++ {
+			v = prev[v]
+		}
+		return v
+	}
+
+	member := make([]bool, n)
+	for v := range dist {
+		dist[v] = -1
+	}
+
+	var process func(vertices []int, attachTo int)
+	process = func(vertices []int, attachTo int) {
+		if len(vertices) == 0 {
+			return
+		}
+		if len(vertices) == 1 {
+			v := vertices[0]
+			if attachTo >= 0 {
+				parent[v] = attachTo
+			}
+			removed[v] = true
+			return
+		}
+		for _, v := range vertices {
+			member[v] = true
+		}
+		// Choose a separator vertex: the midpoint of an approximate longest
+		// path (double BFS), which gives good depths on paths, grids and
+		// trees; ties broken by degree.
+		a := bfsFarthest(vertices[0], member)
+		b := bfsFarthest(a, member)
+		sep := bfsMiddle(a, b, member)
+		for _, v := range vertices {
+			member[v] = false
+		}
+		if attachTo >= 0 {
+			parent[sep] = attachTo
+		}
+		removed[sep] = true
+		// Split the remaining vertices into connected components of g minus
+		// the removed vertices.
+		compID := make(map[int]int)
+		var comps [][]int
+		for _, s := range vertices {
+			if removed[s] {
+				continue
+			}
+			if _, seen := compID[s]; seen {
+				continue
+			}
+			comp := []int{s}
+			compID[s] = len(comps)
+			for i := 0; i < len(comp); i++ {
+				v := comp[i]
+				for _, w := range g.adj[v] {
+					if removed[w] {
+						continue
+					}
+					if _, seen := compID[w]; !seen {
+						compID[w] = len(comps)
+						comp = append(comp, w)
+					}
+				}
+			}
+			comps = append(comps, comp)
+		}
+		for _, comp := range comps {
+			process(comp, sep)
+		}
+	}
+
+	for _, comp := range g.ConnectedComponents() {
+		process(comp, -1)
+	}
+	return NewForest(parent)
+}
+
+// ValidEliminationForest reports whether f is a valid elimination forest for
+// g: every edge of g must connect a vertex with one of its ancestors.
+func ValidEliminationForest(g *Graph, f *Forest) bool {
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if !f.IsAncestor(u, v) && !f.IsAncestor(v, u) {
+			return false
+		}
+	}
+	return true
+}

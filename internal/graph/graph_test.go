@@ -1,0 +1,387 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycleGraph(n int) *Graph {
+	g := pathGraph(n)
+	if n > 2 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+func gridGraph(w, h int) *Graph {
+	g := New(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				g.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return g
+}
+
+func completeGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func randomSparseGraph(n, m int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for g.M() < m {
+		u, v := r.Intn(n), r.Intn(n)
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+func TestBasicOperations(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1) // duplicate ignored
+	g.AddEdge(3, 3) // self loop ignored
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Errorf("HasEdge(0,1) should hold in both directions")
+	}
+	if g.HasEdge(0, 2) {
+		t.Errorf("HasEdge(0,2) should not hold")
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+	if len(g.Edges()) != 2 {
+		t.Errorf("Edges() returned %d edges, want 2", len(g.Edges()))
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	// 5 and 6 isolated
+	comps := g.ConnectedComponents()
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 2 {
+		t.Errorf("unexpected component size distribution: %v", sizes)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := cycleGraph(6)
+	sub, toOrig, toSub := g.InducedSubgraph([]int{0, 1, 2, 4})
+	if sub.N() != 4 {
+		t.Fatalf("subgraph has %d vertices, want 4", sub.N())
+	}
+	// Edges 0-1 and 1-2 survive; 4 is isolated in the subgraph.
+	if sub.M() != 2 {
+		t.Errorf("subgraph has %d edges, want 2", sub.M())
+	}
+	if toOrig[toSub[4]] != 4 {
+		t.Errorf("index mappings are not inverse")
+	}
+	if toSub[3] != -1 {
+		t.Errorf("vertex 3 should not be in the subgraph")
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path", pathGraph(10), 1},
+		{"cycle", cycleGraph(10), 2},
+		{"grid5x5", gridGraph(5, 5), 2},
+		{"complete5", completeGraph(5), 4},
+		{"empty", New(4), 0},
+		{"single", New(1), 0},
+	}
+	for _, c := range cases {
+		order, d := c.g.DegeneracyOrder()
+		if d != c.want {
+			t.Errorf("%s: degeneracy = %d, want %d", c.name, d, c.want)
+		}
+		if len(order) != c.g.N() {
+			t.Errorf("%s: order has %d vertices, want %d", c.name, len(order), c.g.N())
+		}
+		seen := map[int]bool{}
+		for _, v := range order {
+			if seen[v] {
+				t.Errorf("%s: vertex %d repeated in degeneracy order", c.name, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestDegeneracyOrientation(t *testing.T) {
+	for _, g := range []*Graph{pathGraph(20), cycleGraph(15), gridGraph(6, 7), randomSparseGraph(100, 250, 1)} {
+		o := g.DegeneracyOrientation()
+		_, d := g.DegeneracyOrder()
+		if o.MaxOutDegree > d {
+			t.Errorf("orientation out-degree %d exceeds degeneracy %d", o.MaxOutDegree, d)
+		}
+		// Every edge is oriented exactly once.
+		count := 0
+		for v := 0; v < g.N(); v++ {
+			count += len(o.Out[v])
+			for _, w := range o.Out[v] {
+				if !g.HasEdge(v, w) {
+					t.Fatalf("orientation contains non-edge (%d,%d)", v, w)
+				}
+				if idx := o.OutIndex(v, w); idx < 1 || o.Out[v][idx-1] != w {
+					t.Fatalf("OutIndex inconsistent for (%d,%d)", v, w)
+				}
+			}
+		}
+		if count != g.M() {
+			t.Errorf("orientation has %d arcs, want %d", count, g.M())
+		}
+	}
+}
+
+func TestForestBasics(t *testing.T) {
+	// A forest: 0 is root of {0,1,2,3}, 4 is root of {4,5}.
+	parent := []int{0, 0, 1, 1, 4, 4}
+	f := NewForest(parent)
+	if f.MaxDepth != 2 {
+		t.Errorf("MaxDepth = %d, want 2", f.MaxDepth)
+	}
+	if !f.IsRoot(0) || !f.IsRoot(4) || f.IsRoot(1) {
+		t.Errorf("root detection broken")
+	}
+	if got := len(f.Roots()); got != 2 {
+		t.Errorf("Roots() returned %d roots, want 2", got)
+	}
+	if f.Ancestor(2, 1) != 1 || f.Ancestor(2, 2) != 0 || f.Ancestor(2, 5) != 0 {
+		t.Errorf("Ancestor computation broken")
+	}
+	if f.AncestorAtDepth(3, 0) != 0 || f.AncestorAtDepth(3, 1) != 1 || f.AncestorAtDepth(3, 2) != 3 {
+		t.Errorf("AncestorAtDepth computation broken")
+	}
+	if f.AncestorAtDepth(3, 5) != -1 {
+		t.Errorf("AncestorAtDepth beyond node depth should be -1")
+	}
+	if !f.IsAncestor(0, 3) || !f.IsAncestor(3, 3) || f.IsAncestor(3, 0) || f.IsAncestor(4, 3) {
+		t.Errorf("IsAncestor broken")
+	}
+	if got := len(f.Children(1)); got != 2 {
+		t.Errorf("Children(1) has %d entries, want 2", got)
+	}
+}
+
+func TestSpanningForestDFS(t *testing.T) {
+	for _, g := range []*Graph{pathGraph(30), cycleGraph(20), gridGraph(5, 5), randomSparseGraph(200, 400, 7)} {
+		f := SpanningForestDFS(g)
+		if f.N() != g.N() {
+			t.Fatalf("forest size mismatch")
+		}
+		// Every tree edge is a graph edge.
+		for v := 0; v < g.N(); v++ {
+			if !f.IsRoot(v) && !g.HasEdge(v, f.Parent[v]) {
+				t.Errorf("tree edge (%d,%d) not in graph", v, f.Parent[v])
+			}
+		}
+		// Vertices in the same component share a root.
+		for _, comp := range g.ConnectedComponents() {
+			root := f.AncestorAtDepth(comp[0], 0)
+			for _, v := range comp {
+				if f.AncestorAtDepth(v, 0) != root {
+					t.Errorf("component split across trees")
+				}
+			}
+		}
+	}
+}
+
+func TestEliminationForest(t *testing.T) {
+	cases := []struct {
+		name     string
+		g        *Graph
+		maxDepth int // loose upper bound we expect from the heuristic
+	}{
+		{"path64", pathGraph(64), 7},
+		{"star", starGraph(50), 2},
+		{"cycle64", cycleGraph(64), 8},
+		{"tree", randomTree(200, 3), 12},
+		{"sparse", randomSparseGraph(120, 150, 3), 40},
+		{"grid4x4", gridGraph(4, 4), 10},
+	}
+	for _, c := range cases {
+		f := EliminationForest(c.g)
+		if !ValidEliminationForest(c.g, f) {
+			t.Errorf("%s: invalid elimination forest", c.name)
+		}
+		if f.MaxDepth > c.maxDepth {
+			t.Errorf("%s: elimination forest depth %d exceeds expected bound %d", c.name, f.MaxDepth, c.maxDepth)
+		}
+	}
+}
+
+func starGraph(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+func randomTree(n int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, r.Intn(v))
+	}
+	return g
+}
+
+func TestGreedyColoringProper(t *testing.T) {
+	for _, g := range []*Graph{pathGraph(30), cycleGraph(21), gridGraph(8, 8), completeGraph(6), randomSparseGraph(150, 300, 5)} {
+		c := GreedyColoring(g, reverseDegeneracyOrder(g))
+		if !IsProperColoring(g, c) {
+			t.Errorf("greedy colouring is not proper")
+		}
+		_, d := g.DegeneracyOrder()
+		if c.NumColors > d+1 {
+			t.Errorf("greedy colouring uses %d colours, want at most degeneracy+1 = %d", c.NumColors, d+1)
+		}
+		total := 0
+		for _, s := range c.ClassSizes() {
+			total += s
+		}
+		if total != g.N() {
+			t.Errorf("class sizes do not sum to n")
+		}
+	}
+}
+
+func TestFraternalAugmentationSupergraph(t *testing.T) {
+	g := randomSparseGraph(80, 160, 11)
+	h := FraternalAugmentation(g)
+	for _, e := range g.Edges() {
+		if !h.HasEdge(e[0], e[1]) {
+			t.Fatalf("augmentation dropped edge %v", e)
+		}
+	}
+	if h.M() < g.M() {
+		t.Fatalf("augmentation has fewer edges than original")
+	}
+}
+
+func TestLowTreedepthColoringQuality(t *testing.T) {
+	// For p = 2 on trees, grids and sparse random graphs, the induced
+	// subgraphs on any two classes should have small elimination-forest
+	// depth.  These are heuristic bounds chosen loosely enough to be stable.
+	cases := []struct {
+		name  string
+		g     *Graph
+		p     int
+		bound int
+	}{
+		{"path", pathGraph(100), 2, 3},
+		{"tree", randomTree(150, 13), 2, 4},
+		{"grid6x6", gridGraph(6, 6), 2, 5},
+		{"sparse", randomSparseGraph(100, 140, 17), 2, 8},
+	}
+	for _, c := range cases {
+		col := LowTreedepthColoring(c.g, c.p)
+		if !IsProperColoring(c.g, col) {
+			t.Errorf("%s: low-treedepth colouring is not proper", c.name)
+		}
+		depth := MaxForestDepth(c.g, col, c.p)
+		if depth > c.bound {
+			t.Errorf("%s: max forest depth over %d-subsets is %d, want ≤ %d (colours=%d)",
+				c.name, c.p, depth, c.bound, col.NumColors)
+		}
+	}
+}
+
+func TestColoringQualityStats(t *testing.T) {
+	g := gridGraph(4, 4)
+	col := LowTreedepthColoring(g, 2)
+	stats := ColoringQuality(g, col, 2)
+	wantSubsets := col.NumColors + col.NumColors*(col.NumColors-1)/2
+	if len(stats) != wantSubsets {
+		t.Errorf("got %d subset statistics, want %d", len(stats), wantSubsets)
+	}
+	for _, s := range stats {
+		if s.Vertices < 0 || s.Edges < 0 || s.ForestDepth < 0 {
+			t.Errorf("negative statistic: %+v", s)
+		}
+	}
+}
+
+func TestSubsets(t *testing.T) {
+	subs := Subsets(4, 2)
+	// 4 singletons + 6 pairs.
+	if len(subs) != 10 {
+		t.Fatalf("Subsets(4,2) returned %d subsets, want 10", len(subs))
+	}
+	seen := map[string]bool{}
+	for _, s := range subs {
+		if len(s) < 1 || len(s) > 2 {
+			t.Errorf("subset %v has invalid size", s)
+		}
+		key := ""
+		for _, x := range s {
+			key += string(rune('a' + x))
+		}
+		if seen[key] {
+			t.Errorf("duplicate subset %v", s)
+		}
+		seen[key] = true
+	}
+	if len(Subsets(3, 3)) != 7 {
+		t.Errorf("Subsets(3,3) should have 7 entries")
+	}
+}
+
+func TestEliminationForestCoversAllVertices(t *testing.T) {
+	g := randomSparseGraph(500, 900, 23)
+	f := EliminationForest(g)
+	if f.N() != g.N() {
+		t.Fatalf("size mismatch")
+	}
+	for v := 0; v < f.N(); v++ {
+		if f.Depth[v] < 0 {
+			t.Errorf("vertex %d has no depth assigned", v)
+		}
+	}
+	if !ValidEliminationForest(g, f) {
+		t.Errorf("invalid elimination forest on random sparse graph")
+	}
+}

@@ -1,0 +1,346 @@
+// Package kc analyses compiled circuits through the lens of knowledge
+// compilation and factorized databases.
+//
+// The paper observes that the circuits produced by Theorem 6 generalise
+// deterministic decomposable negation normal forms (d-DNNF, Darwiche) and can
+// be viewed as factorized representations of query answers (Olteanu and
+// Závodný): multiplication and permanent gates combine sub-circuits over
+// disjoint sets of inputs (decomposability), and addition gates combine
+// mutually exclusive alternatives (determinism).  These structural
+// properties are exactly what make counting, enumeration and updates cheap.
+//
+// This package makes those properties checkable:
+//
+//   - Analyze computes, for every gate, the set of weight inputs it depends
+//     on, and CheckDecomposable verifies the disjointness conditions.
+//   - CheckDeterministic verifies (semantically, via the free semiring) that
+//     no addition or permanent gate produces the same monomial twice.
+//   - ModelCount counts the monomials of the circuit — for the enumeration
+//     circuits of Theorem 24 this is exactly the number of query answers.
+//   - FactorizationReport quantifies how much smaller the circuit is than
+//     the flat table of answers it represents.
+//   - DOT renders the circuit for inspection with Graphviz.
+package kc
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/provenance"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// Analysis holds per-gate dependency information for a circuit.
+type Analysis struct {
+	c *circuit.Circuit
+	// vars lists the weight inputs of the circuit in a fixed order.
+	vars []structure.WeightKey
+	// varIndex maps an input gate id to its position in vars.
+	varIndex map[int]int
+	// sets[g] is a bitset over vars: the inputs reachable from gate g.
+	sets []bitset
+}
+
+// bitset is a fixed-width bitset over the circuit's input variables.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) or(other bitset) {
+	for i := range b {
+		b[i] |= other[i]
+	}
+}
+func (b bitset) intersects(other bitset) bool {
+	for i := range b {
+		if b[i]&other[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+func (b bitset) count() int {
+	total := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			total++
+		}
+	}
+	return total
+}
+
+// Analyze computes the input-dependency sets of every gate.
+func Analyze(c *circuit.Circuit) *Analysis {
+	a := &Analysis{c: c, varIndex: map[int]int{}}
+	for id, g := range c.Gates {
+		if g.Kind == circuit.KindInput {
+			a.varIndex[id] = len(a.vars)
+			a.vars = append(a.vars, g.Key)
+		}
+	}
+	a.sets = make([]bitset, len(c.Gates))
+	for id, g := range c.Gates {
+		s := newBitset(len(a.vars))
+		switch g.Kind {
+		case circuit.KindInput:
+			s.set(a.varIndex[id])
+		case circuit.KindConst:
+			// no dependencies
+		case circuit.KindAdd, circuit.KindMul:
+			for _, ch := range g.Children {
+				s.or(a.sets[ch])
+			}
+		case circuit.KindPerm:
+			for _, e := range g.Entries {
+				s.or(a.sets[e.Gate])
+			}
+		}
+		a.sets[id] = s
+	}
+	return a
+}
+
+// Circuit returns the analysed circuit.
+func (a *Analysis) Circuit() *circuit.Circuit { return a.c }
+
+// Variables lists the weight inputs of the circuit in analysis order.
+func (a *Analysis) Variables() []structure.WeightKey {
+	return append([]structure.WeightKey(nil), a.vars...)
+}
+
+// VariablesOf returns the weight inputs that gate g depends on.
+func (a *Analysis) VariablesOf(g int) []structure.WeightKey {
+	var out []structure.WeightKey
+	for i, key := range a.vars {
+		if a.sets[g].has(i) {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// DependencyCount returns the number of inputs gate g depends on.
+func (a *Analysis) DependencyCount(g int) int { return a.sets[g].count() }
+
+// DependsOn reports whether gate g depends on the given weight input.
+func (a *Analysis) DependsOn(g int, key structure.WeightKey) bool {
+	for i, k := range a.vars {
+		if k == key {
+			return a.sets[g].has(i)
+		}
+	}
+	return false
+}
+
+// Violation describes a gate at which a structural property fails.
+type Violation struct {
+	// Gate is the offending gate id.
+	Gate int
+	// Property names the violated property ("decomposable" or "deterministic").
+	Property string
+	// Detail describes the failure.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("gate %d is not %s: %s", v.Gate, v.Property, v.Detail)
+}
+
+// CheckDecomposable verifies that every multiplication gate multiplies
+// sub-circuits over pairwise disjoint input sets, and that in every permanent
+// gate the columns depend on pairwise disjoint input sets.  These conditions
+// guarantee that products never multiply two values derived from the same
+// weight input, the circuit analogue of d-DNNF decomposability.
+func (a *Analysis) CheckDecomposable() []Violation {
+	var out []Violation
+	for id, g := range a.c.Gates {
+		switch g.Kind {
+		case circuit.KindMul:
+			for i := 0; i < len(g.Children); i++ {
+				for j := i + 1; j < len(g.Children); j++ {
+					if a.sets[g.Children[i]].intersects(a.sets[g.Children[j]]) {
+						out = append(out, Violation{
+							Gate:     id,
+							Property: "decomposable",
+							Detail: fmt.Sprintf("children %d and %d share input variables",
+								g.Children[i], g.Children[j]),
+						})
+					}
+				}
+			}
+		case circuit.KindPerm:
+			cols := a.permColumnSets(g)
+			keys := make([]int, 0, len(cols))
+			for c := range cols {
+				keys = append(keys, c)
+			}
+			sort.Ints(keys)
+			for i := 0; i < len(keys); i++ {
+				for j := i + 1; j < len(keys); j++ {
+					if cols[keys[i]].intersects(cols[keys[j]]) {
+						out = append(out, Violation{
+							Gate:     id,
+							Property: "decomposable",
+							Detail: fmt.Sprintf("columns %d and %d share input variables",
+								keys[i], keys[j]),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (a *Analysis) permColumnSets(g circuit.Gate) map[int]bitset {
+	cols := map[int]bitset{}
+	for _, e := range g.Entries {
+		s, ok := cols[e.Col]
+		if !ok {
+			s = newBitset(len(a.vars))
+			cols[e.Col] = s
+		}
+		s.or(a.sets[e.Gate])
+	}
+	return cols
+}
+
+// CheckDeterministic verifies semantically that no gate produces the same
+// monomial more than once when every input is interpreted as a distinct
+// generator of the free semiring.  For the boolean enumeration circuits of
+// Theorem 24 this is exactly the property that answers are enumerated
+// without repetition.
+//
+// The check materialises one polynomial per gate, so it is intended for
+// moderate circuits (tests, diagnostics), not for production-size databases.
+func (a *Analysis) CheckDeterministic() []Violation {
+	free := provenance.FreeSemiring{}
+	val := func(key structure.WeightKey) (*provenance.Poly, bool) {
+		return provenance.Var(provenance.Generator(key.Weight + ":" + key.Tuple)), true
+	}
+	polys := circuit.EvaluateAll[*provenance.Poly](a.c, free, val)
+	var out []Violation
+	for id, p := range polys {
+		if p == nil {
+			continue
+		}
+		kind := a.c.Gates[id].Kind
+		if kind != circuit.KindAdd && kind != circuit.KindPerm {
+			continue
+		}
+		for _, m := range p.Monomials() {
+			if m.Count > 1 {
+				out = append(out, Violation{
+					Gate:     id,
+					Property: "deterministic",
+					Detail:   fmt.Sprintf("monomial %s produced %d times", m.Monomial, m.Count),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ModelCount evaluates the circuit in (ℤ, +, ·) with every input set to 1,
+// i.e. it counts the monomials of the represented polynomial with
+// multiplicity.  For an enumeration circuit this is the number of answers.
+func ModelCount(c *circuit.Circuit) *big.Int {
+	one := func(structure.WeightKey) (*big.Int, bool) { return big.NewInt(1), true }
+	return circuit.Evaluate[*big.Int](c, semiring.Big, one)
+}
+
+// SupportSize counts the distinct monomials of the circuit by evaluating it
+// in the free semiring; unlike ModelCount it collapses repeated monomials.
+// Intended for moderate circuits.
+func SupportSize(c *circuit.Circuit) int {
+	free := provenance.FreeSemiring{}
+	val := func(key structure.WeightKey) (*provenance.Poly, bool) {
+		return provenance.Var(provenance.Generator(key.Weight + ":" + key.Tuple)), true
+	}
+	return circuit.Evaluate[*provenance.Poly](c, free, val).NumTerms()
+}
+
+// FactorizationReport compares the circuit against the flat representation
+// of the answer set it factorizes.
+type FactorizationReport struct {
+	// CircuitSize is the number of gates plus edges.
+	CircuitSize int
+	// Answers is the number of represented monomials (answer tuples).
+	Answers *big.Int
+	// Arity is the answer arity used to compute the flat size.
+	Arity int
+	// FlatCells is Answers × Arity: the number of cells of the flat table.
+	FlatCells *big.Int
+	// CompressionRatio is FlatCells / CircuitSize (0 when the circuit is
+	// empty or the answer count does not fit a float64).
+	CompressionRatio float64
+}
+
+// Factorization measures how compactly the circuit represents an answer set
+// of the given arity.
+func Factorization(c *circuit.Circuit, arity int) FactorizationReport {
+	report := FactorizationReport{
+		CircuitSize: c.Size(),
+		Answers:     ModelCount(c),
+		Arity:       arity,
+	}
+	report.FlatCells = new(big.Int).Mul(report.Answers, big.NewInt(int64(arity)))
+	if report.CircuitSize > 0 {
+		cells, _ := new(big.Float).SetInt(report.FlatCells).Float64()
+		report.CompressionRatio = cells / float64(report.CircuitSize)
+	}
+	return report
+}
+
+// DOT renders the circuit in Graphviz dot syntax.  Input gates are labelled
+// with their weight key, constants with their value, and permanent gates
+// with their matrix dimensions.
+func DOT(c *circuit.Circuit) string {
+	var b strings.Builder
+	b.WriteString("digraph circuit {\n  rankdir=BT;\n  node [fontname=\"monospace\"];\n")
+	for id, g := range c.Gates {
+		var label, shape string
+		switch g.Kind {
+		case circuit.KindInput:
+			label = fmt.Sprintf("%s(%s)", g.Key.Weight, g.Key.Tuple)
+			shape = "box"
+		case circuit.KindConst:
+			label = g.N.String()
+			shape = "box"
+		case circuit.KindAdd:
+			label = "+"
+			shape = "circle"
+		case circuit.KindMul:
+			label = "×"
+			shape = "circle"
+		case circuit.KindPerm:
+			label = fmt.Sprintf("perm %d×%d", g.Rows, g.Cols)
+			shape = "diamond"
+		}
+		style := ""
+		if id == c.Output {
+			style = ", penwidth=2"
+		}
+		fmt.Fprintf(&b, "  g%d [label=%q, shape=%s%s];\n", id, label, shape, style)
+	}
+	for id, g := range c.Gates {
+		if g.Kind == circuit.KindPerm {
+			for _, e := range g.Entries {
+				fmt.Fprintf(&b, "  g%d -> g%d [label=\"r%dc%d\"];\n", e.Gate, id, e.Row, e.Col)
+			}
+			continue
+		}
+		for _, ch := range g.Children {
+			fmt.Fprintf(&b, "  g%d -> g%d;\n", ch, id)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,276 @@
+package kc
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/compile"
+	"repro/internal/expr"
+	"repro/internal/logic"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+func key(w string, elems ...int) structure.WeightKey {
+	return structure.MakeWeightKey(w, structure.Tuple(elems))
+}
+
+// smallGraph builds a random sparse directed graph with unary weights u, v
+// and binary weight w.
+func smallGraph(n, m int, seed int64) (*structure.Structure, *structure.Weights[int64]) {
+	sig := structure.MustSignature(
+		[]structure.RelSymbol{{Name: "E", Arity: 2}, {Name: "R", Arity: 1}},
+		[]structure.WeightSymbol{{Name: "w", Arity: 2}, {Name: "u", Arity: 1}, {Name: "v", Arity: 1}},
+	)
+	a := structure.NewStructure(sig, n)
+	weights := structure.NewWeights[int64]()
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < m; i++ {
+		x, y := r.Intn(n), r.Intn(n)
+		if x == y || a.HasTuple("E", x, y) {
+			continue
+		}
+		a.MustAddTuple("E", x, y)
+		weights.Set("w", structure.Tuple{x, y}, int64(r.Intn(5)+1))
+	}
+	for x := 0; x < n; x++ {
+		if r.Intn(2) == 0 {
+			a.MustAddTuple("R", x)
+		}
+		weights.Set("u", structure.Tuple{x}, int64(r.Intn(4)+1))
+		weights.Set("v", structure.Tuple{x}, int64(r.Intn(4)+1))
+	}
+	return a, weights
+}
+
+func edgePairQuery() expr.Expr {
+	// Σ_{x,y} [E(x,y)] · u(x) · v(y): one monomial u(a)·v(b) per edge (a,b).
+	return expr.Agg([]string{"x", "y"}, expr.Times(
+		expr.Guard(logic.R("E", "x", "y")), expr.W("u", "x"), expr.W("v", "y"),
+	))
+}
+
+func TestAnalyzeDependencies(t *testing.T) {
+	c := circuit.NewBuilder()
+	ux := c.Input(key("u", 0))
+	vy := c.Input(key("v", 1))
+	wxy := c.Input(key("w", 0, 1))
+	prod := c.Mul(ux, vy)
+	sum := c.Add(prod, wxy)
+	c.SetOutput(sum)
+
+	a := Analyze(c)
+	if got := len(a.Variables()); got != 3 {
+		t.Fatalf("expected 3 variables, got %d", got)
+	}
+	if got := a.DependencyCount(prod); got != 2 {
+		t.Errorf("product should depend on 2 inputs, got %d", got)
+	}
+	if got := a.DependencyCount(sum); got != 3 {
+		t.Errorf("sum should depend on 3 inputs, got %d", got)
+	}
+	if !a.DependsOn(sum, key("w", 0, 1)) {
+		t.Errorf("sum should depend on w(0,1)")
+	}
+	if a.DependsOn(prod, key("w", 0, 1)) {
+		t.Errorf("product should not depend on w(0,1)")
+	}
+	vars := a.VariablesOf(prod)
+	if len(vars) != 2 {
+		t.Errorf("VariablesOf(product) = %v", vars)
+	}
+}
+
+func TestCheckDecomposableHandBuilt(t *testing.T) {
+	// u(0)·v(1) is decomposable; u(0)·u(0) is not.
+	good := circuit.NewBuilder()
+	g := good.Mul(good.Input(key("u", 0)), good.Input(key("v", 1)))
+	good.SetOutput(g)
+	if v := Analyze(good).CheckDecomposable(); len(v) != 0 {
+		t.Errorf("decomposable circuit flagged: %v", v)
+	}
+
+	bad := circuit.NewBuilder()
+	in := bad.Input(key("u", 0))
+	b := bad.Mul(in, in)
+	bad.SetOutput(b)
+	violations := Analyze(bad).CheckDecomposable()
+	if len(violations) == 0 {
+		t.Fatalf("u(0)·u(0) should violate decomposability")
+	}
+	if violations[0].Property != "decomposable" || !strings.Contains(violations[0].String(), "gate") {
+		t.Errorf("unexpected violation rendering: %v", violations[0])
+	}
+
+	// A permanent whose two columns share an input is not decomposable.
+	sharedPerm := circuit.NewBuilder()
+	shared := sharedPerm.Input(key("u", 0))
+	other := sharedPerm.Input(key("v", 1))
+	p := sharedPerm.Perm(2, 2, []circuit.PermEntry{
+		{Row: 0, Col: 0, Gate: shared},
+		{Row: 1, Col: 0, Gate: other},
+		{Row: 0, Col: 1, Gate: shared},
+		{Row: 1, Col: 1, Gate: other},
+	})
+	sharedPerm.SetOutput(p)
+	if v := Analyze(sharedPerm).CheckDecomposable(); len(v) == 0 {
+		t.Errorf("permanent with shared columns should violate decomposability")
+	}
+
+	// A permanent whose columns use distinct inputs is decomposable.
+	okPerm := circuit.NewBuilder()
+	p2 := okPerm.Perm(2, 2, []circuit.PermEntry{
+		{Row: 0, Col: 0, Gate: okPerm.Input(key("u", 0))},
+		{Row: 1, Col: 0, Gate: okPerm.Input(key("v", 0))},
+		{Row: 0, Col: 1, Gate: okPerm.Input(key("u", 1))},
+		{Row: 1, Col: 1, Gate: okPerm.Input(key("v", 1))},
+	})
+	okPerm.SetOutput(p2)
+	if v := Analyze(okPerm).CheckDecomposable(); len(v) != 0 {
+		t.Errorf("column-disjoint permanent flagged: %v", v)
+	}
+}
+
+func TestCompiledCircuitsAreDecomposable(t *testing.T) {
+	a, _ := smallGraph(30, 80, 5)
+	queries := []expr.Expr{
+		edgePairQuery(),
+		expr.Agg([]string{"x", "y", "z"}, expr.Times(
+			expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.R("E", "z", "x"))),
+			expr.W("w", "x", "y"), expr.W("w", "y", "z"), expr.W("w", "z", "x"),
+		)),
+		expr.Agg([]string{"x", "y"}, expr.Times(
+			expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.Neg(logic.R("R", "y")))),
+			expr.W("u", "x"), expr.W("v", "y"),
+		)),
+	}
+	for i, q := range queries {
+		res, err := compile.Compile(a, q, compile.Options{})
+		if err != nil {
+			t.Fatalf("query %d: compile: %v", i, err)
+		}
+		an := Analyze(res.Circuit)
+		if v := an.CheckDecomposable(); len(v) != 0 {
+			t.Errorf("query %d: compiled circuit violates decomposability: %v", i, v[0])
+		}
+	}
+}
+
+func TestCheckDeterministic(t *testing.T) {
+	a, _ := smallGraph(25, 60, 9)
+
+	// Each edge contributes the distinct monomial u(x)·v(y): deterministic.
+	res, err := compile.Compile(a, edgePairQuery(), compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Analyze(res.Circuit).CheckDeterministic(); len(v) != 0 {
+		t.Errorf("edge-pair circuit should be deterministic, got %v", v[0])
+	}
+
+	// Pure counting (no weight factors) adds the empty monomial once per
+	// marked vertex, so the top addition gate is not deterministic — which is
+	// exactly why the enumeration construction of Theorem 24 multiplies in
+	// answer generators.
+	counting := expr.Agg([]string{"x"}, expr.Guard(logic.R("R", "x")))
+	resCount, err := compile.Compile(a, counting, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := int64(len(a.Tuples("R")))
+	if marked < 2 {
+		t.Fatalf("test structure should have at least 2 marked vertices")
+	}
+	if v := Analyze(resCount.Circuit).CheckDeterministic(); len(v) == 0 {
+		t.Errorf("pure counting circuit should not be deterministic")
+	}
+}
+
+func TestModelCountMatchesNaive(t *testing.T) {
+	a, _ := smallGraph(25, 70, 13)
+	res, err := compile.Compile(a, edgePairQuery(), compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := big.NewInt(int64(len(a.Tuples("E"))))
+	if got := ModelCount(res.Circuit); got.Cmp(want) != 0 {
+		t.Errorf("ModelCount = %s, want %s (one monomial per edge)", got, want)
+	}
+	if got := SupportSize(res.Circuit); int64(got) != want.Int64() {
+		t.Errorf("SupportSize = %d, want %s", got, want)
+	}
+}
+
+func TestFactorizationReport(t *testing.T) {
+	a, _ := smallGraph(40, 120, 17)
+	res, err := compile.Compile(a, edgePairQuery(), compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Factorization(res.Circuit, 2)
+	if rep.Answers.Int64() != int64(len(a.Tuples("E"))) {
+		t.Errorf("Answers = %s, want %d", rep.Answers, len(a.Tuples("E")))
+	}
+	wantFlat := new(big.Int).Mul(rep.Answers, big.NewInt(2))
+	if rep.FlatCells.Cmp(wantFlat) != 0 {
+		t.Errorf("FlatCells = %s, want %s", rep.FlatCells, wantFlat)
+	}
+	if rep.CircuitSize <= 0 {
+		t.Errorf("CircuitSize should be positive")
+	}
+	if rep.CompressionRatio <= 0 {
+		t.Errorf("CompressionRatio should be positive, got %g", rep.CompressionRatio)
+	}
+}
+
+func TestModelCountAgreesWithNatEvaluation(t *testing.T) {
+	// With all weights set to 1 the circuit value in ℕ equals the monomial
+	// count, for any compiled query.
+	a, _ := smallGraph(20, 50, 21)
+	q := expr.Agg([]string{"x", "y"}, expr.Times(
+		expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("R", "x"))),
+		expr.W("u", "x"), expr.W("w", "x", "y"),
+	))
+	res, err := compile.Compile(a, q, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := structure.NewWeights[int64]()
+	for _, tup := range a.Tuples("E") {
+		ones.Set("w", tup, 1)
+	}
+	for x := 0; x < a.N; x++ {
+		ones.Set("u", structure.Tuple{x}, 1)
+		ones.Set("v", structure.Tuple{x}, 1)
+	}
+	nat := compile.Evaluate[int64](res, semiring.Nat, ones)
+	if got := ModelCount(res.Circuit).Int64(); got != nat {
+		t.Errorf("ModelCount = %d, ℕ evaluation with unit weights = %d", got, nat)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	c := circuit.NewBuilder()
+	p := c.Perm(2, 2, []circuit.PermEntry{
+		{Row: 0, Col: 0, Gate: c.Input(key("u", 0))},
+		{Row: 1, Col: 0, Gate: c.Input(key("v", 0))},
+		{Row: 0, Col: 1, Gate: c.Input(key("u", 1))},
+		{Row: 1, Col: 1, Gate: c.Input(key("v", 1))},
+	})
+	out := c.Add(p, c.ConstInt(3))
+	c.SetOutput(out)
+
+	dot := DOT(c)
+	for _, want := range []string{"digraph circuit", "perm 2×2", "shape=diamond", "->", "penwidth=2", "label=\"r1c1\""} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// One node line per gate.
+	if got := strings.Count(dot, "\n  g"); got < c.NumGates() {
+		t.Errorf("DOT output has %d gate/edge lines, expected at least %d node lines", got, c.NumGates())
+	}
+}

@@ -1,0 +1,326 @@
+// Package localsearch implements the local-search applications of dynamic
+// query enumeration described in Example 25 of the paper.
+//
+// The current solution of an optimisation problem (an independent set, a
+// dominating set, ...) is represented by dynamic unary predicates on the
+// database.  A fixed first-order formula describes a possible local
+// improvement; the dynamic constant-delay enumerator of Theorem 24 finds an
+// improvement in constant time, and applying it costs a constant number of
+// Gaifman-preserving updates.  Each round of local search therefore takes
+// constant time, and a locally optimal solution is reached in linear total
+// time.
+//
+// The package provides a generic Searcher driver plus ready-made maximal
+// independent set and minimal dominating set constructions on undirected
+// graphs.
+package localsearch
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/enumerate"
+	"repro/internal/graph"
+	"repro/internal/logic"
+	"repro/internal/structure"
+)
+
+// Searcher drives a local search whose improvement step is described by a
+// first-order formula over a structure with dynamic unary predicates.
+type Searcher struct {
+	ans    *enumerate.Answers
+	rounds int
+}
+
+// New preprocesses the improvement query phi (with answer variables vars)
+// over the structure a.  Relations listed in dynamic may be modified during
+// the search through Apply; updates must preserve the Gaifman graph, which
+// is always the case for unary predicates.
+func New(a *structure.Structure, phi logic.Formula, vars []string, dynamic []string) (*Searcher, error) {
+	ans, err := enumerate.EnumerateAnswers(a, phi, vars, compile.Options{DynamicRelations: dynamic})
+	if err != nil {
+		return nil, fmt.Errorf("localsearch: %w", err)
+	}
+	return &Searcher{ans: ans}, nil
+}
+
+// FindImprovement returns an answer of the improvement query for the current
+// solution, or ok=false if the solution is locally optimal.
+func (s *Searcher) FindImprovement() (structure.Tuple, bool) {
+	cur := s.ans.Cursor()
+	t, ok := cur.Next()
+	if ok {
+		s.rounds++
+	}
+	return t, ok
+}
+
+// Apply records a change to a dynamic relation (inserting the tuple when
+// present is true, removing it otherwise).
+func (s *Searcher) Apply(rel string, tuple structure.Tuple, present bool) error {
+	return s.ans.SetTuple(rel, tuple, present)
+}
+
+// Rounds reports how many improvements have been found so far.
+func (s *Searcher) Rounds() int { return s.rounds }
+
+// Answers exposes the underlying dynamic enumerator, e.g. to count the
+// remaining improvements.
+func (s *Searcher) Answers() *enumerate.Answers { return s.ans }
+
+// Stats records the cost of a completed local search.
+type Stats struct {
+	// Rounds is the number of improvement steps performed.
+	Rounds int
+	// Preprocess is the time spent building the enumeration data structure.
+	Preprocess time.Duration
+	// Search is the total time of the improvement loop.
+	Search time.Duration
+}
+
+// Result is a vertex-subset solution together with search statistics.
+type Result struct {
+	// Solution lists the selected vertices in the order they were added.
+	Solution []int
+	// Stats records preprocessing and search cost.
+	Stats Stats
+}
+
+// Contains reports whether vertex v belongs to the solution.
+func (r *Result) Contains(v int) bool {
+	for _, u := range r.Solution {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// graphStructure encodes an undirected graph as a structure with the binary
+// relation E (one tuple per direction) and the given dynamic unary
+// predicates, initially empty.
+func graphStructure(g *graph.Graph, unary ...string) *structure.Structure {
+	rels := []structure.RelSymbol{{Name: "E", Arity: 2}}
+	for _, u := range unary {
+		rels = append(rels, structure.RelSymbol{Name: u, Arity: 1})
+	}
+	a := structure.NewStructure(structure.MustSignature(rels, nil), g.N())
+	for _, e := range g.Edges() {
+		a.MustAddTuple("E", e[0], e[1])
+		a.MustAddTuple("E", e[1], e[0])
+	}
+	return a
+}
+
+// MaximalIndependentSet computes an inclusion-maximal independent set of g
+// using the dynamic enumerator: the improvement query asks for a vertex that
+// is neither selected nor adjacent to a selected vertex.
+func MaximalIndependentSet(g *graph.Graph) (*Result, error) {
+	a := graphStructure(g, "S", "Blocked")
+	phi := logic.Conj(logic.Neg(logic.R("S", "x")), logic.Neg(logic.R("Blocked", "x")))
+
+	start := time.Now()
+	s, err := New(a, phi, []string{"x"}, []string{"S", "Blocked"})
+	if err != nil {
+		return nil, err
+	}
+	preprocess := time.Since(start)
+
+	start = time.Now()
+	var solution []int
+	for {
+		t, ok := s.FindImprovement()
+		if !ok {
+			break
+		}
+		v := t[0]
+		solution = append(solution, v)
+		if err := s.Apply("S", structure.Tuple{v}, true); err != nil {
+			return nil, err
+		}
+		if err := s.Apply("Blocked", structure.Tuple{v}, true); err != nil {
+			return nil, err
+		}
+		for _, u := range g.Neighbors(v) {
+			if err := s.Apply("Blocked", structure.Tuple{u}, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{
+		Solution: solution,
+		Stats:    Stats{Rounds: s.Rounds(), Preprocess: preprocess, Search: time.Since(start)},
+	}, nil
+}
+
+// MinimalDominatingSet computes an inclusion-minimal dominating set of g.
+// The growing phase uses the dynamic enumerator (the improvement query asks
+// for a vertex that is not yet dominated); a pruning phase then removes
+// redundant vertices while keeping every vertex dominated.
+func MinimalDominatingSet(g *graph.Graph) (*Result, error) {
+	a := graphStructure(g, "S", "Dom")
+	phi := logic.Neg(logic.R("Dom", "x"))
+
+	start := time.Now()
+	s, err := New(a, phi, []string{"x"}, []string{"S", "Dom"})
+	if err != nil {
+		return nil, err
+	}
+	preprocess := time.Since(start)
+
+	start = time.Now()
+	var solution []int
+	inSolution := make([]bool, g.N())
+	for {
+		t, ok := s.FindImprovement()
+		if !ok {
+			break
+		}
+		v := t[0]
+		solution = append(solution, v)
+		inSolution[v] = true
+		if err := s.Apply("S", structure.Tuple{v}, true); err != nil {
+			return nil, err
+		}
+		if err := s.Apply("Dom", structure.Tuple{v}, true); err != nil {
+			return nil, err
+		}
+		for _, u := range g.Neighbors(v) {
+			if err := s.Apply("Dom", structure.Tuple{u}, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	solution = pruneDominatingSet(g, solution, inSolution)
+	return &Result{
+		Solution: solution,
+		Stats:    Stats{Rounds: s.Rounds(), Preprocess: preprocess, Search: time.Since(start)},
+	}, nil
+}
+
+// pruneDominatingSet removes vertices from the solution as long as every
+// vertex of the graph stays dominated, yielding an inclusion-minimal
+// dominating set.
+func pruneDominatingSet(g *graph.Graph, solution []int, inSolution []bool) []int {
+	// cover[u] counts the solution vertices in the closed neighbourhood of u.
+	cover := make([]int, g.N())
+	for _, v := range solution {
+		cover[v]++
+		for _, u := range g.Neighbors(v) {
+			cover[u]++
+		}
+	}
+	kept := solution[:0]
+	for i := len(solution) - 1; i >= 0; i-- {
+		v := solution[i]
+		redundant := cover[v] >= 2
+		if redundant {
+			for _, u := range g.Neighbors(v) {
+				if cover[u] < 2 {
+					redundant = false
+					break
+				}
+			}
+		}
+		if !redundant {
+			continue
+		}
+		inSolution[v] = false
+		cover[v]--
+		for _, u := range g.Neighbors(v) {
+			cover[u]--
+		}
+	}
+	for _, v := range solution {
+		if inSolution[v] {
+			kept = append(kept, v)
+		}
+	}
+	return kept
+}
+
+// IsIndependentSet reports whether the given vertex set is independent in g.
+func IsIndependentSet(g *graph.Graph, set []int) bool {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, e := range g.Edges() {
+		if in[e[0]] && in[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependentSet reports whether the set is independent and no
+// vertex can be added without breaking independence.
+func IsMaximalIndependentSet(g *graph.Graph, set []int) bool {
+	if !IsIndependentSet(g, set) {
+		return false
+	}
+	in := make([]bool, g.N())
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		blocked := false
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDominatingSet reports whether every vertex of g is in the set or has a
+// neighbour in the set.
+func IsDominatingSet(g *graph.Graph, set []int) bool {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMinimalDominatingSet reports whether the set dominates g and no proper
+// subset obtained by removing a single vertex still does.
+func IsMinimalDominatingSet(g *graph.Graph, set []int) bool {
+	if !IsDominatingSet(g, set) {
+		return false
+	}
+	for i := range set {
+		reduced := make([]int, 0, len(set)-1)
+		reduced = append(reduced, set[:i]...)
+		reduced = append(reduced, set[i+1:]...)
+		if IsDominatingSet(g, reduced) {
+			return false
+		}
+	}
+	return true
+}

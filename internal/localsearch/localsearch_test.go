@@ -1,0 +1,249 @@
+package localsearch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/logic"
+	"repro/internal/structure"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycleGraph(n int) *graph.Graph {
+	g := pathGraph(n)
+	if n > 2 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+func gridGraph(w, h int) *graph.Graph {
+	g := graph.New(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				g.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return g
+}
+
+func starGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+func randomSparse(n, m int, seed int64) *graph.Graph {
+	g := graph.New(n)
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < m; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path10":    pathGraph(10),
+		"cycle9":    cycleGraph(9),
+		"grid8x8":   gridGraph(8, 8),
+		"star20":    starGraph(20),
+		"sparse100": randomSparse(100, 150, 4),
+		"edgeless":  graph.New(7),
+		"single":    graph.New(1),
+	}
+}
+
+func TestMaximalIndependentSet(t *testing.T) {
+	for name, g := range testGraphs() {
+		res, err := MaximalIndependentSet(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !IsMaximalIndependentSet(g, res.Solution) {
+			t.Errorf("%s: solution of size %d is not a maximal independent set", name, len(res.Solution))
+		}
+		if res.Stats.Rounds != len(res.Solution) {
+			t.Errorf("%s: %d rounds but %d vertices selected", name, res.Stats.Rounds, len(res.Solution))
+		}
+	}
+}
+
+func TestMaximalIndependentSetKnownSizes(t *testing.T) {
+	// On an edgeless graph the whole vertex set is selected.
+	res, err := MaximalIndependentSet(graph.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solution) != 5 {
+		t.Errorf("edgeless graph: got %d vertices, want 5", len(res.Solution))
+	}
+	// On a star, either the centre alone or all leaves form the only maximal
+	// independent sets.
+	res, err = MaximalIndependentSet(starGraph(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Solution); got != 1 && got != 9 {
+		t.Errorf("star: maximal independent set size %d, want 1 or 9", got)
+	}
+	// A path with n vertices has maximal independent sets of size ≥ ⌈n/3⌉.
+	res, err = MaximalIndependentSet(pathGraph(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solution) < 4 {
+		t.Errorf("path12: maximal independent set size %d below the ⌈n/3⌉ bound", len(res.Solution))
+	}
+}
+
+func TestMinimalDominatingSet(t *testing.T) {
+	for name, g := range testGraphs() {
+		res, err := MinimalDominatingSet(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !IsDominatingSet(g, res.Solution) {
+			t.Errorf("%s: solution does not dominate the graph", name)
+		}
+		if !IsMinimalDominatingSet(g, res.Solution) {
+			t.Errorf("%s: solution of size %d is not inclusion-minimal", name, len(res.Solution))
+		}
+	}
+}
+
+func TestMinimalDominatingSetKnownSizes(t *testing.T) {
+	// A star has exactly two inclusion-minimal dominating sets: the centre
+	// alone, or all the leaves.
+	res, err := MinimalDominatingSet(starGraph(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Solution); got != 1 && got != 14 {
+		t.Errorf("star: dominating set size %d, want 1 or 14", got)
+	}
+	// An edgeless graph needs every vertex.
+	res, err = MinimalDominatingSet(graph.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solution) != 4 {
+		t.Errorf("edgeless: dominating set size %d, want 4", len(res.Solution))
+	}
+	// A path on 3k vertices has domination number k.
+	res, err = MinimalDominatingSet(pathGraph(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solution) < 3 || len(res.Solution) > 5 {
+		t.Errorf("path9: dominating set size %d outside [3,5]", len(res.Solution))
+	}
+}
+
+func TestSearcherCustomImprovement(t *testing.T) {
+	// A custom rule: repeatedly select an edge (x, y) with both endpoints
+	// unmatched and mark both endpoints, producing a maximal matching.
+	g := gridGraph(6, 6)
+	rels := []structure.RelSymbol{{Name: "E", Arity: 2}, {Name: "M", Arity: 1}}
+	a := structure.NewStructure(structure.MustSignature(rels, nil), g.N())
+	for _, e := range g.Edges() {
+		a.MustAddTuple("E", e[0], e[1])
+		a.MustAddTuple("E", e[1], e[0])
+	}
+	phi := logic.Conj(logic.R("E", "x", "y"), logic.Neg(logic.R("M", "x")), logic.Neg(logic.R("M", "y")))
+	s, err := New(a, phi, []string{"x", "y"}, []string{"M"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make([]bool, g.N())
+	edges := 0
+	for {
+		tup, ok := s.FindImprovement()
+		if !ok {
+			break
+		}
+		x, y := tup[0], tup[1]
+		if matched[x] || matched[y] || !g.HasEdge(x, y) {
+			t.Fatalf("improvement (%d,%d) violates the matching invariant", x, y)
+		}
+		matched[x], matched[y] = true, true
+		edges++
+		if err := s.Apply("M", structure.Tuple{x}, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Apply("M", structure.Tuple{y}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if edges == 0 {
+		t.Fatal("no matching edges found on a 6x6 grid")
+	}
+	// Maximality: every edge has a matched endpoint.
+	for _, e := range g.Edges() {
+		if !matched[e[0]] && !matched[e[1]] {
+			t.Fatalf("edge (%d,%d) could still be added to the matching", e[0], e[1])
+		}
+	}
+	if s.Rounds() != edges {
+		t.Errorf("rounds = %d, edges = %d", s.Rounds(), edges)
+	}
+}
+
+func TestSearcherRejectsUnknownDynamicRelation(t *testing.T) {
+	g := pathGraph(4)
+	a := graphStructure(g, "S")
+	s, err := New(a, logic.Neg(logic.R("S", "x")), []string{"x"}, []string{"S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply("T", structure.Tuple{0}, true); err == nil {
+		t.Errorf("applying an update to an undeclared relation should fail")
+	}
+}
+
+func TestVerifierHelpers(t *testing.T) {
+	g := pathGraph(5) // 0-1-2-3-4
+	if !IsIndependentSet(g, []int{0, 2, 4}) {
+		t.Errorf("{0,2,4} should be independent on a path")
+	}
+	if IsIndependentSet(g, []int{0, 1}) {
+		t.Errorf("{0,1} should not be independent")
+	}
+	if !IsMaximalIndependentSet(g, []int{0, 2, 4}) {
+		t.Errorf("{0,2,4} should be maximal")
+	}
+	if IsMaximalIndependentSet(g, []int{0, 4}) {
+		t.Errorf("{0,4} is not maximal (vertex 2 can be added)")
+	}
+	if !IsDominatingSet(g, []int{1, 3}) {
+		t.Errorf("{1,3} should dominate the path")
+	}
+	if IsDominatingSet(g, []int{0}) {
+		t.Errorf("{0} should not dominate the path")
+	}
+	if !IsMinimalDominatingSet(g, []int{1, 3}) {
+		t.Errorf("{1,3} should be a minimal dominating set")
+	}
+	if IsMinimalDominatingSet(g, []int{0, 1, 3}) {
+		t.Errorf("{0,1,3} is not minimal (0 is redundant)")
+	}
+}

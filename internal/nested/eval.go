@@ -1,0 +1,634 @@
+package nested
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compile"
+	"repro/internal/enumerate"
+	"repro/internal/expr"
+	"repro/internal/logic"
+	"repro/internal/qe"
+	"repro/internal/structure"
+)
+
+// Database is a structure over a multi-semiring signature: a relational
+// structure holding the boolean relations, plus semiring-valued relations
+// stored as dynamically typed weight tables.
+type Database struct {
+	// A holds the domain and the boolean relations.
+	A *structure.Structure
+	// srel maps an S-relation name to its declaration and values.
+	srel map[string]*sRelation
+}
+
+type sRelation struct {
+	name   string
+	arity  int
+	s      Semiring
+	values map[string]any
+	tuples []structure.Tuple
+}
+
+// NewDatabase wraps a relational structure as a nested-query database.
+func NewDatabase(a *structure.Structure) *Database {
+	return &Database{A: a, srel: map[string]*sRelation{}}
+}
+
+// DeclareSRelation declares a semiring-valued relation.
+func (db *Database) DeclareSRelation(name string, s Semiring, arity int) error {
+	if _, ok := db.A.Sig.Relation(name); ok {
+		return fmt.Errorf("nested: %q is already a boolean relation", name)
+	}
+	if _, ok := db.srel[name]; ok {
+		return fmt.Errorf("nested: S-relation %q already declared", name)
+	}
+	db.srel[name] = &sRelation{name: name, arity: arity, s: s, values: map[string]any{}}
+	return nil
+}
+
+// SetValue assigns a value to a tuple of an S-relation.  Values of arity ≥ 2
+// must be set only on tuples whose elements appear together in some boolean
+// relation (the Gaifman-graph discipline of the paper).
+func (db *Database) SetValue(name string, tuple structure.Tuple, v any) error {
+	rel, ok := db.srel[name]
+	if !ok {
+		return fmt.Errorf("nested: unknown S-relation %q", name)
+	}
+	if len(tuple) != rel.arity {
+		return fmt.Errorf("nested: S-relation %q has arity %d, got tuple of length %d", name, rel.arity, len(tuple))
+	}
+	if rel.arity >= 2 && !db.tupleInSomeRelation(tuple) {
+		return fmt.Errorf("nested: S-relation values of arity ≥ 2 may only be set on tuples of some boolean relation (Gaifman-graph discipline); %s%v is not such a tuple", name, tuple)
+	}
+	key := tuple.Key()
+	if _, seen := rel.values[key]; !seen {
+		rel.tuples = append(rel.tuples, tuple.Clone())
+	}
+	rel.values[key] = v
+	return nil
+}
+
+// tupleInSomeRelation reports whether the tuple occurs in some boolean
+// relation of matching arity.
+func (db *Database) tupleInSomeRelation(tuple structure.Tuple) bool {
+	for _, r := range db.A.Sig.Relations {
+		if r.Arity == len(tuple) && db.A.HasTuple(r.Name, tuple...) {
+			return true
+		}
+	}
+	return false
+}
+
+// Value returns the value of an S-relation at a tuple (zero when unset).
+func (db *Database) Value(name string, tuple structure.Tuple) any {
+	rel, ok := db.srel[name]
+	if !ok {
+		return nil
+	}
+	if v, ok := rel.values[tuple.Key()]; ok {
+		return v
+	}
+	return rel.s.Zero()
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+// check validates semiring consistency and symbol usage of a formula.
+func (db *Database) check(f Formula) error {
+	switch g := f.(type) {
+	case BRel:
+		decl, ok := db.A.Sig.Relation(g.Rel)
+		if !ok {
+			return fmt.Errorf("nested: unknown boolean relation %q", g.Rel)
+		}
+		if decl.Arity != len(g.Args) {
+			return fmt.Errorf("nested: relation %q has arity %d, applied to %d arguments", g.Rel, decl.Arity, len(g.Args))
+		}
+		return nil
+	case SRel:
+		rel, ok := db.srel[g.Rel]
+		if !ok {
+			return fmt.Errorf("nested: unknown S-relation %q", g.Rel)
+		}
+		if rel.arity != len(g.Args) {
+			return fmt.Errorf("nested: S-relation %q has arity %d, applied to %d arguments", g.Rel, rel.arity, len(g.Args))
+		}
+		if rel.s.Name() != g.S.Name() {
+			return fmt.Errorf("nested: S-relation %q is %s-valued, used as %s-valued", g.Rel, rel.s.Name(), g.S.Name())
+		}
+		return nil
+	case ConstF:
+		return nil
+	case Not:
+		if g.Arg.Out().Name() != BoolSemiring.Name() {
+			return fmt.Errorf("nested: negation of a non-boolean formula %s", g.Arg)
+		}
+		return db.check(g.Arg)
+	case BinOp:
+		if g.L.Out().Name() != g.R.Out().Name() {
+			return fmt.Errorf("nested: mixing semirings %s and %s without a connective", g.L.Out().Name(), g.R.Out().Name())
+		}
+		if err := db.check(g.L); err != nil {
+			return err
+		}
+		return db.check(g.R)
+	case SumAgg:
+		return db.check(g.Arg)
+	case Iverson:
+		if g.Arg.Out().Name() != BoolSemiring.Name() {
+			return fmt.Errorf("nested: Iverson bracket over a non-boolean formula")
+		}
+		return db.check(g.Arg)
+	case Guarded:
+		decl, ok := db.A.Sig.Relation(g.GuardRel)
+		if !ok {
+			return fmt.Errorf("nested: guard relation %q is not a boolean relation of the database", g.GuardRel)
+		}
+		if decl.Arity != len(g.GuardArgs) {
+			return fmt.Errorf("nested: guard %q has arity %d, got %d arguments", g.GuardRel, decl.Arity, len(g.GuardArgs))
+		}
+		if len(g.Args) == 0 {
+			return fmt.Errorf("nested: connective %q applied to no arguments", g.Conn.Name)
+		}
+		guardVars := map[string]bool{}
+		for _, v := range g.GuardArgs {
+			guardVars[v] = true
+		}
+		for _, arg := range g.Args {
+			for _, v := range freeVars(arg) {
+				if !guardVars[v] {
+					return fmt.Errorf("nested: free variable %q of a connective argument is not covered by the guard %s(%v) (FOG[C] restriction)", v, g.GuardRel, g.GuardArgs)
+				}
+			}
+			if err := db.check(arg); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("nested: unknown formula type %T", f)
+	}
+}
+
+// freeVars computes the free variables of a nested formula.
+func freeVars(f Formula) []string {
+	set := map[string]bool{}
+	var rec func(g Formula, bound map[string]bool)
+	rec = func(g Formula, bound map[string]bool) {
+		switch h := g.(type) {
+		case BRel:
+			for _, v := range h.Args {
+				if !bound[v] {
+					set[v] = true
+				}
+			}
+		case SRel:
+			for _, v := range h.Args {
+				if !bound[v] {
+					set[v] = true
+				}
+			}
+		case ConstF:
+		case Not:
+			rec(h.Arg, bound)
+		case BinOp:
+			rec(h.L, bound)
+			rec(h.R, bound)
+		case SumAgg:
+			inner := map[string]bool{}
+			for k := range bound {
+				inner[k] = true
+			}
+			for _, v := range h.Vars {
+				inner[v] = true
+			}
+			rec(h.Arg, inner)
+		case Iverson:
+			rec(h.Arg, bound)
+		case Guarded:
+			for _, v := range h.GuardArgs {
+				if !bound[v] {
+					set[v] = true
+				}
+			}
+			for _, arg := range h.Args {
+				rec(arg, bound)
+			}
+		}
+	}
+	rec(f, map[string]bool{})
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation (Theorem 26)
+// ---------------------------------------------------------------------------
+
+// Evaluator carries the state of one evaluation run: the progressively
+// extended structure (derived boolean relations) and S-relation store
+// (derived weights).
+type Evaluator struct {
+	db      *Database
+	work    *structure.Structure
+	derived map[string]*sRelation
+	counter int
+	opts    compile.Options
+}
+
+// NewEvaluator prepares an evaluation run over the database.
+func NewEvaluator(db *Database, opts compile.Options) *Evaluator {
+	return &Evaluator{db: db, work: db.A, derived: map[string]*sRelation{}, opts: opts}
+}
+
+// EvalClosed evaluates a closed (sentence-like) formula and returns its
+// value in the formula's output semiring.
+func (ev *Evaluator) EvalClosed(f Formula) (any, error) {
+	if err := ev.db.check(f); err != nil {
+		return nil, err
+	}
+	if vars := freeVars(f); len(vars) != 0 {
+		return nil, fmt.Errorf("nested: formula has free variables %v; use EvalAt", vars)
+	}
+	flat, err := ev.materialize(f)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := ev.evalResidueAt(flat, nil, []structure.Tuple{{}})
+	if err != nil {
+		return nil, err
+	}
+	return vals[0], nil
+}
+
+// EvalAt evaluates a formula with free variables at every given assignment
+// tuple (elements listed in the order of vars) and returns the values.
+func (ev *Evaluator) EvalAt(f Formula, vars []string, tuples []structure.Tuple) ([]any, error) {
+	if err := ev.db.check(f); err != nil {
+		return nil, err
+	}
+	for _, v := range freeVars(f) {
+		found := false
+		for _, u := range vars {
+			if u == v {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("nested: free variable %q is not among %v", v, vars)
+		}
+	}
+	flat, err := ev.materialize(f)
+	if err != nil {
+		return nil, err
+	}
+	return ev.evalResidueAt(flat, vars, tuples)
+}
+
+// EnumerateBool preprocesses a boolean-valued formula for constant-delay
+// enumeration of its answers over the given variables (result (E) of the
+// paper).
+func (ev *Evaluator) EnumerateBool(f Formula, vars []string) (*enumerate.Answers, error) {
+	if err := ev.db.check(f); err != nil {
+		return nil, err
+	}
+	if f.Out().Name() != BoolSemiring.Name() {
+		return nil, fmt.Errorf("nested: EnumerateBool requires a boolean-valued formula, got %s-valued", f.Out().Name())
+	}
+	flat, err := ev.materialize(f)
+	if err != nil {
+		return nil, err
+	}
+	phi, err := ev.toLogic(flat)
+	if err != nil {
+		return nil, err
+	}
+	return enumerate.EnumerateAnswers(ev.work, phi, vars, ev.opts)
+}
+
+// materialize eliminates guarded connectives bottom-up, extending the
+// working database with derived relations/weights.
+func (ev *Evaluator) materialize(f Formula) (Formula, error) {
+	switch g := f.(type) {
+	case BRel, SRel, ConstF:
+		return f, nil
+	case Not:
+		arg, err := ev.materialize(g.Arg)
+		if err != nil {
+			return nil, err
+		}
+		return Not{Arg: arg}, nil
+	case BinOp:
+		l, err := ev.materialize(g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.materialize(g.R)
+		if err != nil {
+			return nil, err
+		}
+		return BinOp{Mul: g.Mul, L: l, R: r}, nil
+	case SumAgg:
+		arg, err := ev.materialize(g.Arg)
+		if err != nil {
+			return nil, err
+		}
+		return SumAgg{Vars: g.Vars, Arg: arg}, nil
+	case Iverson:
+		arg, err := ev.materialize(g.Arg)
+		if err != nil {
+			return nil, err
+		}
+		return Iverson{S: g.S, Arg: arg}, nil
+	case Guarded:
+		return ev.materializeGuarded(g)
+	default:
+		return nil, fmt.Errorf("nested: unknown formula type %T", f)
+	}
+}
+
+// materializeGuarded evaluates the arguments of a guarded connective at all
+// guard tuples and replaces the connective by a derived atom.
+func (ev *Evaluator) materializeGuarded(g Guarded) (Formula, error) {
+	tuples := ev.work.Tuples(g.GuardRel)
+	// Argument tuples are the guard tuples projected onto the guard
+	// variables (repeated variables must agree, which they do trivially
+	// because the projection uses positions).
+	values := make([][]any, len(g.Args))
+	for i, arg := range g.Args {
+		flat, err := ev.materialize(arg)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := ev.evalResidueAt(flat, g.GuardArgs, tuples)
+		if err != nil {
+			return nil, err
+		}
+		values[i] = vals
+	}
+	ev.counter++
+	name := fmt.Sprintf(".conn%d", ev.counter)
+	out := g.Conn.Out
+	if out.Name() == BoolSemiring.Name() {
+		// Derived boolean relation on an extended structure.
+		members := make([]structure.Tuple, 0, len(tuples))
+		for ti, t := range tuples {
+			args := make([]any, len(g.Args))
+			for i := range g.Args {
+				args[i] = values[i][ti]
+			}
+			if g.Conn.Apply(args).(bool) {
+				members = append(members, t)
+			}
+		}
+		ext, err := extendStructure(ev.work, name, len(g.GuardArgs), members)
+		if err != nil {
+			return nil, err
+		}
+		ev.work = ext
+		return BRel{Rel: name, Args: g.GuardArgs}, nil
+	}
+	// Derived S-relation stored as weights.
+	rel := &sRelation{name: name, arity: len(g.GuardArgs), s: out, values: map[string]any{}}
+	for ti, t := range tuples {
+		args := make([]any, len(g.Args))
+		for i := range g.Args {
+			args[i] = values[i][ti]
+		}
+		v := g.Conn.Apply(args)
+		if !out.Equal(v, out.Zero()) {
+			rel.values[t.Key()] = v
+			rel.tuples = append(rel.tuples, t)
+		}
+	}
+	ev.derived[name] = rel
+	return SRel{Rel: name, Args: g.GuardArgs, S: out}, nil
+}
+
+// extendStructure returns a copy of a with an additional relation holding
+// the given tuples.
+func extendStructure(a *structure.Structure, rel string, arity int, tuples []structure.Tuple) (*structure.Structure, error) {
+	rels := append(append([]structure.RelSymbol(nil), a.Sig.Relations...), structure.RelSymbol{Name: rel, Arity: arity})
+	sig, err := structure.NewSignature(rels, a.Sig.Weights)
+	if err != nil {
+		return nil, err
+	}
+	ext := structure.NewStructure(sig, a.N)
+	for _, r := range a.Sig.Relations {
+		for _, t := range a.Tuples(r.Name) {
+			ext.MustAddTuple(r.Name, t...)
+		}
+	}
+	for _, t := range tuples {
+		ext.MustAddTuple(rel, t...)
+	}
+	return ext, nil
+}
+
+// lookupSRelation finds a (base or derived) S-relation.
+func (ev *Evaluator) lookupSRelation(name string) (*sRelation, bool) {
+	if r, ok := ev.derived[name]; ok {
+		return r, true
+	}
+	r, ok := ev.db.srel[name]
+	return r, ok
+}
+
+// evalResidueAt evaluates a connective-free formula at the given assignment
+// tuples of vars.
+func (ev *Evaluator) evalResidueAt(f Formula, vars []string, tuples []structure.Tuple) ([]any, error) {
+	if f.Out().Name() == BoolSemiring.Name() {
+		phi, err := ev.toLogic(f)
+		if err != nil {
+			return nil, err
+		}
+		return ev.evalBooleanAt(phi, vars, tuples)
+	}
+	e, weights, sig, err := ev.toExpr(f)
+	if err != nil {
+		return nil, err
+	}
+	// Evaluate over a structure re-homed onto the signature extended with
+	// the weight symbols used by the expression.
+	base, err := rehome(ev.work, sig)
+	if err != nil {
+		return nil, err
+	}
+	return f.Out().evalAtTuples(base, weights, e, vars, tuples, ev.opts)
+}
+
+// evalBooleanAt evaluates a quantified boolean formula at assignment tuples,
+// applying quantifier elimination once so that per-tuple evaluation is
+// quantifier free.
+func (ev *Evaluator) evalBooleanAt(phi logic.Formula, vars []string, tuples []structure.Tuple) ([]any, error) {
+	work := ev.work
+	f := phi
+	if !logic.IsQuantifierFree(phi) {
+		res, err := qe.Eliminate(work, phi, ev.opts.DynamicRelations)
+		if err != nil {
+			return nil, err
+		}
+		work, f = res.Structure, res.Formula
+	}
+	out := make([]any, len(tuples))
+	env := map[string]structure.Element{}
+	for i, t := range tuples {
+		for j, v := range vars {
+			env[v] = t[j]
+		}
+		out[i] = logic.Eval(f, work, env)
+	}
+	return out, nil
+}
+
+// toLogic converts a connective-free boolean formula to first-order logic
+// over the working structure.
+func (ev *Evaluator) toLogic(f Formula) (logic.Formula, error) {
+	switch g := f.(type) {
+	case BRel:
+		return logic.R(g.Rel, g.Args...), nil
+	case SRel:
+		return nil, fmt.Errorf("nested: %s-valued relation %q used in a boolean position", g.S.Name(), g.Rel)
+	case ConstF:
+		b, ok := g.Value.(bool)
+		if !ok {
+			return nil, fmt.Errorf("nested: non-boolean constant in a boolean position")
+		}
+		if b {
+			return logic.True(), nil
+		}
+		return logic.False(), nil
+	case Not:
+		arg, err := ev.toLogic(g.Arg)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Neg(arg), nil
+	case BinOp:
+		l, err := ev.toLogic(g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.toLogic(g.R)
+		if err != nil {
+			return nil, err
+		}
+		if g.Mul {
+			return logic.Conj(l, r), nil
+		}
+		return logic.Disj(l, r), nil
+	case SumAgg:
+		arg, err := ev.toLogic(g.Arg)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Ex(g.Vars, arg), nil
+	default:
+		return nil, fmt.Errorf("nested: formula %s cannot appear in a boolean position", f)
+	}
+}
+
+// toExpr converts a connective-free S-valued formula into a weighted
+// expression over the working structure, collecting the weight values it
+// references and the weight symbols needed in the signature.
+func (ev *Evaluator) toExpr(f Formula) (expr.Expr, []WeightValue, []structure.WeightSymbol, error) {
+	var weights []WeightValue
+	var symbols []structure.WeightSymbol
+	declared := map[string]bool{}
+	constCounter := 0
+
+	declare := func(name string, arity int) {
+		if !declared[name] {
+			declared[name] = true
+			symbols = append(symbols, structure.WeightSymbol{Name: name, Arity: arity})
+		}
+	}
+
+	var rec func(g Formula) (expr.Expr, error)
+	rec = func(g Formula) (expr.Expr, error) {
+		switch h := g.(type) {
+		case SRel:
+			rel, ok := ev.lookupSRelation(h.Rel)
+			if !ok {
+				return nil, fmt.Errorf("nested: unknown S-relation %q", h.Rel)
+			}
+			declare(h.Rel, rel.arity)
+			// Register the relation's values once.
+			for _, t := range rel.tuples {
+				weights = append(weights, WeightValue{Weight: h.Rel, Tuple: t, Value: rel.values[t.Key()]})
+			}
+			return expr.W(h.Rel, h.Args...), nil
+		case ConstF:
+			constCounter++
+			name := fmt.Sprintf(".const%d", constCounter)
+			declare(name, 0)
+			weights = append(weights, WeightValue{Weight: name, Tuple: structure.Tuple{}, Value: h.Value})
+			return expr.W(name), nil
+		case BinOp:
+			l, err := rec(h.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rec(h.R)
+			if err != nil {
+				return nil, err
+			}
+			if h.Mul {
+				return expr.Times(l, r), nil
+			}
+			return expr.Plus(l, r), nil
+		case SumAgg:
+			arg, err := rec(h.Arg)
+			if err != nil {
+				return nil, err
+			}
+			return expr.Agg(h.Vars, arg), nil
+		case Iverson:
+			phi, err := ev.toLogic(h.Arg)
+			if err != nil {
+				return nil, err
+			}
+			return expr.Guard(phi), nil
+		default:
+			return nil, fmt.Errorf("nested: formula %s cannot appear in an %s-valued position", g, f.Out().Name())
+		}
+	}
+	e, err := rec(f)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Deduplicate weight entries (the same S-relation may occur twice).
+	seen := map[string]bool{}
+	dedup := weights[:0]
+	for _, wv := range weights {
+		key := wv.Weight + "|" + wv.Tuple.Key()
+		if !seen[key] {
+			seen[key] = true
+			dedup = append(dedup, wv)
+		}
+	}
+	return e, dedup, symbols, nil
+}
+
+// rehome copies the structure onto a signature extended with the given
+// weight symbols.
+func rehome(a *structure.Structure, symbols []structure.WeightSymbol) (*structure.Structure, error) {
+	sig, err := structure.NewSignature(a.Sig.Relations, append(append([]structure.WeightSymbol(nil), a.Sig.Weights...), symbols...))
+	if err != nil {
+		return nil, err
+	}
+	out := structure.NewStructure(sig, a.N)
+	for _, r := range a.Sig.Relations {
+		for _, t := range a.Tuples(r.Name) {
+			out.MustAddTuple(r.Name, t...)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,399 @@
+package parser
+
+import (
+	"strconv"
+
+	"repro/internal/expr"
+	"repro/internal/logic"
+)
+
+// ParseExpr parses a weighted expression.
+//
+// Grammar (precedence from loosest to tightest):
+//
+//	expr    := term ('+' term)*
+//	term    := unary ('*' unary)*
+//	unary   := 'sum' binder expr            -- aggregation, extends maximally right
+//	         | primary
+//	primary := NUMBER
+//	         | '[' formula ']'              -- Iverson bracket
+//	         | IDENT '(' vars? ')'          -- weight symbol applied to variables
+//	         | IDENT                        -- 0-ary weight symbol
+//	         | '(' expr ')'
+//	binder  := ['_'] ['{'] var (',' var)* ['}'] ['.']
+//
+// Both '*' and '·' denote multiplication, and 'sum' may be written 'Σ'.
+func ParseExpr(input string) (expr.Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{input: input, toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustParseExpr is ParseExpr, panicking on error.  Intended for tests and
+// example programs with constant query strings.
+func MustParseExpr(input string) expr.Expr {
+	e, err := ParseExpr(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ParseFormula parses a first-order formula.
+//
+// Grammar (precedence from loosest to tightest):
+//
+//	formula := disj
+//	disj    := conj (('|' | 'or') conj)*
+//	conj    := unary (('&' | 'and') unary)*
+//	unary   := ('!' | 'not') unary
+//	         | ('exists' | 'forall') binder formula   -- extends maximally right
+//	         | atom
+//	atom    := 'true' | 'false'
+//	         | '(' formula ')'
+//	         | IDENT '(' vars? ')'                     -- relation atom
+//	         | var '=' var | var '!=' var
+//
+// The Unicode forms ∧, ∨, ¬, ≠, ∃ and ∀ are accepted as well.
+func ParseFormula(input string) (logic.Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{input: input, toks: toks}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustParseFormula is ParseFormula, panicking on error.
+func MustParseFormula(input string) logic.Formula {
+	f, err := ParseFormula(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// parser is a recursive-descent parser over a token slice.
+type parser struct {
+	input string
+	toks  []token
+	pos   int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokenKind) bool {
+	return p.toks[p.pos].kind == k
+}
+
+func (p *parser) accept(k tokenKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind) error {
+	if p.at(k) {
+		p.pos++
+		return nil
+	}
+	t := p.peek()
+	return errorAt(p.input, t.pos, "expected %s, found %s %q", k, t.kind, t.text)
+}
+
+// ---------------------------------------------------------------------------
+// Weighted expressions
+// ---------------------------------------------------------------------------
+
+func (p *parser) parseExpr() (expr.Expr, error) {
+	first, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	args := []expr.Expr{first}
+	for p.accept(tokPlus) {
+		next, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, next)
+	}
+	if len(args) == 1 {
+		return first, nil
+	}
+	return expr.Plus(args...), nil
+}
+
+func (p *parser) parseTerm() (expr.Expr, error) {
+	first, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	args := []expr.Expr{first}
+	for p.accept(tokStar) {
+		next, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, next)
+	}
+	if len(args) == 1 {
+		return first, nil
+	}
+	return expr.Times(args...), nil
+}
+
+func (p *parser) parseUnaryExpr() (expr.Expr, error) {
+	if p.accept(tokSum) {
+		vars, err := p.parseBinder()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Agg(vars, body), nil
+	}
+	return p.parsePrimaryExpr()
+}
+
+func (p *parser) parsePrimaryExpr() (expr.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errorAt(p.input, t.pos, "invalid integer constant %q", t.text)
+		}
+		return expr.N(n), nil
+	case tokLBracket:
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return expr.Guard(f), nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		p.next()
+		if p.accept(tokLParen) {
+			if p.accept(tokRParen) {
+				return expr.W(t.text), nil
+			}
+			vars, err := p.parseVarList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return expr.W(t.text, vars...), nil
+		}
+		return expr.W(t.text), nil
+	default:
+		return nil, errorAt(p.input, t.pos, "expected a weighted expression, found %s %q", t.kind, t.text)
+	}
+}
+
+// parseBinder parses the variable list after 'sum', 'exists' or 'forall',
+// accepting the forms "x, y .", "_{x,y}", "{x,y}" and "x, y".
+func (p *parser) parseBinder() ([]string, error) {
+	braced := false
+	if p.accept(tokUnderscore) {
+		if err := p.expect(tokLBrace); err != nil {
+			return nil, err
+		}
+		braced = true
+	} else if p.accept(tokLBrace) {
+		braced = true
+	}
+	vars, err := p.parseVarList()
+	if err != nil {
+		return nil, err
+	}
+	if braced {
+		if err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	p.accept(tokDot)
+	return vars, nil
+}
+
+func (p *parser) parseVarList() ([]string, error) {
+	var vars []string
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, errorAt(p.input, t.pos, "expected a variable name, found %s %q", t.kind, t.text)
+		}
+		p.next()
+		vars = append(vars, t.text)
+		if !p.accept(tokComma) {
+			return vars, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// First-order formulas
+// ---------------------------------------------------------------------------
+
+func (p *parser) parseFormula() (logic.Formula, error) {
+	return p.parseDisjunction()
+}
+
+func (p *parser) parseDisjunction() (logic.Formula, error) {
+	first, err := p.parseConjunction()
+	if err != nil {
+		return nil, err
+	}
+	args := []logic.Formula{first}
+	for p.accept(tokOr) {
+		next, err := p.parseConjunction()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, next)
+	}
+	if len(args) == 1 {
+		return first, nil
+	}
+	return logic.Disj(args...), nil
+}
+
+func (p *parser) parseConjunction() (logic.Formula, error) {
+	first, err := p.parseUnaryFormula()
+	if err != nil {
+		return nil, err
+	}
+	args := []logic.Formula{first}
+	for p.accept(tokAnd) {
+		next, err := p.parseUnaryFormula()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, next)
+	}
+	if len(args) == 1 {
+		return first, nil
+	}
+	return logic.Conj(args...), nil
+}
+
+func (p *parser) parseUnaryFormula() (logic.Formula, error) {
+	switch {
+	case p.accept(tokBang):
+		arg, err := p.parseUnaryFormula()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Neg(arg), nil
+	case p.at(tokExists) || p.at(tokForall):
+		kind := p.next().kind
+		vars, err := p.parseBinder()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if kind == tokExists {
+			return logic.Ex(vars, body), nil
+		}
+		return logic.All(vars, body), nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *parser) parseAtom() (logic.Formula, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokTrue:
+		p.next()
+		return logic.True(), nil
+	case tokFalse:
+		p.next()
+		return logic.False(), nil
+	case tokLParen:
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tokIdent:
+		p.next()
+		switch {
+		case p.accept(tokLParen):
+			if p.accept(tokRParen) {
+				return logic.R(t.text), nil
+			}
+			vars, err := p.parseVarList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return logic.R(t.text, vars...), nil
+		case p.accept(tokEquals):
+			rhs := p.peek()
+			if rhs.kind != tokIdent {
+				return nil, errorAt(p.input, rhs.pos, "expected a variable after '=', found %s %q", rhs.kind, rhs.text)
+			}
+			p.next()
+			return logic.Equal(t.text, rhs.text), nil
+		case p.accept(tokNotEquals):
+			rhs := p.peek()
+			if rhs.kind != tokIdent {
+				return nil, errorAt(p.input, rhs.pos, "expected a variable after '!=', found %s %q", rhs.kind, rhs.text)
+			}
+			p.next()
+			return logic.Neg(logic.Equal(t.text, rhs.text)), nil
+		default:
+			u := p.peek()
+			return nil, errorAt(p.input, u.pos, "expected '(', '=' or '!=' after identifier %q, found %s %q", t.text, u.kind, u.text)
+		}
+	default:
+		return nil, errorAt(p.input, t.pos, "expected a formula, found %s %q", t.kind, t.text)
+	}
+}

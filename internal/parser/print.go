@@ -1,0 +1,202 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/logic"
+)
+
+// FormatExpr renders a weighted expression in the plain ASCII surface syntax
+// accepted by ParseExpr.  The output round-trips: parsing it yields an
+// expression with the same semantics (and the same structure up to
+// flattening of nested sums of sums and products of products).
+func FormatExpr(e expr.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, precAdd)
+	return b.String()
+}
+
+// FormatFormula renders a first-order formula in the plain ASCII surface
+// syntax accepted by ParseFormula.
+func FormatFormula(f logic.Formula) string {
+	var b strings.Builder
+	writeFormula(&b, f, precOr)
+	return b.String()
+}
+
+// Operator precedence levels, loosest first.
+const (
+	precAdd = iota
+	precMul
+	precUnary
+)
+
+const (
+	precOr = iota
+	precAnd
+	precNot
+)
+
+func writeExpr(b *strings.Builder, e expr.Expr, ctx int) {
+	switch t := e.(type) {
+	case expr.Const:
+		fmt.Fprintf(b, "%d", t.N)
+	case expr.Weight:
+		b.WriteString(t.W)
+		b.WriteString("(")
+		b.WriteString(strings.Join(t.Args, ", "))
+		b.WriteString(")")
+	case expr.Bracket:
+		b.WriteString("[")
+		writeFormula(b, t.F, precOr)
+		b.WriteString("]")
+	case expr.Add:
+		if len(t.Args) == 0 {
+			b.WriteString("0")
+			return
+		}
+		parens := ctx > precAdd
+		if parens {
+			b.WriteString("(")
+		}
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			writeExpr(b, a, precMul)
+		}
+		if parens {
+			b.WriteString(")")
+		}
+	case expr.Mul:
+		if len(t.Args) == 0 {
+			b.WriteString("1")
+			return
+		}
+		parens := ctx > precMul
+		if parens {
+			b.WriteString("(")
+		}
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(" * ")
+			}
+			writeExpr(b, a, precUnary)
+		}
+		if parens {
+			b.WriteString(")")
+		}
+	case expr.Sum:
+		// Aggregation extends maximally to the right, so parenthesise the
+		// whole construct whenever it appears inside another operator.
+		parens := ctx > precAdd
+		if parens {
+			b.WriteString("(")
+		}
+		b.WriteString("sum ")
+		b.WriteString(strings.Join(t.Vars, ", "))
+		b.WriteString(" . ")
+		writeExpr(b, t.Arg, precAdd)
+		if parens {
+			b.WriteString(")")
+		}
+	default:
+		// Fall back to the expression's own notation; it is also accepted by
+		// the parser.
+		b.WriteString(fmt.Sprintf("%v", e))
+	}
+}
+
+func writeFormula(b *strings.Builder, f logic.Formula, ctx int) {
+	switch t := f.(type) {
+	case logic.Truth:
+		if t.Value {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case logic.Atom:
+		b.WriteString(t.Rel)
+		b.WriteString("(")
+		b.WriteString(strings.Join(t.Args, ", "))
+		b.WriteString(")")
+	case logic.Eq:
+		b.WriteString(t.Left)
+		b.WriteString(" = ")
+		b.WriteString(t.Right)
+	case logic.Not:
+		// Render ¬(x = y) as the more idiomatic x != y.
+		if eq, ok := t.Arg.(logic.Eq); ok {
+			b.WriteString(eq.Left)
+			b.WriteString(" != ")
+			b.WriteString(eq.Right)
+			return
+		}
+		b.WriteString("!")
+		writeFormula(b, t.Arg, precNot)
+	case logic.And:
+		if len(t.Args) == 0 {
+			b.WriteString("true")
+			return
+		}
+		parens := ctx > precAnd
+		if parens {
+			b.WriteString("(")
+		}
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(" & ")
+			}
+			writeFormula(b, a, precNot)
+		}
+		if parens {
+			b.WriteString(")")
+		}
+	case logic.Or:
+		if len(t.Args) == 0 {
+			b.WriteString("false")
+			return
+		}
+		parens := ctx > precOr
+		if parens {
+			b.WriteString("(")
+		}
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			writeFormula(b, a, precAnd)
+		}
+		if parens {
+			b.WriteString(")")
+		}
+	case logic.Exists:
+		parens := ctx > precOr
+		if parens {
+			b.WriteString("(")
+		}
+		b.WriteString("exists ")
+		b.WriteString(t.Var)
+		b.WriteString(" . ")
+		writeFormula(b, t.Arg, precOr)
+		if parens {
+			b.WriteString(")")
+		}
+	case logic.Forall:
+		parens := ctx > precOr
+		if parens {
+			b.WriteString("(")
+		}
+		b.WriteString("forall ")
+		b.WriteString(t.Var)
+		b.WriteString(" . ")
+		writeFormula(b, t.Arg, precOr)
+		if parens {
+			b.WriteString(")")
+		}
+	default:
+		b.WriteString(fmt.Sprintf("%v", f))
+	}
+}

@@ -1,0 +1,242 @@
+// Package provenance implements the free commutative semiring (the
+// provenance semiring of Green, Karvounarakis and Tannen, used in Section 5
+// of the paper): formal sums of products of generators.
+//
+// Elements are represented explicitly as polynomials (Poly) for testing and
+// for small instances; the enumeration machinery of internal/enumerate
+// represents them lazily by constant-delay iterators instead, exactly as the
+// paper prescribes for data-dependent provenance.
+package provenance
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/semiring"
+)
+
+// Generator is a named generator of the free semiring (for example a tuple
+// identifier e_{ab}).
+type Generator string
+
+// Monomial is a finite multiset of generators, kept sorted.
+type Monomial []Generator
+
+// NewMonomial builds a sorted monomial from generators.
+func NewMonomial(gs ...Generator) Monomial {
+	m := append(Monomial(nil), gs...)
+	sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
+	return m
+}
+
+// Mul returns the union (as multisets) of two monomials.
+func (m Monomial) Mul(other Monomial) Monomial {
+	out := make(Monomial, 0, len(m)+len(other))
+	out = append(out, m...)
+	out = append(out, other...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Key returns a canonical string for the monomial.
+func (m Monomial) Key() string {
+	parts := make([]string, len(m))
+	for i, g := range m {
+		parts[i] = string(g)
+	}
+	return strings.Join(parts, "·")
+}
+
+// String renders the monomial; the empty monomial renders as "1".
+func (m Monomial) String() string {
+	if len(m) == 0 {
+		return "1"
+	}
+	return m.Key()
+}
+
+// Poly is an element of the free commutative semiring: a formal sum of
+// monomials, with multiplicities.
+type Poly struct {
+	// Terms maps a monomial key to its multiplicity and representative.
+	terms map[string]*term
+}
+
+type term struct {
+	monomial Monomial
+	count    int64
+}
+
+// NewPoly returns the zero polynomial.
+func NewPoly() *Poly { return &Poly{terms: map[string]*term{}} }
+
+// FromMonomials builds a polynomial as the sum of the given monomials.
+func FromMonomials(ms ...Monomial) *Poly {
+	p := NewPoly()
+	for _, m := range ms {
+		p.AddMonomial(m, 1)
+	}
+	return p
+}
+
+// Var returns the polynomial consisting of the single generator g.
+func Var(g Generator) *Poly { return FromMonomials(NewMonomial(g)) }
+
+// AddMonomial adds count copies of the monomial to the polynomial.
+func (p *Poly) AddMonomial(m Monomial, count int64) {
+	if count == 0 {
+		return
+	}
+	key := m.Key()
+	if t, ok := p.terms[key]; ok {
+		t.count += count
+		if t.count == 0 {
+			delete(p.terms, key)
+		}
+		return
+	}
+	p.terms[key] = &term{monomial: append(Monomial(nil), m...), count: count}
+}
+
+// NumTerms returns the number of distinct monomials.
+func (p *Poly) NumTerms() int { return len(p.terms) }
+
+// TotalMultiplicity returns the sum of multiplicities of all monomials.
+func (p *Poly) TotalMultiplicity() int64 {
+	var total int64
+	for _, t := range p.terms {
+		total += t.count
+	}
+	return total
+}
+
+// IsZero reports whether the polynomial has no terms.
+func (p *Poly) IsZero() bool { return len(p.terms) == 0 }
+
+// Monomials returns every monomial with its multiplicity, sorted by key.
+func (p *Poly) Monomials() []struct {
+	Monomial Monomial
+	Count    int64
+} {
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]struct {
+		Monomial Monomial
+		Count    int64
+	}, 0, len(keys))
+	for _, k := range keys {
+		t := p.terms[k]
+		out = append(out, struct {
+			Monomial Monomial
+			Count    int64
+		}{Monomial: t.monomial, Count: t.count})
+	}
+	return out
+}
+
+// Multiplicity returns the multiplicity of a monomial.
+func (p *Poly) Multiplicity(m Monomial) int64 {
+	if t, ok := p.terms[m.Key()]; ok {
+		return t.count
+	}
+	return 0
+}
+
+// Clone returns a deep copy.
+func (p *Poly) Clone() *Poly {
+	q := NewPoly()
+	for _, t := range p.terms {
+		q.AddMonomial(t.monomial, t.count)
+	}
+	return q
+}
+
+// String renders the polynomial.
+func (p *Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var parts []string
+	for _, t := range p.Monomials() {
+		s := t.Monomial.String()
+		if t.Count != 1 {
+			s = strings.Repeat(s+" + ", int(t.Count)-1) + s
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, " + ")
+}
+
+// ---------------------------------------------------------------------------
+// The free semiring as a semiring.Semiring instance
+// ---------------------------------------------------------------------------
+
+// FreeSemiring is the free commutative semiring over generators, with
+// explicit polynomial representation.  It is used for cross-checking the
+// iterator-based evaluation on small instances; on large databases the
+// elements grow with the data, which is exactly why the paper switches to
+// iterator representations.
+type FreeSemiring struct{}
+
+// Free is the canonical FreeSemiring instance.
+var Free = FreeSemiring{}
+
+func (FreeSemiring) Zero() *Poly { return NewPoly() }
+func (FreeSemiring) One() *Poly  { return FromMonomials(NewMonomial()) }
+
+func (FreeSemiring) Add(a, b *Poly) *Poly {
+	out := a.Clone()
+	for _, t := range b.terms {
+		out.AddMonomial(t.monomial, t.count)
+	}
+	return out
+}
+
+func (FreeSemiring) Mul(a, b *Poly) *Poly {
+	out := NewPoly()
+	for _, ta := range a.terms {
+		for _, tb := range b.terms {
+			out.AddMonomial(ta.monomial.Mul(tb.monomial), ta.count*tb.count)
+		}
+	}
+	return out
+}
+
+func (FreeSemiring) Equal(a, b *Poly) bool {
+	if len(a.terms) != len(b.terms) {
+		return false
+	}
+	for k, ta := range a.terms {
+		tb, ok := b.terms[k]
+		if !ok || ta.count != tb.count {
+			return false
+		}
+	}
+	return true
+}
+
+func (FreeSemiring) Format(a *Poly) string { return a.String() }
+
+// ---------------------------------------------------------------------------
+// Homomorphisms
+// ---------------------------------------------------------------------------
+
+// Eval applies the unique semiring homomorphism determined by the generator
+// assignment: each generator g is mapped to assign(g), and the polynomial is
+// evaluated in the target semiring.  This is the universal property of the
+// provenance semiring: any provenance computation specialises to any other
+// semiring by such a homomorphism.
+func Eval[T any](s semiring.Semiring[T], p *Poly, assign func(Generator) T) T {
+	total := s.Zero()
+	for _, t := range p.terms {
+		prod := s.One()
+		for _, g := range t.monomial {
+			prod = s.Mul(prod, assign(g))
+		}
+		total = s.Add(total, semiring.ScalarMul(s, t.count, prod))
+	}
+	return total
+}

@@ -1,0 +1,124 @@
+package provenance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/semiring"
+)
+
+func randomPoly(r *rand.Rand) *Poly {
+	p := NewPoly()
+	gens := []Generator{"a", "b", "c", "d"}
+	for i := 0; i < r.Intn(4); i++ {
+		var m []Generator
+		for j := 0; j < r.Intn(3); j++ {
+			m = append(m, gens[r.Intn(len(gens))])
+		}
+		p.AddMonomial(NewMonomial(m...), int64(r.Intn(2)+1))
+	}
+	return p
+}
+
+func TestFreeSemiringAxioms(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	s := Free
+	for trial := 0; trial < 150; trial++ {
+		a, b, c := randomPoly(r), randomPoly(r), randomPoly(r)
+		if !s.Equal(s.Add(a, b), s.Add(b, a)) {
+			t.Fatalf("addition not commutative")
+		}
+		if !s.Equal(s.Mul(a, b), s.Mul(b, a)) {
+			t.Fatalf("multiplication not commutative: %s vs %s", s.Format(s.Mul(a, b)), s.Format(s.Mul(b, a)))
+		}
+		if !s.Equal(s.Add(s.Add(a, b), c), s.Add(a, s.Add(b, c))) {
+			t.Fatalf("addition not associative")
+		}
+		if !s.Equal(s.Mul(s.Mul(a, b), c), s.Mul(a, s.Mul(b, c))) {
+			t.Fatalf("multiplication not associative")
+		}
+		if !s.Equal(s.Add(a, s.Zero()), a) {
+			t.Fatalf("zero not neutral")
+		}
+		if !s.Equal(s.Mul(a, s.One()), a) {
+			t.Fatalf("one not neutral")
+		}
+		if !s.Equal(s.Mul(a, s.Zero()), s.Zero()) {
+			t.Fatalf("zero not absorbing")
+		}
+		if !s.Equal(s.Mul(a, s.Add(b, c)), s.Add(s.Mul(a, b), s.Mul(a, c))) {
+			t.Fatalf("distributivity fails")
+		}
+	}
+}
+
+func TestMonomialOperations(t *testing.T) {
+	m := NewMonomial("b", "a", "b")
+	if m.Key() != "a·b·b" {
+		t.Errorf("Key = %q", m.Key())
+	}
+	n := NewMonomial("c")
+	if m.Mul(n).Key() != "a·b·b·c" {
+		t.Errorf("Mul = %q", m.Mul(n).Key())
+	}
+	if NewMonomial().String() != "1" {
+		t.Errorf("empty monomial should render as 1")
+	}
+}
+
+func TestPolyOperations(t *testing.T) {
+	p := NewPoly()
+	if !p.IsZero() || p.String() != "0" {
+		t.Errorf("fresh polynomial should be zero")
+	}
+	p.AddMonomial(NewMonomial("x"), 2)
+	p.AddMonomial(NewMonomial("y", "x"), 1)
+	if p.NumTerms() != 2 || p.TotalMultiplicity() != 3 {
+		t.Errorf("NumTerms=%d TotalMultiplicity=%d", p.NumTerms(), p.TotalMultiplicity())
+	}
+	if p.Multiplicity(NewMonomial("x")) != 2 || p.Multiplicity(NewMonomial("z")) != 0 {
+		t.Errorf("multiplicities wrong")
+	}
+	p.AddMonomial(NewMonomial("x"), -2)
+	if p.NumTerms() != 1 {
+		t.Errorf("cancelled monomial still present")
+	}
+	q := p.Clone()
+	q.AddMonomial(NewMonomial("w"), 1)
+	if p.Multiplicity(NewMonomial("w")) != 0 {
+		t.Errorf("Clone aliases original")
+	}
+	if Var("g").Multiplicity(NewMonomial("g")) != 1 {
+		t.Errorf("Var broken")
+	}
+}
+
+func TestHomomorphism(t *testing.T) {
+	// The provenance of two triangles sharing an edge: e1·e2·e3 + e1·e4·e5.
+	p := FromMonomials(
+		NewMonomial("e1", "e2", "e3"),
+		NewMonomial("e1", "e4", "e5"),
+	)
+	// Counting homomorphism: every generator ↦ 1 gives the number of
+	// monomials.
+	count := Eval[int64](semiring.Nat, p, func(Generator) int64 { return 1 })
+	if count != 2 {
+		t.Errorf("counting homomorphism = %d, want 2", count)
+	}
+	// Cost homomorphism into min-plus: each edge has cost, the value is the
+	// cheapest derivation.
+	costs := map[Generator]int64{"e1": 1, "e2": 2, "e3": 3, "e4": 10, "e5": 1}
+	cost := Eval[semiring.Ext](semiring.MinPlus, p, func(g Generator) semiring.Ext { return semiring.Fin(costs[g]) })
+	if !semiring.MinPlus.Equal(cost, semiring.Fin(6)) {
+		t.Errorf("min-plus homomorphism = %v, want 6", cost)
+	}
+	// Boolean homomorphism with e1 removed: the element no longer derives.
+	alive := Eval[bool](semiring.Bool, p, func(g Generator) bool { return g != "e1" })
+	if alive {
+		t.Errorf("removing the shared edge should kill both derivations")
+	}
+	alive = Eval[bool](semiring.Bool, p, func(g Generator) bool { return g != "e4" })
+	if !alive {
+		t.Errorf("removing a non-shared edge should keep one derivation")
+	}
+}

@@ -1,0 +1,397 @@
+// Package structure defines relational structures (databases) with
+// semiring-valued weight functions, and their Gaifman graphs.
+//
+// A Σ(w)-structure of the paper is represented here as a Structure (the
+// relational part, fixed at compile time) plus a Weights assignment (the
+// semiring-valued part, which is an input of compiled circuits and may be
+// updated dynamically).
+package structure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Element is a database element.  Domains are always {0, ..., n-1}.
+type Element = int
+
+// Tuple is a tuple of database elements.
+type Tuple []Element
+
+// Key encodes a tuple as a map key.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, e := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", e)
+	}
+	return b.String()
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// RelSymbol declares a relation symbol.
+type RelSymbol struct {
+	Name  string
+	Arity int
+}
+
+// WeightSymbol declares a weight symbol: a function from tuples to semiring
+// elements.  Weight symbols of arity ≥ 1 may only assign non-zero weights to
+// tuples that appear in some relation of matching arity (the paper's
+// requirement on Σ(w)-structures); this is validated by Weights.Validate.
+type WeightSymbol struct {
+	Name  string
+	Arity int
+}
+
+// Signature is a relational signature together with weight symbols.
+//
+// Function symbols are not part of the public signature; the paper notes
+// that functions can always be encoded by relations (their graphs), and the
+// internal compilation pipeline introduces its own unary functions when
+// applying the degeneracy encoding of Lemma 37.
+type Signature struct {
+	Relations []RelSymbol
+	Weights   []WeightSymbol
+
+	relIndex    map[string]int
+	weightIndex map[string]int
+}
+
+// NewSignature builds a signature and validates symbol names for
+// uniqueness.
+func NewSignature(relations []RelSymbol, weights []WeightSymbol) (*Signature, error) {
+	s := &Signature{
+		Relations:   relations,
+		Weights:     weights,
+		relIndex:    make(map[string]int),
+		weightIndex: make(map[string]int),
+	}
+	for i, r := range relations {
+		if r.Arity < 1 {
+			return nil, fmt.Errorf("structure: relation %q has arity %d; arities must be ≥ 1", r.Name, r.Arity)
+		}
+		if _, dup := s.relIndex[r.Name]; dup {
+			return nil, fmt.Errorf("structure: duplicate relation symbol %q", r.Name)
+		}
+		s.relIndex[r.Name] = i
+	}
+	for i, w := range weights {
+		if w.Arity < 0 {
+			return nil, fmt.Errorf("structure: weight %q has negative arity", w.Name)
+		}
+		if _, dup := s.weightIndex[w.Name]; dup {
+			return nil, fmt.Errorf("structure: duplicate weight symbol %q", w.Name)
+		}
+		if _, clash := s.relIndex[w.Name]; clash {
+			return nil, fmt.Errorf("structure: weight symbol %q clashes with a relation symbol", w.Name)
+		}
+		s.weightIndex[w.Name] = i
+	}
+	return s, nil
+}
+
+// MustSignature is NewSignature that panics on error; intended for tests and
+// examples with literal signatures.
+func MustSignature(relations []RelSymbol, weights []WeightSymbol) *Signature {
+	s, err := NewSignature(relations, weights)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Relation returns the declaration of the named relation symbol.
+func (s *Signature) Relation(name string) (RelSymbol, bool) {
+	i, ok := s.relIndex[name]
+	if !ok {
+		return RelSymbol{}, false
+	}
+	return s.Relations[i], true
+}
+
+// Weight returns the declaration of the named weight symbol.
+func (s *Signature) Weight(name string) (WeightSymbol, bool) {
+	i, ok := s.weightIndex[name]
+	if !ok {
+		return WeightSymbol{}, false
+	}
+	return s.Weights[i], true
+}
+
+// WithWeights returns a copy of the signature with additional weight
+// symbols appended (used by the free-variable reduction of Theorem 8, which
+// introduces fresh unary weight symbols v_1, ..., v_k).
+func (s *Signature) WithWeights(extra ...WeightSymbol) (*Signature, error) {
+	return NewSignature(s.Relations, append(append([]WeightSymbol(nil), s.Weights...), extra...))
+}
+
+// Structure is a finite relational structure over a signature: a domain
+// {0..N-1} and, for each relation symbol, the set of tuples it contains.
+type Structure struct {
+	Sig *Signature
+	N   int
+
+	// tuples[rel] lists the tuples of the relation, in insertion order.
+	tuples map[string][]Tuple
+	// index[rel] supports O(1) membership tests.
+	index map[string]map[string]bool
+
+	gaifman *graph.Graph
+}
+
+// NewStructure returns an empty structure with the given domain size.
+func NewStructure(sig *Signature, n int) *Structure {
+	return &Structure{
+		Sig:    sig,
+		N:      n,
+		tuples: make(map[string][]Tuple),
+		index:  make(map[string]map[string]bool),
+	}
+}
+
+// AddTuple inserts a tuple into the named relation.  Duplicate insertions
+// are ignored.  Adding tuples invalidates any previously computed Gaifman
+// graph.
+func (a *Structure) AddTuple(rel string, tuple ...Element) error {
+	decl, ok := a.Sig.Relation(rel)
+	if !ok {
+		return fmt.Errorf("structure: unknown relation %q", rel)
+	}
+	if len(tuple) != decl.Arity {
+		return fmt.Errorf("structure: relation %q has arity %d, got tuple of length %d", rel, decl.Arity, len(tuple))
+	}
+	for _, e := range tuple {
+		if e < 0 || e >= a.N {
+			return fmt.Errorf("structure: element %d out of domain [0,%d)", e, a.N)
+		}
+	}
+	t := Tuple(tuple).Clone()
+	key := t.Key()
+	if a.index[rel] == nil {
+		a.index[rel] = make(map[string]bool)
+	}
+	if a.index[rel][key] {
+		return nil
+	}
+	a.index[rel][key] = true
+	a.tuples[rel] = append(a.tuples[rel], t)
+	a.gaifman = nil
+	return nil
+}
+
+// MustAddTuple is AddTuple that panics on error.
+func (a *Structure) MustAddTuple(rel string, tuple ...Element) {
+	if err := a.AddTuple(rel, tuple...); err != nil {
+		panic(err)
+	}
+}
+
+// HasTuple reports whether the named relation contains the tuple.
+func (a *Structure) HasTuple(rel string, tuple ...Element) bool {
+	idx := a.index[rel]
+	if idx == nil {
+		return false
+	}
+	return idx[Tuple(tuple).Key()]
+}
+
+// Tuples returns the tuples of the named relation.  The returned slice must
+// not be modified.
+func (a *Structure) Tuples(rel string) []Tuple { return a.tuples[rel] }
+
+// TupleCount returns the total number of tuples over all relations, which
+// for structures from a bounded-expansion class is linear in N.
+func (a *Structure) TupleCount() int {
+	total := 0
+	for _, ts := range a.tuples {
+		total += len(ts)
+	}
+	return total
+}
+
+// Gaifman returns the Gaifman graph of the structure: vertices are domain
+// elements; two distinct elements are adjacent when they occur together in
+// some tuple of some relation.  The graph is cached until the structure is
+// modified.
+func (a *Structure) Gaifman() *graph.Graph {
+	if a.gaifman != nil {
+		return a.gaifman
+	}
+	g := graph.New(a.N)
+	for _, ts := range a.tuples {
+		for _, t := range ts {
+			for i := 0; i < len(t); i++ {
+				for j := i + 1; j < len(t); j++ {
+					g.AddEdge(t[i], t[j])
+				}
+			}
+		}
+	}
+	a.gaifman = g
+	return g
+}
+
+// MaxArity returns the maximum relation arity used by the signature.
+func (a *Structure) MaxArity() int {
+	max := 0
+	for _, r := range a.Sig.Relations {
+		if r.Arity > max {
+			max = r.Arity
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy of the structure (sharing the signature).
+func (a *Structure) Clone() *Structure {
+	b := NewStructure(a.Sig, a.N)
+	for rel, ts := range a.tuples {
+		for _, t := range ts {
+			b.MustAddTuple(rel, t...)
+		}
+	}
+	return b
+}
+
+// ElementsOf returns the sorted set of elements occurring in a relation.
+func (a *Structure) ElementsOf(rel string) []Element {
+	set := map[Element]bool{}
+	for _, t := range a.tuples[rel] {
+		for _, e := range t {
+			set[e] = true
+		}
+	}
+	out := make([]Element, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Weight assignments
+// ---------------------------------------------------------------------------
+
+// WeightKey identifies a single weight input: a weight symbol applied to a
+// tuple of elements.  These are the inputs of the circuits produced by the
+// compiler (the pairs (w, a) of the paper).
+type WeightKey struct {
+	Weight string
+	Tuple  string // Tuple.Key() of the argument tuple
+}
+
+// MakeWeightKey builds the key for weight symbol w applied to tuple t.
+func MakeWeightKey(w string, t Tuple) WeightKey {
+	return WeightKey{Weight: w, Tuple: t.Key()}
+}
+
+// Weights assigns semiring values to weight inputs.  Missing entries are
+// implicitly the semiring zero.
+type Weights[T any] struct {
+	vals map[WeightKey]T
+}
+
+// NewWeights returns an empty weight assignment.
+func NewWeights[T any]() *Weights[T] {
+	return &Weights[T]{vals: make(map[WeightKey]T)}
+}
+
+// Set assigns w(tuple) = value.
+func (w *Weights[T]) Set(weight string, tuple Tuple, value T) {
+	w.vals[MakeWeightKey(weight, tuple)] = value
+}
+
+// Get returns w(tuple) and whether it was explicitly set.
+func (w *Weights[T]) Get(weight string, tuple Tuple) (T, bool) {
+	v, ok := w.vals[MakeWeightKey(weight, tuple)]
+	return v, ok
+}
+
+// GetKey returns the value for a pre-built key.
+func (w *Weights[T]) GetKey(k WeightKey) (T, bool) {
+	v, ok := w.vals[k]
+	return v, ok
+}
+
+// Len returns the number of explicitly set weights.
+func (w *Weights[T]) Len() int { return len(w.vals) }
+
+// ForEach iterates over all explicitly set weights.
+func (w *Weights[T]) ForEach(fn func(k WeightKey, v T)) {
+	for k, v := range w.vals {
+		fn(k, v)
+	}
+}
+
+// Validate checks the paper's requirement that weight symbols of arity ≥ 1
+// assign non-zero values only to tuples present in some relation of matching
+// arity (for arity 1, to any domain element), and that arities match the
+// signature.  isZero decides zero-ness of values.
+func (w *Weights[T]) Validate(a *Structure, isZero func(T) bool) error {
+	var err error
+	w.ForEach(func(k WeightKey, v T) {
+		if err != nil {
+			return
+		}
+		decl, ok := a.Sig.Weight(k.Weight)
+		if !ok {
+			err = fmt.Errorf("structure: weight value set for undeclared weight symbol %q", k.Weight)
+			return
+		}
+		t := parseTupleKey(k.Tuple)
+		if len(t) != decl.Arity {
+			err = fmt.Errorf("structure: weight %q has arity %d but value set for tuple of length %d", k.Weight, decl.Arity, len(t))
+			return
+		}
+		if decl.Arity <= 1 || isZero(v) {
+			return
+		}
+		// Must appear in some relation of matching arity.
+		for _, r := range a.Sig.Relations {
+			if r.Arity == decl.Arity && a.HasTuple(r.Name, t...) {
+				return
+			}
+		}
+		err = fmt.Errorf("structure: non-zero weight %s(%v) on a tuple outside every relation of arity %d",
+			k.Weight, t, decl.Arity)
+	})
+	return err
+}
+
+func parseTupleKey(key string) Tuple {
+	if key == "" {
+		return Tuple{}
+	}
+	parts := strings.Split(key, ",")
+	t := make(Tuple, len(parts))
+	for i, p := range parts {
+		fmt.Sscanf(p, "%d", &t[i])
+	}
+	return t
+}
+
+// ParseTupleKey exposes tuple-key decoding for other packages (e.g. the
+// enumeration layer decodes answer tuples from free-semiring generators).
+func ParseTupleKey(key string) Tuple { return parseTupleKey(key) }

@@ -1,0 +1,195 @@
+package structure
+
+import (
+	"testing"
+)
+
+func testSignature(t *testing.T) *Signature {
+	t.Helper()
+	sig, err := NewSignature(
+		[]RelSymbol{{Name: "E", Arity: 2}, {Name: "U", Arity: 1}, {Name: "T", Arity: 3}},
+		[]WeightSymbol{{Name: "w", Arity: 2}, {Name: "u", Arity: 1}, {Name: "c", Arity: 0}},
+	)
+	if err != nil {
+		t.Fatalf("NewSignature: %v", err)
+	}
+	return sig
+}
+
+func TestSignatureValidation(t *testing.T) {
+	if _, err := NewSignature([]RelSymbol{{Name: "E", Arity: 2}, {Name: "E", Arity: 1}}, nil); err == nil {
+		t.Errorf("duplicate relation symbols should be rejected")
+	}
+	if _, err := NewSignature([]RelSymbol{{Name: "E", Arity: 0}}, nil); err == nil {
+		t.Errorf("zero-arity relations should be rejected")
+	}
+	if _, err := NewSignature([]RelSymbol{{Name: "E", Arity: 2}}, []WeightSymbol{{Name: "E", Arity: 1}}); err == nil {
+		t.Errorf("weight symbol clashing with relation symbol should be rejected")
+	}
+	sig := testSignature(t)
+	if r, ok := sig.Relation("E"); !ok || r.Arity != 2 {
+		t.Errorf("Relation lookup failed")
+	}
+	if _, ok := sig.Relation("missing"); ok {
+		t.Errorf("lookup of missing relation should fail")
+	}
+	if w, ok := sig.Weight("u"); !ok || w.Arity != 1 {
+		t.Errorf("Weight lookup failed")
+	}
+	ext, err := sig.WithWeights(WeightSymbol{Name: "v1", Arity: 1})
+	if err != nil {
+		t.Fatalf("WithWeights: %v", err)
+	}
+	if _, ok := ext.Weight("v1"); !ok {
+		t.Errorf("extended signature missing v1")
+	}
+	if _, ok := sig.Weight("v1"); ok {
+		t.Errorf("original signature unexpectedly gained v1")
+	}
+}
+
+func TestStructureTuples(t *testing.T) {
+	sig := testSignature(t)
+	a := NewStructure(sig, 5)
+	a.MustAddTuple("E", 0, 1)
+	a.MustAddTuple("E", 1, 2)
+	a.MustAddTuple("E", 0, 1) // duplicate
+	a.MustAddTuple("U", 3)
+	a.MustAddTuple("T", 0, 1, 2)
+
+	if err := a.AddTuple("E", 0); err == nil {
+		t.Errorf("arity mismatch should be rejected")
+	}
+	if err := a.AddTuple("E", 0, 9); err == nil {
+		t.Errorf("out-of-domain element should be rejected")
+	}
+	if err := a.AddTuple("missing", 0, 1); err == nil {
+		t.Errorf("unknown relation should be rejected")
+	}
+
+	if !a.HasTuple("E", 0, 1) || a.HasTuple("E", 1, 0) {
+		t.Errorf("HasTuple directionality broken")
+	}
+	if len(a.Tuples("E")) != 2 {
+		t.Errorf("E has %d tuples, want 2", len(a.Tuples("E")))
+	}
+	if a.TupleCount() != 4 {
+		t.Errorf("TupleCount = %d, want 4", a.TupleCount())
+	}
+	if a.MaxArity() != 3 {
+		t.Errorf("MaxArity = %d, want 3", a.MaxArity())
+	}
+	elems := a.ElementsOf("E")
+	if len(elems) != 3 || elems[0] != 0 || elems[2] != 2 {
+		t.Errorf("ElementsOf(E) = %v", elems)
+	}
+
+	b := a.Clone()
+	b.MustAddTuple("E", 3, 4)
+	if a.HasTuple("E", 3, 4) {
+		t.Errorf("Clone is not independent")
+	}
+}
+
+func TestGaifmanGraph(t *testing.T) {
+	sig := testSignature(t)
+	a := NewStructure(sig, 6)
+	a.MustAddTuple("E", 0, 1)
+	a.MustAddTuple("T", 2, 3, 4)
+	a.MustAddTuple("U", 5)
+
+	g := a.Gaifman()
+	if !g.HasEdge(0, 1) {
+		t.Errorf("Gaifman graph missing binary edge")
+	}
+	// The ternary tuple induces a triangle.
+	if !g.HasEdge(2, 3) || !g.HasEdge(3, 4) || !g.HasEdge(2, 4) {
+		t.Errorf("Gaifman graph missing ternary clique edges")
+	}
+	if g.HasEdge(0, 2) {
+		t.Errorf("Gaifman graph has spurious edge")
+	}
+	if g.Degree(5) != 0 {
+		t.Errorf("unary tuples should not create edges")
+	}
+	// Cache invalidation on modification.
+	a.MustAddTuple("E", 0, 2)
+	if !a.Gaifman().HasEdge(0, 2) {
+		t.Errorf("Gaifman graph not recomputed after update")
+	}
+}
+
+func TestTupleKey(t *testing.T) {
+	tu := Tuple{3, 1, 4}
+	if tu.Key() != "3,1,4" {
+		t.Errorf("Key = %q", tu.Key())
+	}
+	round := ParseTupleKey(tu.Key())
+	if !round.Equal(tu) {
+		t.Errorf("ParseTupleKey round trip failed: %v", round)
+	}
+	if !ParseTupleKey("").Equal(Tuple{}) {
+		t.Errorf("empty key should decode to empty tuple")
+	}
+	c := tu.Clone()
+	c[0] = 9
+	if tu[0] == 9 {
+		t.Errorf("Clone aliases original")
+	}
+	if tu.Equal(Tuple{3, 1}) || !tu.Equal(Tuple{3, 1, 4}) {
+		t.Errorf("Equal broken")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	sig := testSignature(t)
+	a := NewStructure(sig, 4)
+	a.MustAddTuple("E", 0, 1)
+
+	w := NewWeights[int64]()
+	w.Set("w", Tuple{0, 1}, 5)
+	w.Set("u", Tuple{2}, 7)
+	w.Set("c", Tuple{}, 3)
+
+	if v, ok := w.Get("w", Tuple{0, 1}); !ok || v != 5 {
+		t.Errorf("Get(w,(0,1)) = %d,%v", v, ok)
+	}
+	if _, ok := w.Get("w", Tuple{1, 0}); ok {
+		t.Errorf("unset weight should not be found")
+	}
+	if w.Len() != 3 {
+		t.Errorf("Len = %d, want 3", w.Len())
+	}
+	count := 0
+	w.ForEach(func(k WeightKey, v int64) { count++ })
+	if count != 3 {
+		t.Errorf("ForEach visited %d entries, want 3", count)
+	}
+
+	isZero := func(v int64) bool { return v == 0 }
+	if err := w.Validate(a, isZero); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Non-zero binary weight outside every relation is invalid.
+	w.Set("w", Tuple{2, 3}, 1)
+	if err := w.Validate(a, isZero); err == nil {
+		t.Errorf("weight on non-tuple should be rejected")
+	}
+	// But a zero weight there is fine.
+	w.Set("w", Tuple{2, 3}, 0)
+	if err := w.Validate(a, isZero); err != nil {
+		t.Errorf("zero weight outside relations should be allowed: %v", err)
+	}
+	// Arity mismatch.
+	w2 := NewWeights[int64]()
+	w2.Set("u", Tuple{1, 2}, 1)
+	if err := w2.Validate(a, isZero); err == nil {
+		t.Errorf("arity mismatch in weights should be rejected")
+	}
+	// Undeclared weight symbol.
+	w3 := NewWeights[int64]()
+	w3.Set("nope", Tuple{0}, 1)
+	if err := w3.Validate(a, isZero); err == nil {
+		t.Errorf("undeclared weight symbol should be rejected")
+	}
+}
