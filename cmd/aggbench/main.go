@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	aggbench [-quick] [-markdown] [-only E2,E5]
+//	aggbench [-quick] [-markdown] [-only E2,E5] [-workers 4]
+//
+// With -workers > 1 the experiments of the sweep run concurrently; use the
+// default of 1 when the absolute timings inside the tables matter.
 package main
 
 import (
@@ -19,6 +22,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	markdown := flag.Bool("markdown", false, "emit Markdown tables")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty runs all")
+	workers := flag.Int("workers", 1, "experiments run concurrently on this many goroutines (0 = GOMAXPROCS; >1 skews timings)")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -29,21 +33,32 @@ func main() {
 		}
 	}
 
-	printed := 0
+	var selected []bench.Experiment
 	for _, e := range bench.Registry(*quick) {
 		if len(wanted) > 0 && !wanted[e.ID] {
 			continue
 		}
-		t := e.Run()
+		selected = append(selected, e)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "aggbench: no experiment matched -only=%q\n", *only)
+		os.Exit(1)
+	}
+	print := func(t *bench.Table) {
 		if *markdown {
 			fmt.Println(t.Markdown())
 		} else {
 			fmt.Println(t.String())
 		}
-		printed++
 	}
-	if printed == 0 {
-		fmt.Fprintf(os.Stderr, "aggbench: no experiment matched -only=%q\n", *only)
-		os.Exit(1)
+	if *workers == 1 {
+		// Sequential sweeps stream each table as its experiment finishes.
+		for _, e := range selected {
+			print(e.Run())
+		}
+		return
+	}
+	for _, t := range bench.RunExperiments(selected, *workers) {
+		print(t)
 	}
 }

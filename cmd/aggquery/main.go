@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/compile"
 	"repro/internal/dbio"
@@ -38,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	stdin := flag.Bool("stdin", false, "read the database from stdin (dbio format)")
 	file := flag.String("file", "", "read the database from this file (dbio format)")
+	workers := flag.Int("workers", 0, "worker goroutines per circuit evaluation (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	a, weights, err := loadDatabase(*stdin, *file, *kind, *n, *seed)
@@ -67,14 +69,33 @@ func main() {
 	fmt.Printf("circuit: gates=%d edges=%d depth=%d permGates=%d maxPermRows=%d\n",
 		st.Gates, st.Edges, st.Depth, st.PermGates, st.MaxPermRows)
 
-	nat := compile.Evaluate[int64](res, semiring.Nat, weights)
-	fmt.Printf("value in (N,+,·):            %d\n", nat)
-	mp := compile.Evaluate[semiring.Ext](res, semiring.MinPlus,
-		dbio.ConvertWeights(weights, func(v int64) semiring.Ext { return semiring.Fin(v) }))
-	fmt.Printf("value in (N∪{∞},min,+):      %s\n", semiring.MinPlus.Format(mp))
-	bv := compile.Evaluate[bool](res, semiring.Bool,
-		dbio.ConvertWeights(weights, func(v int64) bool { return v != 0 }))
-	fmt.Printf("value in (B,∨,∧):            %v\n", bv)
+	// The three semirings are independent passes over the same circuit, so
+	// they run concurrently; each pass additionally spreads its gate levels
+	// over -workers goroutines (the schedule was precomputed by Compile).
+	var lines [3]string
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		nat := compile.EvaluateParallel[int64](res, semiring.Nat, weights, *workers)
+		lines[0] = fmt.Sprintf("value in (N,+,·):            %d", nat)
+	}()
+	go func() {
+		defer wg.Done()
+		mp := compile.EvaluateParallel[semiring.Ext](res, semiring.MinPlus,
+			dbio.ConvertWeights(weights, func(v int64) semiring.Ext { return semiring.Fin(v) }), *workers)
+		lines[1] = fmt.Sprintf("value in (N∪{∞},min,+):      %s", semiring.MinPlus.Format(mp))
+	}()
+	go func() {
+		defer wg.Done()
+		bv := compile.EvaluateParallel[bool](res, semiring.Bool,
+			dbio.ConvertWeights(weights, func(v int64) bool { return v != 0 }), *workers)
+		lines[2] = fmt.Sprintf("value in (B,∨,∧):            %v", bv)
+	}()
+	wg.Wait()
+	for _, l := range lines {
+		fmt.Println(l)
+	}
 }
 
 func loadDatabase(stdin bool, file, kind string, n int, seed int64) (*structure.Structure, *structure.Weights[int64], error) {

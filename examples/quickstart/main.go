@@ -38,8 +38,11 @@ func main() {
 	fmt.Printf("compiled circuit: %d gates, depth %d, %d permanent gates (≤%d rows)\n\n",
 		st.Gates, st.Depth, st.PermGates, st.MaxPermRows)
 
-	// Evaluate in (ℕ, +, ·): the bag-semantics triangle weight.
-	count := compile.Evaluate[int64](res, semiring.Nat, db.Weights())
+	// Evaluate in (ℕ, +, ·): the bag-semantics triangle weight.  The circuit
+	// is shallow and wide, so evaluation spreads each topological level over
+	// all cores (the level schedule was precomputed by Compile; pass a
+	// positive worker count to pin the pool size).
+	count := compile.EvaluateParallel[int64](res, semiring.Nat, db.Weights(), 0)
 	fmt.Printf("Σ over triangles of w(x,y)·w(y,z)·w(z,x) in (N,+,·):  %d\n", count)
 
 	// Evaluate the SAME circuit in (ℕ∪{∞}, min, +): the cheapest triangle.

@@ -11,7 +11,13 @@ import (
 )
 
 func TestTriangleBaselinesAgree(t *testing.T) {
-	db := workload.BoundedDegree(300, 3, 5)
+	// The naive evaluator is cubic in n, so the full size takes over a
+	// minute; -short shrinks it while still planting triangles.
+	n := 300
+	if testing.Short() {
+		n = 100
+	}
+	db := workload.BoundedDegree(n, 3, 5)
 	w := db.Weights()
 	q := expr.Agg([]string{"x", "y", "z"}, expr.Times(
 		expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.R("E", "z", "x"))),

@@ -5,7 +5,9 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/baseline"
@@ -676,6 +678,53 @@ func E10ProvenancePermanent(columns []int) *Table {
 	return t
 }
 
+// E11ParallelEvaluation measures the level-parallel circuit evaluator
+// against the sequential one on the compiled triangle query.
+func E11ParallelEvaluation(sizes []int, workers int) *Table {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t := &Table{
+		ID:     "E11",
+		Title:  "Level-parallel circuit evaluation",
+		Claim:  "the compiled circuits are wide and shallow (bounded depth, linear width), so evaluating each topological level across a worker pool scales with the number of cores",
+		Header: []string{"n", "gates", "levels", "max width", "eval(seq)", fmt.Sprintf("eval(par, %d workers)", workers), "speedup", "agree"},
+	}
+	for _, n := range sizes {
+		db := workload.BoundedDegree(n, 3, 7)
+		w := db.Weights()
+		res, err := compile.Compile(db.A, TriangleQuery(), compile.Options{})
+		if err != nil {
+			panic(err)
+		}
+		val := compile.NewValuation(res, semiring.Nat, w)
+		var seqVals, parVals []int64
+		seq := timeIt(func() {
+			seqVals = circuit.EvaluateAll[int64](res.Circuit, semiring.Nat, val)
+		})
+		par := timeIt(func() {
+			parVals = circuit.ParallelEvaluateAll[int64](res.Circuit, semiring.Nat, val,
+				circuit.EvalOptions{Workers: workers, Schedule: res.Schedule})
+		})
+		agree := len(seqVals) == len(parVals)
+		if agree {
+			for i := range seqVals {
+				if seqVals[i] != parVals[i] {
+					agree = false
+					break
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(res.Circuit.NumGates()),
+			fmt.Sprint(len(res.Schedule.Levels)), fmt.Sprint(res.Schedule.MaxWidth()),
+			dur(seq), dur(par), fmt.Sprintf("%.2fx", float64(seq)/float64(par)), fmt.Sprint(agree),
+		})
+	}
+	t.Notes = append(t.Notes, "the schedule is precomputed by compile.Compile; on a single-core machine the speedup column stays near 1x")
+	return t
+}
+
 // Experiment is a named, runnable experiment.
 type Experiment struct {
 	ID  string
@@ -710,14 +759,43 @@ func Registry(quick bool) []Experiment {
 		{"E8", func() *Table { return E8LocalSearch(sizes) }},
 		{"E9", func() *Table { return E9Coloring(small) }},
 		{"E10", func() *Table { return E10ProvenancePermanent(permCols) }},
+		{"E11", func() *Table { return E11ParallelEvaluation(sizes, 0) }},
 	}
 }
 
-// RunAll executes every experiment with default parameters.
-func RunAll(quick bool) []*Table {
-	var out []*Table
-	for _, e := range Registry(quick) {
-		out = append(out, e.Run())
+// RunExperiments executes the experiments across a pool of workers
+// goroutines (≤ 0 selects GOMAXPROCS; 1 runs sequentially), returning the
+// tables in the input order.  Running the sweep in parallel trades clean
+// per-experiment timings for wall-clock throughput: use one worker when the
+// absolute numbers matter, many when scanning for regressions.
+func RunExperiments(exps []Experiment, workers int) []*Table {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	out := make([]*Table, len(exps))
+	if workers == 1 {
+		for i, e := range exps {
+			out[i] = e.Run()
+		}
+		return out
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = e.Run()
+		}(i, e)
+	}
+	wg.Wait()
 	return out
+}
+
+// RunAll executes every experiment with default parameters on the given
+// worker pool.
+func RunAll(quick bool, workers int) []*Table {
+	return RunExperiments(Registry(quick), workers)
 }

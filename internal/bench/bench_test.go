@@ -26,8 +26,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestRegistryCoversAllExperiments(t *testing.T) {
 	reg := Registry(true)
-	if len(reg) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(reg))
+	if len(reg) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -35,6 +35,27 @@ func TestRegistryCoversAllExperiments(t *testing.T) {
 			t.Errorf("duplicate experiment id %s", e.ID)
 		}
 		seen[e.ID] = true
+	}
+}
+
+// TestRunExperimentsPreservesOrder checks that the concurrent sweep runner
+// returns tables in registry order regardless of completion order.
+func TestRunExperimentsPreservesOrder(t *testing.T) {
+	var exps []Experiment
+	for _, id := range []string{"X1", "X2", "X3", "X4", "X5"} {
+		id := id
+		exps = append(exps, Experiment{ID: id, Run: func() *Table { return &Table{ID: id} }})
+	}
+	for _, workers := range []int{1, 3, 8} {
+		tables := RunExperiments(exps, workers)
+		if len(tables) != len(exps) {
+			t.Fatalf("workers=%d: got %d tables, want %d", workers, len(tables), len(exps))
+		}
+		for i, tab := range tables {
+			if tab.ID != exps[i].ID {
+				t.Errorf("workers=%d: table %d has id %s, want %s", workers, i, tab.ID, exps[i].ID)
+			}
+		}
 	}
 }
 
@@ -54,6 +75,7 @@ func TestSmallExperimentsRun(t *testing.T) {
 		E5Enumeration(small),
 		E9Coloring([]int{300}),
 		E10ProvenancePermanent([]int{500}),
+		E11ParallelEvaluation(small, 2),
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 {

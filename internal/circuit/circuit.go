@@ -335,35 +335,43 @@ func Evaluate[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T]) T {
 // by gate id.
 func EvaluateAll[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T]) []T {
 	vals := make([]T, len(c.Gates))
-	for id, g := range c.Gates {
-		switch g.Kind {
-		case KindInput:
-			if x, ok := v(g.Key); ok {
-				vals[id] = x
-			} else {
-				vals[id] = s.Zero()
-			}
-		case KindConst:
-			vals[id] = semiring.ScalarMulBig(s, g.N, s.One())
-		case KindAdd:
-			acc := s.Zero()
-			for _, ch := range g.Children {
-				acc = s.Add(acc, vals[ch])
-			}
-			vals[id] = acc
-		case KindMul:
-			acc := s.One()
-			for _, ch := range g.Children {
-				acc = s.Mul(acc, vals[ch])
-			}
-			vals[id] = acc
-		case KindPerm:
-			vals[id] = evaluatePermGate(s, g, vals)
-		default:
-			panic(fmt.Sprintf("circuit: unknown gate kind %v", g.Kind))
-		}
+	for id := range c.Gates {
+		evaluateGate(c, s, v, id, vals)
 	}
 	return vals
+}
+
+// evaluateGate computes the value of a single gate into vals[id].  All
+// children of the gate must already be present in vals; distinct gate ids
+// may be evaluated concurrently as long as that invariant holds.
+func evaluateGate[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T], id int, vals []T) {
+	g := &c.Gates[id]
+	switch g.Kind {
+	case KindInput:
+		if x, ok := v(g.Key); ok {
+			vals[id] = x
+		} else {
+			vals[id] = s.Zero()
+		}
+	case KindConst:
+		vals[id] = semiring.ScalarMulBig(s, g.N, s.One())
+	case KindAdd:
+		acc := s.Zero()
+		for _, ch := range g.Children {
+			acc = s.Add(acc, vals[ch])
+		}
+		vals[id] = acc
+	case KindMul:
+		acc := s.One()
+		for _, ch := range g.Children {
+			acc = s.Mul(acc, vals[ch])
+		}
+		vals[id] = acc
+	case KindPerm:
+		vals[id] = evaluatePermGate(s, *g, vals)
+	default:
+		panic(fmt.Sprintf("circuit: unknown gate kind %v", g.Kind))
+	}
 }
 
 func evaluatePermGate[T any](s semiring.Semiring[T], g Gate, vals []T) T {

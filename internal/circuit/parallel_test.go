@@ -1,0 +1,210 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/provenance"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// hasPermGate reports whether the circuit contains a permanent gate.
+func hasPermGate(c *Circuit) bool {
+	for _, g := range c.Gates {
+		if g.Kind == KindPerm {
+			return true
+		}
+	}
+	return false
+}
+
+// checkEquivalence asserts ParallelEvaluateAll matches EvaluateAll
+// gate-for-gate in the given semiring, across several worker counts and
+// with both on-the-fly and precomputed schedules.
+func checkEquivalence[T any](t *testing.T, name string, c *Circuit, s semiring.Semiring[T], v Valuation[T]) {
+	t.Helper()
+	want := EvaluateAll(c, s, v)
+	sched := NewSchedule(c)
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		for _, opts := range []EvalOptions{
+			{Workers: workers},
+			{Workers: workers, Schedule: sched},
+		} {
+			got := ParallelEvaluateAll(c, s, v, opts)
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: got %d values, want %d", name, workers, len(got), len(want))
+			}
+			for id := range want {
+				if !s.Equal(got[id], want[id]) {
+					t.Fatalf("%s workers=%d: gate %d = %s, want %s",
+						name, workers, id, s.Format(got[id]), s.Format(want[id]))
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEvaluateAllEquivalence checks the parallel evaluator against
+// the sequential one on random circuits with permanent gates, in the
+// natural-number, tropical (min-plus) and provenance semirings.  Run under
+// -race this also exercises the claim that gates within a level race on
+// nothing.
+func TestParallelEvaluateAllEquivalence(t *testing.T) {
+	sawPerm := false
+	for round := 0; round < 6; round++ {
+		rng := rand.New(rand.NewSource(int64(round) + 1))
+		nInputs := rng.Intn(6) + 4
+		c := randomCircuit(rng, nInputs, rng.Intn(300)+100)
+		sawPerm = sawPerm || hasPermGate(c)
+
+		vals := randomValues(rng, nInputs)
+		natVal := valuationFor(vals)
+		checkEquivalence[int64](t, fmt.Sprintf("nat/round%d", round), c, semiring.Nat, natVal)
+
+		tropVal := func(key structure.WeightKey) (semiring.Ext, bool) {
+			v, ok := natVal(key)
+			return semiring.Fin(v), ok
+		}
+		checkEquivalence[semiring.Ext](t, fmt.Sprintf("minplus/round%d", round), c, semiring.MinPlus, tropVal)
+
+		provVal := func(key structure.WeightKey) (*provenance.Poly, bool) {
+			if _, ok := natVal(key); !ok {
+				return nil, false
+			}
+			return provenance.FromMonomials(provenance.NewMonomial(provenance.Generator("g" + key.Tuple))), true
+		}
+		checkEquivalence[*provenance.Poly](t, fmt.Sprintf("provenance/round%d", round), c, provenance.Free, provVal)
+	}
+	if !sawPerm {
+		t.Fatal("no random circuit contained a permanent gate; generator is miscalibrated")
+	}
+}
+
+// TestParallelEvaluateEquivalence checks the output-gate shortcut.
+func TestParallelEvaluateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const nInputs = 6
+	c := randomCircuit(rng, nInputs, 200)
+	val := valuationFor(randomValues(rng, nInputs))
+	want := Evaluate[int64](c, semiring.Nat, val)
+	got := ParallelEvaluate[int64](c, semiring.Nat, val, EvalOptions{Workers: 3})
+	if got != want {
+		t.Fatalf("ParallelEvaluate = %d, want %d", got, want)
+	}
+}
+
+// TestNewSchedule checks the structural invariants of the level schedule:
+// every gate appears exactly once, children sit on strictly lower levels,
+// and the depth agrees with Statistics.
+func TestNewSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomCircuit(rng, 8, 400)
+	sched := NewSchedule(c)
+	if sched.NumGates() != c.NumGates() {
+		t.Fatalf("schedule covers %d gates, circuit has %d", sched.NumGates(), c.NumGates())
+	}
+	level := make([]int, c.NumGates())
+	seen := make([]bool, c.NumGates())
+	for d, lvl := range sched.Levels {
+		if len(lvl) == 0 {
+			t.Errorf("level %d is empty", d)
+		}
+		for _, id := range lvl {
+			if seen[id] {
+				t.Fatalf("gate %d scheduled twice", id)
+			}
+			seen[id] = true
+			level[id] = d
+		}
+	}
+	for id := range seen {
+		if !seen[id] {
+			t.Fatalf("gate %d not scheduled", id)
+		}
+	}
+	for id := range c.Gates {
+		for _, ch := range c.children(id) {
+			if level[ch] >= level[id] {
+				t.Fatalf("child %d (level %d) not below gate %d (level %d)", ch, level[ch], id, level[id])
+			}
+		}
+	}
+	if want := c.Statistics().Depth; sched.Depth() != want {
+		t.Fatalf("schedule depth %d, Statistics depth %d", sched.Depth(), want)
+	}
+	if sched.MaxWidth() <= 0 {
+		t.Fatal("MaxWidth must be positive for a non-empty circuit")
+	}
+}
+
+// TestScheduleMismatchPanics checks that passing a stale schedule is caught.
+func TestScheduleMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randomCircuit(rng, 5, 60)
+	sched := NewSchedule(c)
+	c.ConstInt(41) // extend the circuit behind the schedule's back
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic for a stale schedule")
+		}
+	}()
+	ParallelEvaluateAll[int64](c, semiring.Nat, func(structure.WeightKey) (int64, bool) { return 1, true },
+		EvalOptions{Workers: 2, Schedule: sched})
+}
+
+// benchmarkCircuit builds a wide, shallow circuit with ≥ 10k gates dominated
+// by permanent gates, the shape produced by the compiler on large databases.
+func benchmarkCircuit(b *testing.B) (*Circuit, Valuation[int64]) {
+	b.Helper()
+	c := NewBuilder()
+	rng := rand.New(rand.NewSource(42))
+	var inputs []int
+	for i := 0; i < 3000; i++ {
+		inputs = append(inputs, c.Input(structure.MakeWeightKey("w", structure.Tuple{i})))
+	}
+	var permGates []int
+	for i := 0; i < 7000; i++ {
+		const rows, cols = 3, 6
+		var entries []PermEntry
+		for r := 0; r < rows; r++ {
+			for col := 0; col < cols; col++ {
+				entries = append(entries, PermEntry{Row: r, Col: col, Gate: inputs[rng.Intn(len(inputs))]})
+			}
+		}
+		permGates = append(permGates, c.Perm(rows, cols, entries))
+	}
+	var sums []int
+	for i := 0; i+10 <= len(permGates); i += 10 {
+		prod := c.Mul(permGates[i], permGates[i+1])
+		sums = append(sums, c.Add(append([]int{prod}, permGates[i+2:i+10]...)...))
+	}
+	c.SetOutput(c.Add(sums...))
+	if c.NumGates() < 10000 {
+		b.Fatalf("benchmark circuit has only %d gates, want ≥ 10000", c.NumGates())
+	}
+	return c, func(key structure.WeightKey) (int64, bool) { return int64(len(key.Tuple)%5) + 1, true }
+}
+
+// BenchmarkEvaluateAllSequential is the sequential baseline on the ≥10k-gate
+// permanent-heavy circuit.
+func BenchmarkEvaluateAllSequential(b *testing.B) {
+	c, val := benchmarkCircuit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvaluateAll[int64](c, semiring.Nat, val)
+	}
+}
+
+// BenchmarkEvaluateAllParallel measures the level-parallel evaluator with a
+// precomputed schedule at GOMAXPROCS workers; on a multi-core machine it
+// should beat BenchmarkEvaluateAllSequential.
+func BenchmarkEvaluateAllParallel(b *testing.B) {
+	c, val := benchmarkCircuit(b)
+	sched := NewSchedule(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelEvaluateAll[int64](c, semiring.Nat, val, EvalOptions{Schedule: sched})
+	}
+}

@@ -1,0 +1,185 @@
+// Level scheduling and parallel evaluation.
+//
+// The circuits produced by internal/compile are wide and shallow: Theorem 6
+// bounds their depth by a constant depending only on the query, while the
+// number of gates grows linearly with the database.  That shape is ideal for
+// level-parallel evaluation: group gates by depth (the length of the longest
+// path from a leaf), then evaluate each level's gates concurrently — every
+// child of a depth-d gate has depth < d, so within a level gates are
+// independent.  Permanent gates, with their O(2^rows·rows·cols) column
+// dynamic program, dominate evaluation time and parallelise across the pool.
+//
+// The schedule depends only on the circuit topology, never on the semiring
+// or the valuation, so it is computed once (internal/compile does so at
+// circuit-build time) and reused across evaluations.
+package circuit
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/semiring"
+)
+
+// Schedule is a level decomposition of a circuit: Levels[d] lists the ids of
+// all gates whose depth is exactly d, in increasing id order.  A schedule is
+// immutable once built and is safe for concurrent use by any number of
+// evaluations.
+type Schedule struct {
+	// Levels groups gate ids by depth; level 0 holds the leaves (inputs and
+	// constants).
+	Levels [][]int
+
+	gates int
+}
+
+// NewSchedule computes the level decomposition of the circuit in one pass
+// over the gates (they are stored in topological order).
+func NewSchedule(c *Circuit) *Schedule {
+	depth := make([]int, len(c.Gates))
+	maxDepth := 0
+	for id := range c.Gates {
+		d := 0
+		g := &c.Gates[id]
+		for _, ch := range g.Children {
+			if depth[ch]+1 > d {
+				d = depth[ch] + 1
+			}
+		}
+		for _, e := range g.Entries {
+			if depth[e.Gate]+1 > d {
+				d = depth[e.Gate] + 1
+			}
+		}
+		depth[id] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]int, maxDepth+1)
+	counts := make([]int, maxDepth+1)
+	for _, d := range depth {
+		counts[d]++
+	}
+	for d := range levels {
+		levels[d] = make([]int, 0, counts[d])
+	}
+	for id, d := range depth {
+		levels[d] = append(levels[d], id)
+	}
+	return &Schedule{Levels: levels, gates: len(c.Gates)}
+}
+
+// Depth returns the number of levels minus one, i.e. the circuit depth.
+func (sc *Schedule) Depth() int { return len(sc.Levels) - 1 }
+
+// NumGates returns the number of gates the schedule covers.
+func (sc *Schedule) NumGates() int { return sc.gates }
+
+// MaxWidth returns the size of the largest level, an upper bound on the
+// useful degree of parallelism.
+func (sc *Schedule) MaxWidth() int {
+	w := 0
+	for _, lvl := range sc.Levels {
+		if len(lvl) > w {
+			w = len(lvl)
+		}
+	}
+	return w
+}
+
+// EvalOptions configures parallel evaluation.
+type EvalOptions struct {
+	// Workers is the size of the worker pool; values ≤ 0 select
+	// runtime.GOMAXPROCS(0).
+	Workers int
+
+	// Schedule is an optional precomputed level schedule for the circuit
+	// being evaluated.  When nil, a schedule is computed on the fly.  A
+	// schedule built for a different circuit (or a stale prefix of this one)
+	// must not be passed.
+	Schedule *Schedule
+}
+
+// minGatesPerWorker is the smallest slice of a level worth handing to a
+// separate goroutine; levels narrower than 2·minGatesPerWorker run on the
+// calling goroutine.  Cheap gates (add/mul over a few children) cost tens of
+// nanoseconds, so very fine-grained fan-out would be pure overhead.
+const minGatesPerWorker = 32
+
+// ParallelEvaluate computes the value of the output gate like Evaluate, but
+// evaluates each topological level's gates across a worker pool.
+func ParallelEvaluate[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T], opts EvalOptions) T {
+	if c.Output < 0 {
+		panic("circuit: no output gate set")
+	}
+	vals := ParallelEvaluateAll(c, s, v, opts)
+	return vals[c.Output]
+}
+
+// ParallelEvaluateAll computes the value of every gate, like EvaluateAll,
+// using opts.Workers goroutines per level.  The result is identical to
+// EvaluateAll for any semiring: levels are processed in increasing depth
+// order and gates within a level are independent, so the evaluation order
+// difference is invisible (each gate folds its own children sequentially).
+//
+// The valuation v and the semiring s are called from multiple goroutines
+// concurrently; both must be safe for concurrent use.  All the semirings in
+// internal/semiring and the valuations built by compile.NewValuation are
+// read-only and qualify.
+func ParallelEvaluateAll[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T], opts EvalOptions) []T {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sched := opts.Schedule
+	if sched == nil {
+		sched = NewSchedule(c)
+	} else if sched.gates != len(c.Gates) {
+		panic("circuit: schedule does not match circuit (was the circuit extended after scheduling?)")
+	}
+
+	vals := make([]T, len(c.Gates))
+	if workers == 1 {
+		for _, level := range sched.Levels {
+			for _, id := range level {
+				evaluateGate(c, s, v, id, vals)
+			}
+		}
+		return vals
+	}
+
+	var wg sync.WaitGroup
+	for _, level := range sched.Levels {
+		n := len(level)
+		chunks := workers
+		if max := n / minGatesPerWorker; chunks > max {
+			chunks = max
+		}
+		if chunks <= 1 {
+			for _, id := range level {
+				evaluateGate(c, s, v, id, vals)
+			}
+			continue
+		}
+		// Contiguous chunks: gates within a level touch disjoint vals slots,
+		// so no synchronisation beyond the per-level barrier is needed.
+		chunkSize := (n + chunks - 1) / chunks
+		wg.Add(chunks)
+		for w := 0; w < chunks; w++ {
+			lo := w * chunkSize
+			hi := lo + chunkSize
+			if hi > n {
+				hi = n
+			}
+			go func(ids []int) {
+				defer wg.Done()
+				for _, id := range ids {
+					evaluateGate(c, s, v, id, vals)
+				}
+			}(level[lo:hi])
+		}
+		wg.Wait()
+	}
+	return vals
+}

@@ -55,6 +55,9 @@ type Result struct {
 	// Circuit is the compiled circuit; evaluate it with
 	// circuit.Evaluate / circuit.NewDynamic under NewValuation.
 	Circuit *circuit.Circuit
+	// Schedule is the level schedule of Circuit, precomputed at compile time
+	// so that repeated (parallel) evaluations pay scheduling once.
+	Schedule *circuit.Schedule
 	// Structure is the (possibly quantifier-elimination-extended) structure
 	// the circuit was compiled against.
 	Structure *structure.Structure
@@ -164,6 +167,7 @@ func Compile(a *structure.Structure, e expr.Expr, opts Options) (*Result, error)
 	}
 	c.SetOutput(c.Add(gates...))
 	res.Circuit = c
+	res.Schedule = circuit.NewSchedule(c)
 	return res, nil
 }
 
@@ -562,6 +566,14 @@ func NewValuation[T any](res *Result, s semiring.Semiring[T], w *structure.Weigh
 // the paper).
 func Evaluate[T any](res *Result, s semiring.Semiring[T], w *structure.Weights[T]) T {
 	return circuit.Evaluate(res.Circuit, s, NewValuation(res, s, w))
+}
+
+// EvaluateParallel evaluates the compiled circuit like Evaluate but spreads
+// each topological level of gates across workers goroutines (≤ 0 selects
+// GOMAXPROCS), reusing the schedule precomputed by Compile.
+func EvaluateParallel[T any](res *Result, s semiring.Semiring[T], w *structure.Weights[T], workers int) T {
+	return circuit.ParallelEvaluate(res.Circuit, s, NewValuation(res, s, w),
+		circuit.EvalOptions{Workers: workers, Schedule: res.Schedule})
 }
 
 // BigCoefficient is a helper exposing big.Int construction to callers
