@@ -25,7 +25,6 @@ import (
 	"repro/internal/enumerate"
 	"repro/internal/parser"
 	"repro/internal/structure"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -38,13 +37,15 @@ func main() {
 	file := flag.String("file", "", "read the database from this file (dbio format)")
 	limit := flag.Int("limit", 20, "print at most this many answers (0 prints none)")
 	countOnly := flag.Bool("count", false, "only report the number of answers and timing")
+	workers := flag.Int("workers", 1, "worker goroutines for the preprocessing emptiness pass (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	a, err := loadStructure(*stdin, *file, *kind, *n, *seed)
+	db, err := dbio.LoadSource(dbio.Source{Stdin: *stdin, Path: *file, Kind: *kind, N: *n, Seed: *seed})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggenum: %v\n", err)
 		os.Exit(1)
 	}
+	a := db.A
 
 	phi, err := parser.ParseFormula(*phiText)
 	if err != nil {
@@ -58,7 +59,7 @@ func main() {
 	}
 
 	start := time.Now()
-	ans, err := enumerate.EnumerateAnswers(a, phi, vars, compile.Options{})
+	ans, err := enumerate.EnumerateAnswersParallel(a, phi, vars, compile.Options{}, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggenum: %v\n", err)
 		os.Exit(1)
@@ -94,42 +95,6 @@ func main() {
 	if printed > 0 {
 		fmt.Fprintf(out, "enumerated %d answers in %v (%.1fµs per answer)\n",
 			printed, elapsed, float64(elapsed.Microseconds())/float64(printed))
-	}
-}
-
-func loadStructure(stdin bool, file, kind string, n int, seed int64) (*structure.Structure, error) {
-	switch {
-	case stdin:
-		db, err := dbio.Read(os.Stdin)
-		if err != nil {
-			return nil, err
-		}
-		return db.A, nil
-	case file != "":
-		db, err := dbio.ReadFile(file)
-		if err != nil {
-			return nil, err
-		}
-		return db.A, nil
-	default:
-		var db *workload.Database
-		switch kind {
-		case "bounded-degree":
-			db = workload.BoundedDegree(n, 3, seed)
-		case "grid":
-			side := 1
-			for side*side < n {
-				side++
-			}
-			db = workload.Grid(side, side, seed)
-		case "pref-attach":
-			db = workload.PreferentialAttachment(n, 2, seed)
-		case "forest":
-			db = workload.Forest(n, 3, seed)
-		default:
-			return nil, fmt.Errorf("unknown workload %q", kind)
-		}
-		return db.A, nil
 	}
 }
 

@@ -14,7 +14,6 @@ import (
 	"os"
 
 	"repro/internal/dbio"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -24,28 +23,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	var db *workload.Database
-	switch *kind {
-	case "bounded-degree":
-		db = workload.BoundedDegree(*n, *degree, *seed)
-	case "grid":
-		side := 1
-		for side*side < *n {
-			side++
-		}
-		db = workload.Grid(side, side, *seed)
-	case "forest":
-		db = workload.Forest(*n, *degree, *seed)
-	case "pref-attach":
-		db = workload.PreferentialAttachment(*n, *degree, *seed)
-	case "road":
-		side := 1
-		for side*side < *n {
-			side++
-		}
-		db = workload.RoadNetwork(side, side, *n/10, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "agggen: unknown workload kind %q\n", *kind)
+	db, err := dbio.Source{Kind: *kind, N: *n, Degree: *degree, Seed: *seed}.Generate()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agggen: %v\n", err)
 		os.Exit(2)
 	}
 

@@ -27,8 +27,6 @@ import (
 	"repro/internal/logic"
 	"repro/internal/parser"
 	"repro/internal/semiring"
-	"repro/internal/structure"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -42,11 +40,12 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines per circuit evaluation (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	a, weights, err := loadDatabase(*stdin, *file, *kind, *n, *seed)
+	db, err := dbio.LoadSource(dbio.Source{Stdin: *stdin, Path: *file, Kind: *kind, N: *n, Seed: *seed})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggquery: %v\n", err)
 		os.Exit(1)
 	}
+	a, weights := db.A, db.W
 
 	e, err := selectQuery(*exprText, *query)
 	if err != nil {
@@ -95,48 +94,6 @@ func main() {
 	wg.Wait()
 	for _, l := range lines {
 		fmt.Println(l)
-	}
-}
-
-func loadDatabase(stdin bool, file, kind string, n int, seed int64) (*structure.Structure, *structure.Weights[int64], error) {
-	switch {
-	case stdin:
-		db, err := dbio.Read(os.Stdin)
-		if err != nil {
-			return nil, nil, err
-		}
-		return db.A, db.W, nil
-	case file != "":
-		db, err := dbio.ReadFile(file)
-		if err != nil {
-			return nil, nil, err
-		}
-		return db.A, db.W, nil
-	default:
-		var db *workload.Database
-		switch kind {
-		case "bounded-degree":
-			db = workload.BoundedDegree(n, 3, seed)
-		case "grid":
-			side := 1
-			for side*side < n {
-				side++
-			}
-			db = workload.Grid(side, side, seed)
-		case "pref-attach":
-			db = workload.PreferentialAttachment(n, 2, seed)
-		case "forest":
-			db = workload.Forest(n, 3, seed)
-		case "road":
-			side := 1
-			for side*side < n {
-				side++
-			}
-			db = workload.RoadNetwork(side, side, n/10, seed)
-		default:
-			return nil, nil, fmt.Errorf("unknown workload %q", kind)
-		}
-		return db.A, db.Weights(), nil
 	}
 }
 

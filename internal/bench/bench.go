@@ -760,6 +760,7 @@ func Registry(quick bool) []Experiment {
 		{"E9", func() *Table { return E9Coloring(small) }},
 		{"E10", func() *Table { return E10ProvenancePermanent(permCols) }},
 		{"E11", func() *Table { return E11ParallelEvaluation(sizes, 0) }},
+		{"E12", func() *Table { return E12ServingThroughput(small, 8) }},
 	}
 }
 

@@ -26,8 +26,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestRegistryCoversAllExperiments(t *testing.T) {
 	reg := Registry(true)
-	if len(reg) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(reg))
+	if len(reg) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -76,6 +76,7 @@ func TestSmallExperimentsRun(t *testing.T) {
 		E9Coloring([]int{300}),
 		E10ProvenancePermanent([]int{500}),
 		E11ParallelEvaluation(small, 2),
+		E12ServingThroughput([]int{300}, 8),
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 {

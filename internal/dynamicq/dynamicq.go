@@ -32,11 +32,29 @@ type Query[T any] struct {
 	relState map[string]map[string]bool
 }
 
-// CompileQuery compiles the weighted expression e, whose free variables
-// (if any) become query parameters, over the structure a.  The weights w
-// provide the initial valuation; they are not mutated by updates (the
-// evaluator keeps its own state).
-func CompileQuery[T any](s semiring.Semiring[T], a *structure.Structure, w *structure.Weights[T], e expr.Expr, opts compile.Options) (*Query[T], error) {
+// Shared is the semiring-agnostic half of a compiled query: the circuit of
+// the closed expression (Theorem 6) plus the free-variable bookkeeping of
+// the Theorem 8 reduction.  One Shared may back any number of Query
+// instances, possibly in different semirings; instantiating a Query through
+// NewQuery costs only the dynamic-evaluator state, not a recompilation.
+// A Shared itself is immutable after CompileShared and safe for concurrent
+// use by multiple goroutines.
+type Shared struct {
+	res  *compile.Result
+	free []string
+}
+
+// FreeVars returns the query's free variables in the order expected by
+// Query.Value.
+func (sh *Shared) FreeVars() []string { return append([]string(nil), sh.free...) }
+
+// Result exposes the underlying compilation result.
+func (sh *Shared) Result() *compile.Result { return sh.res }
+
+// CompileShared performs the expensive, semiring-independent part of
+// CompileQuery: closing the expression over its free variables and compiling
+// it into a circuit.
+func CompileShared(a *structure.Structure, e expr.Expr, opts compile.Options) (*Shared, error) {
 	free := expr.FreeVars(e)
 
 	// Close the expression: f' = Σ_x̄ f(x̄) · v_1(x_1) ··· v_k(x_k), where the
@@ -74,11 +92,28 @@ func CompileQuery[T any](s semiring.Semiring[T], a *structure.Structure, w *stru
 	if err != nil {
 		return nil, err
 	}
+	// Pre-build the lazily cached Gaifman graph so that concurrent sessions
+	// sharing this compilation can run Gaifman-preservation checks without
+	// racing on the first construction.
+	res.Structure.Gaifman()
+	return &Shared{res: res, free: free}, nil
+}
+
+// NewQuery instantiates a compiled query in the semiring s under the initial
+// weight assignment w.  The query keeps a reference to w and records
+// SetWeight updates into it; pass a fresh copy when the caller's assignment
+// must stay untouched.  Many queries may be built from one Shared; each gets
+// independent update state.
+func NewQuery[T any](s semiring.Semiring[T], sh *Shared, w *structure.Weights[T]) *Query[T] {
+	if w == nil {
+		w = structure.NewWeights[T]()
+	}
+	res := sh.res
 	q := &Query[T]{
 		s:        s,
 		res:      res,
 		weights:  w,
-		free:     free,
+		free:     sh.FreeVars(),
 		relState: map[string]map[string]bool{},
 	}
 	for rel := range res.DynamicRelations {
@@ -89,7 +124,19 @@ func CompileQuery[T any](s semiring.Semiring[T], a *structure.Structure, w *stru
 		q.relState[rel] = state
 	}
 	q.dyn = circuit.NewDynamic(res.Circuit, s, compile.NewValuation(res, s, w))
-	return q, nil
+	return q
+}
+
+// CompileQuery compiles the weighted expression e, whose free variables
+// (if any) become query parameters, over the structure a.  The weights w
+// provide the initial valuation.  Equivalent to CompileShared followed by
+// NewQuery.
+func CompileQuery[T any](s semiring.Semiring[T], a *structure.Structure, w *structure.Weights[T], e expr.Expr, opts compile.Options) (*Query[T], error) {
+	sh, err := CompileShared(a, e, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewQuery(s, sh, w), nil
 }
 
 // FreeVars returns the query's free variables in the order expected by

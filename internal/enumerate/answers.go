@@ -36,6 +36,19 @@ type Answers struct {
 // may later be updated through SetTuple, provided the updates preserve the
 // Gaifman graph.
 func EnumerateAnswers(a *structure.Structure, phi logic.Formula, vars []string, opts compile.Options) (*Answers, error) {
+	return enumerateAnswers(a, phi, vars, opts, 1)
+}
+
+// EnumerateAnswersParallel preprocesses like EnumerateAnswers but computes
+// the initial per-gate emptiness with the level-parallel circuit engine
+// (NewParallel) on workers goroutines, reusing the schedule precomputed by
+// the compiler; workers ≤ 0 selects GOMAXPROCS and workers == 1 falls back
+// to the sequential pass.
+func EnumerateAnswersParallel(a *structure.Structure, phi logic.Formula, vars []string, opts compile.Options, workers int) (*Answers, error) {
+	return enumerateAnswers(a, phi, vars, opts, workers)
+}
+
+func enumerateAnswers(a *structure.Structure, phi logic.Formula, vars []string, opts compile.Options, workers int) (*Answers, error) {
 	for _, v := range logic.FreeVars(phi) {
 		found := false
 		for _, u := range vars {
@@ -84,7 +97,11 @@ func EnumerateAnswers(a *structure.Structure, phi logic.Formula, vars []string, 
 		}
 		ans.relState[rel] = state
 	}
-	ans.enum = New(res.Circuit, ans.inputValue)
+	if workers == 1 {
+		ans.enum = New(res.Circuit, ans.inputValue)
+	} else {
+		ans.enum = NewParallel(res.Circuit, ans.inputValue, res.Schedule, workers)
+	}
 	return ans, nil
 }
 

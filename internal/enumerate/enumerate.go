@@ -159,6 +159,37 @@ type permGateMeta struct {
 // New builds the enumerator for a circuit under the given input assignment.
 // Inputs not covered by the assignment are zero.
 func New(c *circuit.Circuit, inputs func(key structure.WeightKey) Value) *Enumerator {
+	return build(c, inputs, nil)
+}
+
+// NewParallel builds the enumerator like New, but computes the initial
+// emptiness of every gate with the level-parallel circuit engine first: a
+// gate's value is non-empty exactly when the circuit, with every input
+// mapped to the truth of "this input is non-empty", evaluates to true at
+// that gate in the boolean semiring (for permanent gates the boolean
+// permanent is the existence of a system of distinct representatives, which
+// is Lemma 39's matchability test).  The sequential metadata pass that
+// follows then skips its per-gate emptiness work.
+//
+// sched may be nil (the schedule is computed on the fly); workers ≤ 0
+// selects GOMAXPROCS.  inputs is called from multiple goroutines and must be
+// safe for concurrent use.
+func NewParallel(c *circuit.Circuit, inputs func(key structure.WeightKey) Value, sched *circuit.Schedule, workers int) *Enumerator {
+	val := func(key structure.WeightKey) (bool, bool) {
+		if inputs == nil {
+			return false, true
+		}
+		v := inputs(key)
+		return v != nil && !v.Empty(), true
+	}
+	nonempty := circuit.ParallelEvaluateAll[bool](c, semiring.Bool, val,
+		circuit.EvalOptions{Workers: workers, Schedule: sched})
+	return build(c, inputs, nonempty)
+}
+
+// build constructs the enumerator; when nonempty is non-nil it carries the
+// precomputed per-gate emptiness and the pass skips recomputing it.
+func build(c *circuit.Circuit, inputs func(key structure.WeightKey) Value, nonempty []bool) *Enumerator {
 	if c.Output < 0 {
 		panic("enumerate: circuit has no output gate")
 	}
@@ -241,7 +272,12 @@ func New(c *circuit.Circuit, inputs func(key structure.WeightKey) Value) *Enumer
 				meta.byType[t] = append(meta.byType[t], col)
 			}
 			e.perms[id] = meta
-			e.empty[id] = !meta.matchable((1<<uint(g.Rows))-1, nil)
+			if nonempty != nil {
+				// The boolean permanent already decided matchability.
+				e.empty[id] = !nonempty[id]
+			} else {
+				e.empty[id] = !meta.matchable((1<<uint(g.Rows))-1, nil)
+			}
 		}
 	}
 	// Deduplicate parent lists.

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a size-bounded LRU of compiled artefacts.  Entries are created
+// at most once per key: concurrent requests for the same key share one
+// compilation (the loser of the insertion race waits on the winner's
+// sync.Once), so a thundering herd on a cold query pays the compiler once.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *cacheSlot
+	items map[string]*list.Element
+}
+
+type cacheSlot struct {
+	key  string
+	once sync.Once
+	// value and err are written inside once and read only afterwards.
+	value any
+	err   error
+}
+
+func newLRUCache(max int) *lruCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &lruCache{max: max, order: list.New(), items: map[string]*list.Element{}}
+}
+
+// getOrCreate returns the cached value for key, building it with build on
+// first use.  The second return reports whether the slot already existed
+// (a cache hit — possibly still being built by another goroutine).  A slot
+// whose build failed is evicted so the next request retries.
+func (c *lruCache) getOrCreate(key string, build func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	el, hit := c.items[key]
+	if hit {
+		c.order.MoveToFront(el)
+	} else {
+		el = c.order.PushFront(&cacheSlot{key: key})
+		c.items[key] = el
+		for c.order.Len() > c.max {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheSlot).key)
+		}
+	}
+	slot := el.Value.(*cacheSlot)
+	c.mu.Unlock()
+
+	slot.once.Do(func() {
+		slot.value, slot.err = build()
+		if slot.err != nil {
+			c.remove(key, slot)
+		}
+	})
+	return slot.value, hit, slot.err
+}
+
+// remove drops the slot from the cache if it is still the one mapped at key.
+func (c *lruCache) remove(key string, slot *cacheSlot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok && el.Value.(*cacheSlot) == slot {
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// len reports the current number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,385 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/structure"
+)
+
+// errConflict marks errors that should surface as 409 rather than 400.
+var errConflict = errors.New("conflict")
+
+// Handler returns the HTTP handler serving the aggserve API:
+//
+//	POST /query      evaluate a closed expression in a named semiring
+//	POST /session    create a named dynamic-update session
+//	POST /point      point query at a tuple of free variables
+//	POST /update     apply a batch of weight/tuple updates to a session
+//	GET  /enumerate  stream query answers as NDJSON with constant delay
+//	GET  /stats      serving counters
+//	GET  /healthz    liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.wrap(s.handleQuery))
+	mux.HandleFunc("POST /session", s.wrap(s.handleSession))
+	mux.HandleFunc("DELETE /session", s.wrap(s.handleDeleteSession))
+	mux.HandleFunc("POST /point", s.wrap(s.handlePoint))
+	mux.HandleFunc("POST /update", s.wrap(s.handleUpdate))
+	mux.HandleFunc("GET /enumerate", s.wrap(s.handleEnumerate))
+	mux.HandleFunc("GET /stats", s.wrap(s.handleStats))
+	mux.HandleFunc("GET /healthz", s.wrap(func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, map[string]bool{"ok": true})
+	}))
+	return mux
+}
+
+func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.InFlight.Add(1)
+		defer s.stats.InFlight.Add(-1)
+		h(w, r)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.stats.Errors.Add(1)
+	status := http.StatusBadRequest
+	if errors.Is(err, errConflict) {
+		status = http.StatusConflict
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// POST /query
+// ---------------------------------------------------------------------------
+
+type queryRequest struct {
+	DB       string `json:"db"`
+	Expr     string `json:"expr"`
+	Semiring string `json:"semiring"`
+	// Workers overrides the server's evaluation worker pool for this request
+	// (0 keeps the server default).
+	Workers int `json:"workers"`
+	// Dynamic lists relations compiled as dynamic inputs; it participates in
+	// the cache key.
+	Dynamic []string `json:"dynamic"`
+}
+
+type circuitInfo struct {
+	Gates int `json:"gates"`
+	Edges int `json:"edges"`
+	Depth int `json:"depth"`
+}
+
+type queryResponse struct {
+	Semiring   string      `json:"semiring"`
+	Value      string      `json:"value"`
+	Cached     bool        `json:"cached"`
+	EvalMillis float64     `json:"evalMillis"`
+	Circuit    circuitInfo `json:"circuit"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	cq, hit, err := s.compiled(req.DB, req.Expr, req.Semiring, req.Dynamic)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if free := cq.sh.FreeVars(); len(free) > 0 {
+		s.writeError(w, fmt.Errorf("expression has free variables %v; use /point for point queries", free))
+		return
+	}
+	var value string
+	d := timed(&s.stats.EvalNanos, func() {
+		value = cq.sem.Evaluate(cq.sh.Result(), cq.cw, s.workers(req.Workers))
+	})
+	s.stats.Queries.Add(1)
+	st := cq.sh.Result().Circuit.Statistics()
+	s.writeJSON(w, queryResponse{
+		Semiring:   cq.sem.Name(),
+		Value:      value,
+		Cached:     hit,
+		EvalMillis: float64(d.Nanoseconds()) / 1e6,
+		Circuit:    circuitInfo{Gates: st.Gates, Edges: st.Edges, Depth: st.Depth},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// POST /session
+// ---------------------------------------------------------------------------
+
+type sessionRequest struct {
+	Name     string   `json:"name"`
+	DB       string   `json:"db"`
+	Expr     string   `json:"expr"`
+	Semiring string   `json:"semiring"`
+	Dynamic  []string `json:"dynamic"`
+}
+
+type sessionResponse struct {
+	Session  string   `json:"session"`
+	FreeVars []string `json:"freeVars"`
+	Cached   bool     `json:"cached"`
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	h, hit, err := s.CreateSession(req.Name, req.DB, req.Expr, req.Semiring, req.Dynamic)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, sessionResponse{Session: h.name, FreeVars: h.sess.FreeVars(), Cached: hit})
+}
+
+// handleDeleteSession serves DELETE /session?name=...; without it, a
+// long-lived daemon whose clients create sessions per task would accumulate
+// evaluator state without bound (compiled queries live in the bounded LRU,
+// sessions do not).
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		s.writeError(w, fmt.Errorf("missing session name"))
+		return
+	}
+	if err := s.DeleteSession(name); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, map[string]string{"deleted": name})
+}
+
+// ---------------------------------------------------------------------------
+// POST /point
+// ---------------------------------------------------------------------------
+
+type pointRequest struct {
+	// Session targets a named session; alternatively db/expr/semiring use
+	// the compiled-query cache's implicit session.
+	Session  string              `json:"session"`
+	DB       string              `json:"db"`
+	Expr     string              `json:"expr"`
+	Semiring string              `json:"semiring"`
+	Args     []structure.Element `json:"args"`
+}
+
+type pointResponse struct {
+	Value string `json:"value"`
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	var req pointRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var value string
+	if req.Session != "" {
+		h, err := s.session(req.Session)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		h.mu.Lock()
+		value, err = h.sess.Point(req.Args)
+		h.mu.Unlock()
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+	} else {
+		cq, _, err := s.compiled(req.DB, req.Expr, req.Semiring, nil)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		cq.mu.Lock()
+		value, err = cq.session().Point(req.Args)
+		cq.mu.Unlock()
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
+	s.stats.Points.Add(1)
+	s.writeJSON(w, pointResponse{Value: value})
+}
+
+// ---------------------------------------------------------------------------
+// POST /update
+// ---------------------------------------------------------------------------
+
+// updateSpec is one update of a batch.  A weight update sets Weight/Tuple/
+// Value; a tuple update sets Rel/Tuple and optionally Present (default
+// true, i.e. insert).
+type updateSpec struct {
+	Weight  string          `json:"weight"`
+	Rel     string          `json:"rel"`
+	Tuple   structure.Tuple `json:"tuple"`
+	Value   int64           `json:"value"`
+	Present *bool           `json:"present"`
+}
+
+type updateRequest struct {
+	Session string       `json:"session"`
+	Updates []updateSpec `json:"updates"`
+}
+
+type updateResponse struct {
+	Applied int `json:"applied"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	h, err := s.session(req.Session)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	applied := 0
+	h.mu.Lock()
+	for i, u := range req.Updates {
+		switch {
+		case u.Weight != "" && u.Rel != "":
+			err = fmt.Errorf("update %d names both a weight and a relation", i)
+		case u.Weight != "":
+			err = h.sess.SetWeight(u.Weight, u.Tuple, u.Value)
+		case u.Rel != "":
+			present := u.Present == nil || *u.Present
+			err = h.sess.SetTuple(u.Rel, u.Tuple, present)
+		default:
+			err = fmt.Errorf("update %d names neither a weight nor a relation", i)
+		}
+		if err != nil {
+			err = fmt.Errorf("update %d: %v (%d of %d applied)", i, err, applied, len(req.Updates))
+			break
+		}
+		applied++
+	}
+	h.mu.Unlock()
+	s.stats.Updates.Add(int64(applied))
+	s.stats.UpdateBatches.Add(1)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, updateResponse{Applied: applied})
+}
+
+// ---------------------------------------------------------------------------
+// GET /enumerate
+// ---------------------------------------------------------------------------
+
+// enumerateLine is one NDJSON line of the /enumerate stream: every answer
+// tuple on its own line, then a final summary line with Done set.
+type enumerateLine struct {
+	Answer   structure.Tuple `json:"answer,omitempty"`
+	Done     bool            `json:"done,omitempty"`
+	Streamed int             `json:"streamed,omitempty"`
+	Total    int64           `json:"total,omitempty"`
+	Cached   bool            `json:"cached,omitempty"`
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	vars := splitList(q.Get("vars"))
+	limit := 100
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("invalid limit %q", raw))
+			return
+		}
+		limit = n
+	}
+	ce, hit, err := s.compiledEnumerator(q.Get("db"), q.Get("phi"), vars)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+
+	// Cached enumerators never receive updates, so concurrent cursors are
+	// independent and safe; each request drives its own.
+	cur := ce.ans.Cursor()
+	streamed := 0
+	for limit <= 0 || streamed < limit {
+		t, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(enumerateLine{Answer: t}); err != nil {
+			return // client went away
+		}
+		streamed++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(enumerateLine{Done: true, Streamed: streamed, Total: ce.total, Cached: hit})
+	s.stats.Enumerations.Add(1)
+}
+
+// ---------------------------------------------------------------------------
+// GET /stats
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.stats.snapshot()
+	snap.CachedQueries = s.cache.len()
+	s.mu.RLock()
+	snap.Databases = len(s.dbs)
+	s.mu.RUnlock()
+	snap.UptimeSeconds = time.Since(s.start).Seconds()
+	s.writeJSON(w, snap)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

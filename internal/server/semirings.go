@@ -1,0 +1,157 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compile"
+	"repro/internal/dynamicq"
+	"repro/internal/provenance"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// Semiring is one named carrier the server can evaluate queries in.  It
+// erases the type parameter of internal/semiring so that handlers can be
+// written once: the database's serialised int64 weights are embedded into
+// the carrier, circuits are evaluated with the level-parallel engine, and
+// results come back formatted.
+type Semiring interface {
+	Name() string
+	// Convert embeds the database's integer weights into the carrier once;
+	// the result is immutable and may be shared by any number of Evaluate
+	// calls (sessions convert their own mutable copy instead).
+	Convert(w *structure.Weights[int64]) ConvertedWeights
+	// Evaluate runs the compiled circuit under previously converted weights
+	// across workers goroutines and formats the output value.
+	Evaluate(res *compile.Result, cw ConvertedWeights, workers int) string
+	// NewSession instantiates per-session dynamic state (Theorem 8) on top
+	// of a shared compilation, with a private copy of the weights (sessions
+	// mutate theirs through SetWeight).
+	NewSession(sh *dynamicq.Shared, w *structure.Weights[int64]) Session
+}
+
+// ConvertedWeights is an opaque *structure.Weights[T] produced by a
+// Semiring's Convert and consumed by the same Semiring's Evaluate.
+type ConvertedWeights any
+
+// Session is a compiled query with mutable update state in one semiring.
+// Sessions are NOT safe for concurrent use; the server guards each with its
+// own lock.
+type Session interface {
+	FreeVars() []string
+	// Point returns the formatted value of the query at a tuple of its free
+	// variables (no arguments for a closed query).
+	Point(args []structure.Element) (string, error)
+	// SetWeight updates one weight (the int64 is embedded like the initial
+	// database weights).
+	SetWeight(weight string, tuple structure.Tuple, value int64) error
+	// SetTuple inserts or removes a tuple of a dynamic relation.
+	SetTuple(rel string, tuple structure.Tuple, present bool) error
+}
+
+// typedSemiring adapts one semiring.Semiring[T] to the erased interface.
+// embed maps a serialised integer weight into the carrier; it sees the full
+// weight key so that carriers like the provenance semiring can mint a
+// distinct generator per tuple.
+type typedSemiring[T any] struct {
+	name  string
+	s     semiring.Semiring[T]
+	embed func(key structure.WeightKey, v int64) T
+}
+
+func (ts *typedSemiring[T]) Name() string { return ts.name }
+
+func (ts *typedSemiring[T]) convert(w *structure.Weights[int64]) *structure.Weights[T] {
+	out := structure.NewWeights[T]()
+	if w == nil {
+		return out
+	}
+	w.ForEach(func(k structure.WeightKey, v int64) {
+		out.Set(k.Weight, structure.ParseTupleKey(k.Tuple), ts.embed(k, v))
+	})
+	return out
+}
+
+func (ts *typedSemiring[T]) Convert(w *structure.Weights[int64]) ConvertedWeights {
+	return ts.convert(w)
+}
+
+func (ts *typedSemiring[T]) Evaluate(res *compile.Result, cw ConvertedWeights, workers int) string {
+	return ts.s.Format(compile.EvaluateParallel(res, ts.s, cw.(*structure.Weights[T]), workers))
+}
+
+func (ts *typedSemiring[T]) NewSession(sh *dynamicq.Shared, w *structure.Weights[int64]) Session {
+	return &typedSession[T]{ts: ts, q: dynamicq.NewQuery(ts.s, sh, ts.convert(w))}
+}
+
+type typedSession[T any] struct {
+	ts *typedSemiring[T]
+	q  *dynamicq.Query[T]
+}
+
+func (s *typedSession[T]) FreeVars() []string { return s.q.FreeVars() }
+
+func (s *typedSession[T]) Point(args []structure.Element) (string, error) {
+	v, err := s.q.Value(args...)
+	if err != nil {
+		return "", err
+	}
+	return s.ts.s.Format(v), nil
+}
+
+func (s *typedSession[T]) SetWeight(weight string, tuple structure.Tuple, value int64) error {
+	return s.q.SetWeight(weight, tuple, s.ts.embed(structure.MakeWeightKey(weight, tuple), value))
+}
+
+func (s *typedSession[T]) SetTuple(rel string, tuple structure.Tuple, present bool) error {
+	return s.q.SetTuple(rel, tuple, present)
+}
+
+// semirings is the registry of carriers served over HTTP.  The provenance
+// entry maps every non-zero weight to a fresh generator named after its
+// tuple, so query values come back as provenance polynomials.
+var semirings = map[string]Semiring{
+	"natural": &typedSemiring[int64]{
+		name:  "natural",
+		s:     semiring.Nat,
+		embed: func(_ structure.WeightKey, v int64) int64 { return v },
+	},
+	"minplus": &typedSemiring[semiring.Ext]{
+		name:  "minplus",
+		s:     semiring.MinPlus,
+		embed: func(_ structure.WeightKey, v int64) semiring.Ext { return semiring.Fin(v) },
+	},
+	"boolean": &typedSemiring[bool]{
+		name:  "boolean",
+		s:     semiring.Bool,
+		embed: func(_ structure.WeightKey, v int64) bool { return v != 0 },
+	},
+	"provenance": &typedSemiring[*provenance.Poly]{
+		name: "provenance",
+		s:    provenance.Free,
+		embed: func(k structure.WeightKey, v int64) *provenance.Poly {
+			if v == 0 {
+				return provenance.NewPoly()
+			}
+			return provenance.Var(provenance.Generator(fmt.Sprintf("%s(%s)", k.Weight, k.Tuple)))
+		},
+	},
+}
+
+// SemiringNames lists the registered semirings in sorted order.
+func SemiringNames() []string {
+	names := make([]string, 0, len(semirings))
+	for name := range semirings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func lookupSemiring(name string) (Semiring, error) {
+	if s, ok := semirings[name]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("unknown semiring %q (available: %v)", name, SemiringNames())
+}

@@ -1,0 +1,314 @@
+// Package server implements aggserve, the long-lived query-serving
+// subsystem: databases are loaded once at startup, weighted expressions are
+// compiled on demand through the Theorem 6 compiler and kept in an LRU cache
+// of compiled circuits, and many concurrent clients then share each
+// compilation — linear-time semiring evaluation over the level-parallel
+// engine (/query), logarithmic-time point queries and weight/tuple updates
+// on named dynamic sessions (/point, /update, Theorem 8), and constant-delay
+// enumeration streamed as NDJSON (/enumerate, Theorem 24).
+//
+// The cache is keyed by (database, canonical expression, semiring, options),
+// so repeated queries skip compilation entirely; concurrent cold requests
+// for the same key share a single compile.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/dbio"
+	"repro/internal/dynamicq"
+	"repro/internal/enumerate"
+	"repro/internal/parser"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize bounds the number of cached compiled queries (≤ 0 selects
+	// the default of 128).
+	CacheSize int
+	// Workers is the default worker-pool size per circuit evaluation and
+	// enumeration preprocessing pass (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// MaxVars is forwarded to compile.Options (0 keeps the compiler
+	// default).
+	MaxVars int
+}
+
+// Server serves compiled weighted queries over one or more mounted
+// databases.  All methods and the HTTP handler are safe for concurrent use.
+type Server struct {
+	opts  Options
+	cache *lruCache
+	stats Stats
+	start time.Time
+
+	mu       sync.RWMutex
+	dbs      map[string]*dbio.Database
+	sessions map[string]*sessionHandle
+}
+
+// New creates a server with no databases mounted.
+func New(opts Options) *Server {
+	return &Server{
+		opts:     opts,
+		cache:    newLRUCache(opts.CacheSize),
+		start:    time.Now(),
+		dbs:      map[string]*dbio.Database{},
+		sessions: map[string]*sessionHandle{},
+	}
+}
+
+// Stats exposes the server's counters (primarily for tests and benchmarks;
+// HTTP clients use GET /stats).
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// MountDatabase parses a database from r in the dbio text format and mounts
+// it under the given name.
+func (s *Server) MountDatabase(name string, r io.Reader) error {
+	db, err := dbio.Read(r)
+	if err != nil {
+		return err
+	}
+	s.MountDatabaseValue(name, db)
+	return nil
+}
+
+// MountDatabaseValue mounts an already-loaded database.  Remounting an
+// existing name replaces it for new compilations; cached circuits and live
+// sessions keep serving the snapshot they were compiled against.
+func (s *Server) MountDatabaseValue(name string, db *dbio.Database) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dbs[name] = db
+}
+
+// database resolves a database by name; an empty name selects "default" or,
+// failing that, the only mounted database.
+func (s *Server) database(name string) (string, *dbio.Database, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if db, ok := s.dbs["default"]; ok {
+			return "default", db, nil
+		}
+		if len(s.dbs) == 1 {
+			for n, db := range s.dbs {
+				return n, db, nil
+			}
+		}
+		return "", nil, fmt.Errorf("no database named in the request and no unambiguous default among %v", s.databaseNames())
+	}
+	if db, ok := s.dbs[name]; ok {
+		return name, db, nil
+	}
+	return "", nil, fmt.Errorf("unknown database %q (mounted: %v)", name, s.databaseNames())
+}
+
+// databaseNames must be called with s.mu held.
+func (s *Server) databaseNames() []string {
+	names := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// compiledQuery is one cache entry: a semiring-agnostic shared compilation,
+// the database weights converted once into the entry's carrier (shared by
+// every read-only /query evaluation), and, lazily, the implicit session used
+// by session-less /point requests.
+type compiledQuery struct {
+	sh  *dynamicq.Shared
+	sem Semiring
+	db  *dbio.Database
+	cw  ConvertedWeights
+
+	mu       sync.Mutex // guards implicit
+	implicit Session
+}
+
+// session returns the entry's implicit session, building it on first use.
+// The caller must hold cq.mu while using the returned session.
+func (cq *compiledQuery) session() Session {
+	if cq.implicit == nil {
+		cq.implicit = cq.sem.NewSession(cq.sh, cq.db.W)
+	}
+	return cq.implicit
+}
+
+func (s *Server) compileOptions(dynamic []string) compile.Options {
+	return compile.Options{DynamicRelations: dynamic, MaxVars: s.opts.MaxVars}
+}
+
+// optionsKey canonically encodes the compile options that are part of the
+// cache key.
+func (s *Server) optionsKey(dynamic []string) string {
+	dyn := append([]string(nil), dynamic...)
+	sort.Strings(dyn)
+	return fmt.Sprintf("dyn=%s;maxvars=%d", strings.Join(dyn, ","), s.opts.MaxVars)
+}
+
+// compiled resolves (database, expression, semiring, options) through the
+// LRU cache, compiling at most once per key.  The bool reports a cache hit.
+func (s *Server) compiled(dbName, exprText, semName string, dynamic []string) (*compiledQuery, bool, error) {
+	dbName, db, err := s.database(dbName)
+	if err != nil {
+		return nil, false, err
+	}
+	sem, err := lookupSemiring(semName)
+	if err != nil {
+		return nil, false, err
+	}
+	if strings.TrimSpace(exprText) == "" {
+		return nil, false, fmt.Errorf("missing expression")
+	}
+	e, err := parser.ParseExpr(exprText)
+	if err != nil {
+		return nil, false, fmt.Errorf("parsing expression: %w", err)
+	}
+	key := strings.Join([]string{"query", dbName, parser.FormatExpr(e), sem.Name(), s.optionsKey(dynamic)}, "\x00")
+
+	v, hit, err := s.cache.getOrCreate(key, func() (any, error) {
+		s.stats.Compiles.Add(1)
+		var sh *dynamicq.Shared
+		var cerr error
+		timed(&s.stats.CompileNanos, func() {
+			sh, cerr = dynamicq.CompileShared(db.A, e, s.compileOptions(dynamic))
+		})
+		if cerr != nil {
+			return nil, cerr
+		}
+		return &compiledQuery{sh: sh, sem: sem, db: db, cw: sem.Convert(db.W)}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if hit {
+		s.stats.CacheHits.Add(1)
+	} else {
+		s.stats.CacheMisses.Add(1)
+	}
+	return v.(*compiledQuery), hit, nil
+}
+
+// compiledEnum is a cached constant-delay enumerator.  Entries never receive
+// updates, so cursors may be drawn and driven concurrently and the answer
+// total is a constant computed once at build time.
+type compiledEnum struct {
+	ans   *enumerate.Answers
+	vars  []string
+	total int64
+}
+
+// compiledEnumerator resolves (database, formula, vars) through the cache.
+func (s *Server) compiledEnumerator(dbName, phiText string, vars []string) (*compiledEnum, bool, error) {
+	dbName, db, err := s.database(dbName)
+	if err != nil {
+		return nil, false, err
+	}
+	if strings.TrimSpace(phiText) == "" {
+		return nil, false, fmt.Errorf("missing formula")
+	}
+	if len(vars) == 0 {
+		return nil, false, fmt.Errorf("missing answer variables")
+	}
+	phi, err := parser.ParseFormula(phiText)
+	if err != nil {
+		return nil, false, fmt.Errorf("parsing formula: %w", err)
+	}
+	key := strings.Join([]string{"enum", dbName, parser.FormatFormula(phi), strings.Join(vars, ","), s.optionsKey(nil)}, "\x00")
+
+	v, hit, err := s.cache.getOrCreate(key, func() (any, error) {
+		s.stats.Compiles.Add(1)
+		var ans *enumerate.Answers
+		var cerr error
+		timed(&s.stats.CompileNanos, func() {
+			ans, cerr = enumerate.EnumerateAnswersParallel(db.A, phi, vars, s.compileOptions(nil), s.workers(0))
+		})
+		if cerr != nil {
+			return nil, cerr
+		}
+		return &compiledEnum{ans: ans, vars: vars, total: ans.Count()}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if hit {
+		s.stats.CacheHits.Add(1)
+	} else {
+		s.stats.CacheMisses.Add(1)
+	}
+	return v.(*compiledEnum), hit, nil
+}
+
+// sessionHandle is a named session with its own lock: point queries and
+// update batches on one session serialise, while distinct sessions proceed
+// in parallel.
+type sessionHandle struct {
+	name     string
+	db       string
+	expr     string
+	semiring string
+
+	mu   sync.Mutex
+	sess Session
+}
+
+// CreateSession compiles (through the cache) and registers a named session.
+func (s *Server) CreateSession(name, dbName, exprText, semName string, dynamic []string) (*sessionHandle, bool, error) {
+	if name == "" {
+		return nil, false, fmt.Errorf("missing session name")
+	}
+	cq, hit, err := s.compiled(dbName, exprText, semName, dynamic)
+	if err != nil {
+		return nil, hit, err
+	}
+	h := &sessionHandle{name: name, db: dbName, expr: exprText, semiring: semName}
+	h.sess = cq.sem.NewSession(cq.sh, cq.db.W)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.sessions[name]; exists {
+		return nil, hit, fmt.Errorf("session %q already exists: %w", name, errConflict)
+	}
+	s.sessions[name] = h
+	s.stats.Sessions.Add(1)
+	return h, hit, nil
+}
+
+// DeleteSession unregisters a named session, releasing its evaluator state.
+// In-flight requests holding the handle finish normally; later requests see
+// an unknown session.
+func (s *Server) DeleteSession(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[name]; !ok {
+		return fmt.Errorf("unknown session %q", name)
+	}
+	delete(s.sessions, name)
+	return nil
+}
+
+func (s *Server) session(name string) (*sessionHandle, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if h, ok := s.sessions[name]; ok {
+		return h, nil
+	}
+	return nil, fmt.Errorf("unknown session %q", name)
+}
+
+// workers resolves a per-request worker count against the server default.
+func (s *Server) workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return s.opts.Workers
+}

@@ -1,0 +1,381 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/dbio"
+	"repro/internal/dynamicq"
+	"repro/internal/parser"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// newTestServer mounts a grid workload as "default" and returns the server,
+// its HTTP frontend, and the raw workload for oracle computations.
+func newTestServer(t *testing.T, n int) (*Server, *httptest.Server, *workload.Database) {
+	t.Helper()
+	db := workload.Grid(n, n, 7)
+	srv := New(Options{CacheSize: 32, Workers: 2})
+	srv.MountDatabaseValue("default", &dbio.Database{A: db.A, W: db.Weights()})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, db
+}
+
+func postJSON(t *testing.T, url string, body any) (map[string]any, int) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response of %s: %v", url, err)
+	}
+	return out, resp.StatusCode
+}
+
+const edgeSum = "sum x, y . [E(x,y)] * w(x,y)"
+
+// TestCacheHitSkipsCompilation is acceptance criterion 1: a repeated /query
+// leaves the compile counter unchanged and reports cached=true.
+func TestCacheHitSkipsCompilation(t *testing.T) {
+	srv, ts, _ := newTestServer(t, 6)
+
+	first, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "natural"})
+	if code != http.StatusOK {
+		t.Fatalf("first query failed: %v", first)
+	}
+	if first["cached"] != false {
+		t.Errorf("first query reported cached=%v, want false", first["cached"])
+	}
+	if got := srv.Stats().Compiles.Load(); got != 1 {
+		t.Fatalf("after first query: %d compiles, want 1", got)
+	}
+
+	second, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "natural"})
+	if code != http.StatusOK {
+		t.Fatalf("second query failed: %v", second)
+	}
+	if second["cached"] != true {
+		t.Errorf("second query reported cached=%v, want true", second["cached"])
+	}
+	if got := srv.Stats().Compiles.Load(); got != 1 {
+		t.Errorf("cache hit recompiled: %d compiles, want 1", got)
+	}
+	if second["value"] != first["value"] {
+		t.Errorf("cached value %v differs from cold value %v", second["value"], first["value"])
+	}
+	if got := srv.Stats().CacheHits.Load(); got != 1 {
+		t.Errorf("cacheHits = %d, want 1", got)
+	}
+
+	// A different semiring is a different cache key.
+	if _, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "boolean"}); code != http.StatusOK {
+		t.Fatalf("boolean query failed")
+	}
+	if got := srv.Stats().Compiles.Load(); got != 2 {
+		t.Errorf("after boolean query: %d compiles, want 2", got)
+	}
+}
+
+// TestConcurrentPointsAndUpdates is acceptance criterion 2: ≥8 concurrent
+// clients mix /point and /update on one session, and the session's final
+// point values agree with a sequential re-evaluation under the final
+// weights.
+func TestConcurrentPointsAndUpdates(t *testing.T) {
+	srv, ts, db := newTestServer(t, 8)
+	const sessionExpr = "sum y . [E(x,y)] * w(x,y)"
+
+	resp, code := postJSON(t, ts.URL+"/session", map[string]any{
+		"name": "s", "expr": sessionExpr, "semiring": "natural",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("creating session: %v", resp)
+	}
+
+	edges := db.A.Tuples("E")
+	const updaters, pointers = 6, 6 // 12 concurrent clients
+	var wg sync.WaitGroup
+	errs := make(chan error, updaters+pointers)
+
+	// Each updater owns a disjoint slice of edges and sets deterministic
+	// final values, so the final state is order-independent.
+	finalValue := func(i int) int64 { return int64(1000 + i) }
+	for u := 0; u < updaters; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			var updates []map[string]any
+			for i := u; i < len(edges); i += updaters {
+				updates = append(updates, map[string]any{
+					"weight": "w", "tuple": edges[i], "value": finalValue(i),
+				})
+			}
+			// Split the batch in two so updates interleave with points.
+			for _, batch := range [][]map[string]any{updates[:len(updates)/2], updates[len(updates)/2:]} {
+				raw, _ := json.Marshal(map[string]any{"session": "s", "updates": batch})
+				r, err := http.Post(ts.URL+"/update", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, r.Body)
+				r.Body.Close()
+				if r.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("update batch: status %d", r.StatusCode)
+					return
+				}
+			}
+		}(u)
+	}
+	for p := 0; p < pointers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for x := p; x < db.A.N; x += pointers {
+				raw, _ := json.Marshal(map[string]any{"session": "s", "args": []int{x}})
+				r, err := http.Post(ts.URL+"/point", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, r.Body)
+				r.Body.Close()
+				if r.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("point %d: status %d", x, r.StatusCode)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Sequential oracle: a fresh compilation under the final weights.
+	finalW := db.Weights()
+	for i, e := range edges {
+		finalW.Set("w", e, finalValue(i))
+	}
+	oracle, err := dynamicq.CompileQuery[int64](semiring.Nat, db.A, finalW,
+		parser.MustParseExpr(sessionExpr), compile.Options{})
+	if err != nil {
+		t.Fatalf("compiling oracle: %v", err)
+	}
+	for x := 0; x < db.A.N; x++ {
+		got, code := postJSON(t, ts.URL+"/point", map[string]any{"session": "s", "args": []int{x}})
+		if code != http.StatusOK {
+			t.Fatalf("final point %d: %v", x, got)
+		}
+		want, err := oracle.Value(x)
+		if err != nil {
+			t.Fatalf("oracle value at %d: %v", x, err)
+		}
+		if got["value"] != fmt.Sprint(want) {
+			t.Fatalf("point %d = %v after concurrent updates, sequential oracle says %d", x, got["value"], want)
+		}
+	}
+
+	// The session and every point went through one compilation.
+	if got := srv.Stats().Compiles.Load(); got != 1 {
+		t.Errorf("session workload compiled %d times, want 1", got)
+	}
+}
+
+// TestEnumerateStreamsCorrectPrefix is acceptance criterion 3: /enumerate
+// under a limit streams a prefix of the full enumeration, every answer
+// satisfies the formula, and the summary line reports the true total.
+func TestEnumerateStreamsCorrectPrefix(t *testing.T) {
+	_, ts, db := newTestServer(t, 8)
+	const phi = "E(x,y) & E(y,z) & !(x = z)"
+
+	stream := func(limit int) (answers []structure.Tuple, total int64) {
+		t.Helper()
+		params := url.Values{"phi": {phi}, "vars": {"x,y,z"}, "limit": {fmt.Sprint(limit)}}
+		resp, err := http.Get(ts.URL + "/enumerate?" + params.Encode())
+		if err != nil {
+			t.Fatalf("GET /enumerate: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /enumerate: status %d", resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		done := false
+		for sc.Scan() {
+			var line struct {
+				Answer structure.Tuple `json:"answer"`
+				Done   bool            `json:"done"`
+				Total  int64           `json:"total"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			if line.Done {
+				done, total = true, line.Total
+				break
+			}
+			answers = append(answers, line.Answer)
+		}
+		if !done {
+			t.Fatalf("stream ended without a summary line")
+		}
+		return answers, total
+	}
+
+	const limit = 10
+	prefix, total := stream(limit)
+	if int64(limit) < total && len(prefix) != limit {
+		t.Fatalf("streamed %d answers under limit %d (total %d)", len(prefix), limit, total)
+	}
+	seen := map[string]bool{}
+	for _, a := range prefix {
+		if len(a) != 3 {
+			t.Fatalf("answer %v has arity %d, want 3", a, len(a))
+		}
+		x, y, z := a[0], a[1], a[2]
+		if !db.A.HasTuple("E", x, y) || !db.A.HasTuple("E", y, z) || x == z {
+			t.Errorf("streamed tuple %v does not satisfy %s", a, phi)
+		}
+		if seen[a.Key()] {
+			t.Errorf("answer %v streamed twice", a)
+		}
+		seen[a.Key()] = true
+	}
+
+	// The same cached enumerator must yield the same prefix under a larger
+	// limit, and the full stream must match the reported total.
+	longer, total2 := stream(3 * limit)
+	if total2 != total {
+		t.Errorf("total changed between requests: %d vs %d", total, total2)
+	}
+	for i := range prefix {
+		if !prefix[i].Equal(longer[i]) {
+			t.Errorf("limit=%d stream is not a prefix: position %d is %v vs %v", limit, i, prefix[i], longer[i])
+		}
+	}
+	all, _ := stream(0)
+	if int64(len(all)) != total {
+		t.Errorf("unlimited stream yielded %d answers, summary says %d", len(all), total)
+	}
+}
+
+// TestErrorPaths covers the 4xx surface.
+func TestErrorPaths(t *testing.T) {
+	_, ts, _ := newTestServer(t, 4)
+
+	if resp, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "nope"}); code != http.StatusBadRequest {
+		t.Errorf("unknown semiring: status %d (%v)", code, resp)
+	}
+	if resp, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": "sum y . [E(x,y)] * w(x,y)", "semiring": "natural"}); code != http.StatusBadRequest || !strings.Contains(resp["error"].(string), "free variables") {
+		t.Errorf("free-variable /query: status %d (%v)", code, resp)
+	}
+	if resp, code := postJSON(t, ts.URL+"/point", map[string]any{"session": "ghost", "args": []int{0}}); code != http.StatusBadRequest {
+		t.Errorf("unknown session: status %d (%v)", code, resp)
+	}
+	if resp, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "natural", "db": "nope"}); code != http.StatusBadRequest {
+		t.Errorf("unknown database: status %d (%v)", code, resp)
+	}
+
+	if _, code := postJSON(t, ts.URL+"/session", map[string]any{"name": "dup", "expr": edgeSum, "semiring": "natural"}); code != http.StatusOK {
+		t.Fatalf("creating session failed")
+	}
+	if resp, code := postJSON(t, ts.URL+"/session", map[string]any{"name": "dup", "expr": edgeSum, "semiring": "natural"}); code != http.StatusConflict {
+		t.Errorf("duplicate session: status %d (%v)", code, resp)
+	}
+
+	// Deleting frees the name; deleting twice fails.
+	del := func() int {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/session?name=dup", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("DELETE /session: %v", err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if code := del(); code != http.StatusOK {
+		t.Errorf("DELETE /session: status %d, want 200", code)
+	}
+	if code := del(); code != http.StatusBadRequest {
+		t.Errorf("second DELETE /session: status %d, want 400", code)
+	}
+	if _, code := postJSON(t, ts.URL+"/session", map[string]any{"name": "dup", "expr": edgeSum, "semiring": "natural"}); code != http.StatusOK {
+		t.Errorf("recreating a deleted session should succeed")
+	}
+
+	// A failed compile must not poison the cache with a broken entry.
+	if _, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": "sum x . [Nope(x)] * u(x)", "semiring": "natural"}); code != http.StatusBadRequest {
+		t.Errorf("unknown relation should 400")
+	}
+	if _, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "natural"}); code != http.StatusOK {
+		t.Errorf("valid query after failed compile should succeed")
+	}
+}
+
+// TestLRUCacheEviction exercises the cache bound and the single-build
+// guarantee under concurrency.
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	builds := 0
+	get := func(k string) {
+		t.Helper()
+		if _, _, err := c.getOrCreate(k, func() (any, error) { builds++; return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a
+	get("c") // evicts b
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	get("b") // rebuilt
+	if builds != 4 {
+		t.Errorf("built %d times, want 4 (a, b, c, b-again)", builds)
+	}
+
+	// Concurrent cold hits share one build.
+	c2 := newLRUCache(4)
+	var wg sync.WaitGroup
+	var built int32
+	var mu sync.Mutex
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c2.getOrCreate("k", func() (any, error) {
+				mu.Lock()
+				built++
+				mu.Unlock()
+				return 1, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if built != 1 {
+		t.Errorf("concurrent getOrCreate built %d times, want 1", built)
+	}
+}
