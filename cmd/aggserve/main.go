@@ -13,6 +13,8 @@
 //
 //	curl -X POST localhost:8080/query \
 //	  -d '{"expr":"sum x, y . [E(x,y)] * w(x,y)","semiring":"natural"}'
+//	curl -X POST localhost:8080/batch \
+//	  -d '{"session":"s","updates":[{"weight":"w","tuple":[0,1],"value":7}]}'
 //	curl localhost:8080/stats
 //
 // See the README for the full endpoint reference.

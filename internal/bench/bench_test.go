@@ -26,8 +26,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestRegistryCoversAllExperiments(t *testing.T) {
 	reg := Registry(true)
-	if len(reg) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(reg))
+	if len(reg) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -59,6 +59,25 @@ func TestRunExperimentsPreservesOrder(t *testing.T) {
 	}
 }
 
+// TestE13BatchedUpdatesSmoke runs the batched-update experiment at a smoke
+// size.  Unlike the full sweep it stays enabled under -short, so every CI
+// run exercises the batched engine end to end: E13 cross-checks the final
+// per-update and batched values internally and panics on mismatch, and its
+// last column asserts the zero-allocation steady state of the generic path.
+func TestE13BatchedUpdatesSmoke(t *testing.T) {
+	total := 10000
+	if testing.Short() {
+		total = 2000
+	}
+	tab := E13BatchedUpdates([]int{300}, total, 512, 32)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("E13 produced %d rows, want 1", len(tab.Rows))
+	}
+	if allocs := tab.Rows[0][len(tab.Rows[0])-1]; allocs != "0.000" {
+		t.Errorf("E13 reports %s allocs per steady-state generic-path update, want 0.000", allocs)
+	}
+}
+
 // TestSmallExperimentsRun executes a few experiments at tiny sizes to make
 // sure the harness itself is sound (values cross-checked inside panics on
 // mismatch).
@@ -77,6 +96,7 @@ func TestSmallExperimentsRun(t *testing.T) {
 		E10ProvenancePermanent([]int{500}),
 		E11ParallelEvaluation(small, 2),
 		E12ServingThroughput([]int{300}, 8),
+		E13BatchedUpdates([]int{300}, 3000, 512, 32),
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 {

@@ -27,6 +27,15 @@ import (
 //     giving O(1) operations per update.
 //
 // The strategy is chosen automatically from the semiring's capabilities.
+//
+// Propagation is driven by topological ranks precomputed once in NewDynamic:
+// dirty gates wait in one bucket per rank and each wave drains the buckets in
+// increasing rank order, so every affected gate is recomputed exactly once per
+// wave no matter how many of its children changed.  All wave state (buckets,
+// changed-children lists, old values) lives in scratch buffers owned by the
+// Dynamic and reused across updates: once the buffers have grown to their
+// steady-state capacity, updates on the generic path perform zero heap
+// allocations.
 type Dynamic[T any] struct {
 	c *Circuit
 	s semiring.Semiring[T]
@@ -34,12 +43,38 @@ type Dynamic[T any] struct {
 	ring   semiring.Ring[T]   // nil unless the semiring is a ring
 	finite semiring.Finite[T] // nil unless the semiring is finite
 	elems  []T                // carrier, when finite
+	// elemIdx maps the rendering of a carrier element to its index in elems,
+	// so large carriers resolve elements in O(1) instead of scanning on
+	// every update.  It stays nil for small carriers (where an Equal scan is
+	// cheaper than formatting) and for semirings whose Format is not
+	// injective on the carrier (the scan is the always-correct fallback).
+	elemIdx map[string]int
 
 	vals    []T
 	parents [][]int
+	// rank[id] is the gate's topological rank (the length of the longest
+	// path from a leaf); every child has a strictly smaller rank, so draining
+	// dirty gates in rank order recomputes children before parents.
+	rank []int
 
 	adders []*adderState[T]
 	perms  []permState[T]
+
+	// Wave scratch, reused across updates (see runWave).
+	buckets [][]int  // buckets[r] lists the dirty gates of rank r
+	queued  []bool   // gate is waiting in a bucket
+	changed [][]int  // changed[g] lists g's children that changed this wave
+	oldOf   []T      // oldOf[g] is g's value right before this wave's change
+	stamp   []uint64 // stamp[g] == epoch marks g as changed this wave
+	epoch   uint64
+}
+
+// InputChange is one element of an ApplyBatch batch: the weight input Key
+// takes the Value.  Keys the circuit does not reference are ignored, and when
+// the same key appears several times in one batch the last value wins.
+type InputChange[T any] struct {
+	Key   structure.WeightKey
+	Value T
 }
 
 type adderState[T any] struct {
@@ -62,6 +97,10 @@ type permState[T any] struct {
 }
 
 // NewDynamic initialises the dynamic evaluator under the given valuation.
+// The circuit must store its gates in topological order (every child id
+// smaller than its parent's id, as the builder guarantees); NewDynamic
+// panics on circuits violating that invariant rather than silently
+// propagating updates in the wrong order.
 func NewDynamic[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T]) *Dynamic[T] {
 	if c.Output < 0 {
 		panic("circuit: no output gate set")
@@ -73,6 +112,35 @@ func NewDynamic[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T]) *Dyna
 	if f, ok := s.(semiring.Finite[T]); ok {
 		d.finite = f
 		d.elems = f.Elements()
+		if len(d.elems) > smallCarrierScanLimit {
+			d.elemIdx = make(map[string]int, len(d.elems))
+			for i, e := range d.elems {
+				d.elemIdx[s.Format(e)] = i
+			}
+			if len(d.elemIdx) != len(d.elems) {
+				// Format collides on the carrier: a map hit could return the
+				// wrong index, so fall back to Equal scans throughout.
+				d.elemIdx = nil
+			}
+		}
+	}
+	// Topological ranks; validates the gate order before anything evaluates.
+	d.rank = make([]int, len(c.Gates))
+	maxRank := 0
+	for id := range c.Gates {
+		r := 0
+		for _, ch := range c.children(id) {
+			if ch < 0 || ch >= id {
+				panic(fmt.Sprintf("circuit: gate %d has child %d; gates must be stored in topological order (child ids smaller than the parent's)", id, ch))
+			}
+			if d.rank[ch]+1 > r {
+				r = d.rank[ch] + 1
+			}
+		}
+		d.rank[id] = r
+		if r > maxRank {
+			maxRank = r
+		}
 	}
 	d.vals = EvaluateAll(c, s, v)
 	d.parents = make([][]int, len(c.Gates))
@@ -93,6 +161,12 @@ func NewDynamic[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T]) *Dyna
 	for ch := range d.parents {
 		d.parents[ch] = dedupInts(d.parents[ch])
 	}
+	d.buckets = make([][]int, maxRank+1)
+	d.queued = make([]bool, len(c.Gates))
+	d.changed = make([][]int, len(c.Gates))
+	d.oldOf = make([]T, len(c.Gates))
+	d.stamp = make([]uint64, len(c.Gates))
+	d.epoch = 1
 	return d
 }
 
@@ -143,7 +217,21 @@ func (d *Dynamic[T]) newAdderState(children []int) *adderState[T] {
 	return st
 }
 
+// smallCarrierScanLimit is the carrier size below which elemIndex scans with
+// Equal instead of using the rendering map: for a handful of elements the
+// scan is both faster and allocation-free, while formatting would allocate a
+// string per lookup on the update hot path.
+const smallCarrierScanLimit = 32
+
+// elemIndex resolves a carrier element to its index in elems: via the
+// rendering map precomputed in NewDynamic for large carriers, by a linear
+// Equal scan otherwise (and as the fallback for elements the map misses).
 func (d *Dynamic[T]) elemIndex(v T) int {
+	if d.elemIdx != nil {
+		if i, ok := d.elemIdx[d.s.Format(v)]; ok {
+			return i
+		}
+	}
 	for i, e := range d.elems {
 		if d.s.Equal(e, v) {
 			return i
@@ -186,73 +274,93 @@ func (d *Dynamic[T]) SetInput(key structure.WeightKey, value T) {
 	if id < 0 {
 		return
 	}
-	d.setGateValue(id, value)
-}
-
-// setGateValue changes the value of gate id and propagates upwards.  For
-// every affected parent, only the positions of the children that actually
-// changed are touched, so the per-update cost depends on the circuit's
-// fan-out and depth but never on the fan-in of wide gates.
-func (d *Dynamic[T]) setGateValue(id int, value T) {
-	old := d.vals[id]
-	if d.s.Equal(old, value) {
+	if d.s.Equal(d.vals[id], value) {
 		return
 	}
+	old := d.vals[id]
 	d.vals[id] = value
-	dirty := map[int]bool{}
-	var queue []int
-	push := func(g int) {
-		if !dirty[g] {
-			dirty[g] = true
-			queue = append(queue, g)
-		}
-	}
-	// pending[p] records, per parent, the changed children and their values
-	// right before the change.
-	pending := map[int]map[int]T{}
-	record := func(parent, child int, oldVal T) {
-		m, ok := pending[parent]
-		if !ok {
-			m = map[int]T{}
-			pending[parent] = m
-		}
-		if _, seen := m[child]; !seen {
-			m[child] = oldVal
-		}
-	}
-	for _, p := range d.parents[id] {
-		record(p, id, old)
-		push(p)
-	}
-	for len(queue) > 0 {
-		// Pop the smallest id to respect topological order.
-		sort.Ints(queue)
-		g := queue[0]
-		queue = queue[1:]
-		dirty[g] = false
-		oldValues := pending[g]
-		delete(pending, g)
-		newVal := d.recomputeGate(g, oldValues)
-		if d.s.Equal(newVal, d.vals[g]) {
+	d.markChanged(id, old)
+	d.runWave()
+}
+
+// ApplyBatch applies every leaf change first and then runs one propagation
+// wave in rank order, so gates shared by several changed inputs are
+// recomputed once per batch instead of once per update.  Repeated changes to
+// the same key coalesce (the last value wins) and unknown keys are ignored,
+// exactly as with SetInput.  Applying a batch is observationally equivalent
+// to applying its changes one at a time; only the propagation cost differs.
+func (d *Dynamic[T]) ApplyBatch(changes []InputChange[T]) {
+	touched := false
+	for _, ch := range changes {
+		id := d.c.InputGate(ch.Key)
+		if id < 0 {
 			continue
 		}
-		oldG := d.vals[g]
-		d.vals[g] = newVal
-		for _, p := range d.parents[g] {
-			record(p, g, oldG)
-			push(p)
+		if d.s.Equal(d.vals[id], ch.Value) {
+			continue
+		}
+		old := d.vals[id]
+		d.vals[id] = ch.Value
+		d.markChanged(id, old)
+		touched = true
+	}
+	if touched {
+		d.runWave()
+	}
+}
+
+// markChanged records that gate g's value just changed from old, notifying
+// g's parents and queueing them by rank.  A gate's value changes at most once
+// per wave (children drain strictly before parents), so the epoch stamp only
+// guards against the same *input* being assigned twice within one batch: the
+// first assignment records the pre-wave value and enlists the parents, later
+// ones merely overwrite vals.
+func (d *Dynamic[T]) markChanged(g int, old T) {
+	if d.stamp[g] == d.epoch {
+		return
+	}
+	d.stamp[g] = d.epoch
+	d.oldOf[g] = old
+	for _, p := range d.parents[g] {
+		d.changed[p] = append(d.changed[p], g)
+		if !d.queued[p] {
+			d.queued[p] = true
+			r := d.rank[p]
+			d.buckets[r] = append(d.buckets[r], p)
 		}
 	}
 }
 
-// recomputeGate refreshes the auxiliary structures of gate g given that some
-// of its children changed (their previous values are in oldValues), and
-// returns the new value of g.
-func (d *Dynamic[T]) recomputeGate(g int, oldValues map[int]T) T {
+// runWave drains the rank buckets in increasing order.  Recomputing a gate of
+// rank r can only enqueue parents of strictly larger rank, so a single left-
+// to-right sweep recomputes every affected gate exactly once.
+func (d *Dynamic[T]) runWave() {
+	for r := 1; r < len(d.buckets); r++ {
+		bucket := d.buckets[r]
+		for _, g := range bucket {
+			d.queued[g] = false
+			newVal := d.recomputeGate(g)
+			d.changed[g] = d.changed[g][:0]
+			if d.s.Equal(newVal, d.vals[g]) {
+				continue
+			}
+			old := d.vals[g]
+			d.vals[g] = newVal
+			d.markChanged(g, old)
+		}
+		d.buckets[r] = bucket[:0]
+	}
+	d.epoch++
+}
+
+// recomputeGate refreshes the auxiliary structures of gate g given its
+// changed children (their pre-wave values are in oldOf), and returns the new
+// value of g.
+func (d *Dynamic[T]) recomputeGate(g int) T {
 	gate := d.c.Gates[g]
 	switch gate.Kind {
 	case KindAdd:
-		return d.recomputeAdd(g, gate, oldValues)
+		return d.recomputeAdd(g)
 	case KindMul:
 		acc := d.s.One()
 		for _, ch := range gate.Children {
@@ -261,8 +369,8 @@ func (d *Dynamic[T]) recomputeGate(g int, oldValues map[int]T) T {
 		return acc
 	case KindPerm:
 		st := d.perms[g]
-		for child, oldVal := range oldValues {
-			if d.s.Equal(oldVal, d.vals[child]) {
+		for _, child := range d.changed[g] {
+			if d.s.Equal(d.oldOf[child], d.vals[child]) {
 				continue
 			}
 			for _, pos := range st.positions[child] {
@@ -275,23 +383,26 @@ func (d *Dynamic[T]) recomputeGate(g int, oldValues map[int]T) T {
 	}
 }
 
-func (d *Dynamic[T]) recomputeAdd(g int, gate Gate, oldValues map[int]T) T {
+func (d *Dynamic[T]) recomputeAdd(g int) T {
 	st := d.adders[g]
-	_ = gate
 	switch {
 	case d.ring != nil:
+		// Each changed child contributes occurrences·(new − old) once per
+		// wave: children drain strictly before parents, so oldOf holds the
+		// value this gate last incorporated.
 		acc := d.vals[g]
-		for ch, oldVal := range oldValues {
+		for _, ch := range d.changed[g] {
 			occ := int64(len(st.occurrences[ch]))
 			if occ == 0 {
 				continue
 			}
-			delta := d.ring.Add(d.vals[ch], d.ring.Neg(oldVal))
+			delta := d.ring.Add(d.vals[ch], d.ring.Neg(d.oldOf[ch]))
 			acc = d.ring.Add(acc, semiring.ScalarMul[T](d.ring, occ, delta))
 		}
 		return acc
 	case d.finite != nil:
-		for ch, oldVal := range oldValues {
+		for _, ch := range d.changed[g] {
+			oldVal := d.oldOf[ch]
 			if d.s.Equal(oldVal, d.vals[ch]) {
 				continue
 			}
@@ -307,8 +418,8 @@ func (d *Dynamic[T]) recomputeAdd(g int, gate Gate, oldValues map[int]T) T {
 		}
 		return acc
 	default:
-		for ch, oldVal := range oldValues {
-			if d.s.Equal(oldVal, d.vals[ch]) {
+		for _, ch := range d.changed[g] {
+			if d.s.Equal(d.oldOf[ch], d.vals[ch]) {
 				continue
 			}
 			for _, i := range st.occurrences[ch] {
@@ -323,11 +434,3 @@ func (d *Dynamic[T]) recomputeAdd(g int, gate Gate, oldValues map[int]T) T {
 		return st.tree[1]
 	}
 }
-
-// There is a subtlety in the ring fast path of recomputeAdd: a child that
-// changed several times between recomputations of the same parent would make
-// the recorded "old value" stale.  The propagation above recomputes a parent
-// immediately after each child change (parents are processed in topological
-// order within a single SetInput call and oldValues records the value right
-// before the present change), so each delta is applied exactly once.
-var _ = struct{}{}

@@ -28,8 +28,13 @@ type Query[T any] struct {
 	dyn     *circuit.Dynamic[T]
 	weights *structure.Weights[T]
 	free    []string
+	// fvKeys[i][a] is the precomputed weight key of the fresh unary symbol
+	// v_i at element a, so point queries never rebuild keys with Sprintf.
+	fvKeys [][]structure.WeightKey
 	// relation membership shadowing the dynamic relations of the circuit.
 	relState map[string]map[string]bool
+	// scratch is the reusable leaf-change buffer behind ApplyBatch.
+	scratch []circuit.InputChange[T]
 }
 
 // Shared is the semiring-agnostic half of a compiled query: the circuit of
@@ -123,8 +128,31 @@ func NewQuery[T any](s semiring.Semiring[T], sh *Shared, w *structure.Weights[T]
 		}
 		q.relState[rel] = state
 	}
+	// Precompute the point-query keys for every (free variable, element)
+	// pair: this linear-time pass removes the 2k Sprintf allocations that a
+	// point query would otherwise pay on its hot path.
+	q.fvKeys = make([][]structure.WeightKey, len(q.free))
+	for i := range q.free {
+		name := fmt.Sprintf("%s%d", freeVarWeightPrefix, i)
+		keys := make([]structure.WeightKey, res.Structure.N)
+		for a := 0; a < res.Structure.N; a++ {
+			keys[a] = structure.MakeWeightKey(name, structure.Tuple{a})
+		}
+		q.fvKeys[i] = keys
+	}
 	q.dyn = circuit.NewDynamic(res.Circuit, s, compile.NewValuation(res, s, w))
 	return q
+}
+
+// fvKey returns the weight key of the fresh unary symbol v_i at element a,
+// from the precomputed table when a is a structure element and built on the
+// fly otherwise (out-of-universe arguments address no input gate and are
+// ignored by the evaluator either way).
+func (q *Query[T]) fvKey(i int, a structure.Element) structure.WeightKey {
+	if keys := q.fvKeys[i]; a >= 0 && a < len(keys) {
+		return keys[a]
+	}
+	return structure.MakeWeightKey(fmt.Sprintf("%s%d", freeVarWeightPrefix, i), structure.Tuple{a})
 }
 
 // CompileQuery compiles the weighted expression e, whose free variables
@@ -169,25 +197,55 @@ func (q *Query[T]) Value(args ...structure.Element) (T, error) {
 		return q.dyn.Value(), nil
 	}
 	for i, a := range args {
-		key := structure.MakeWeightKey(fmt.Sprintf("%s%d", freeVarWeightPrefix, i), structure.Tuple{a})
-		q.dyn.SetInput(key, q.s.One())
+		q.dyn.SetInput(q.fvKey(i, a), q.s.One())
 	}
 	out := q.dyn.Value()
 	for i, a := range args {
-		key := structure.MakeWeightKey(fmt.Sprintf("%s%d", freeVarWeightPrefix, i), structure.Tuple{a})
-		q.dyn.SetInput(key, q.s.Zero())
+		q.dyn.SetInput(q.fvKey(i, a), q.s.Zero())
 	}
 	return out, nil
 }
 
-// SetWeight updates the weight w(tuple) to the given value.
-func (q *Query[T]) SetWeight(weight string, tuple structure.Tuple, value T) error {
+// validateWeight checks that a weight symbol exists with the tuple's arity.
+func (q *Query[T]) validateWeight(weight string, tuple structure.Tuple) error {
 	decl, ok := q.res.Structure.Sig.Weight(weight)
 	if !ok {
-		return fmt.Errorf("dynamicq: unknown weight symbol %q", weight)
+		return fmt.Errorf("unknown weight symbol %q", weight)
 	}
 	if decl.Arity != len(tuple) {
-		return fmt.Errorf("dynamicq: weight %q has arity %d, got tuple of length %d", weight, decl.Arity, len(tuple))
+		return fmt.Errorf("weight %q has arity %d, got tuple of length %d", weight, decl.Arity, len(tuple))
+	}
+	return nil
+}
+
+// validateTuple checks that a relation update targets a declared dynamic
+// relation with the right arity and, for insertions, preserves the Gaifman
+// graph of the compiled structure (Theorem 24's update model).
+func (q *Query[T]) validateTuple(rel string, tuple structure.Tuple, present bool) error {
+	if !q.res.DynamicRelations[rel] {
+		return fmt.Errorf("relation %q was not declared dynamic at compile time", rel)
+	}
+	decl, _ := q.res.Structure.Sig.Relation(rel)
+	if decl.Arity != len(tuple) {
+		return fmt.Errorf("relation %q has arity %d, got tuple of length %d", rel, decl.Arity, len(tuple))
+	}
+	if present {
+		g := q.res.Structure.Gaifman()
+		for i := 0; i < len(tuple); i++ {
+			for j := i + 1; j < len(tuple); j++ {
+				if tuple[i] != tuple[j] && !g.HasEdge(tuple[i], tuple[j]) {
+					return fmt.Errorf("inserting %s%v would change the Gaifman graph (elements %d and %d are not adjacent); only Gaifman-preserving updates are supported", rel, tuple, tuple[i], tuple[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SetWeight updates the weight w(tuple) to the given value.
+func (q *Query[T]) SetWeight(weight string, tuple structure.Tuple, value T) error {
+	if err := q.validateWeight(weight, tuple); err != nil {
+		return fmt.Errorf("dynamicq: %w", err)
 	}
 	q.weights.Set(weight, tuple, value)
 	q.dyn.SetInput(structure.MakeWeightKey(weight, tuple), value)
@@ -199,27 +257,88 @@ func (q *Query[T]) SetWeight(weight string, tuple structure.Tuple, value T) erro
 // elements of the tuple must already form a clique in the Gaifman graph of
 // the compiled structure (Theorem 24's update model).
 func (q *Query[T]) SetTuple(rel string, tuple structure.Tuple, present bool) error {
-	if !q.res.DynamicRelations[rel] {
-		return fmt.Errorf("dynamicq: relation %q was not declared dynamic at compile time", rel)
+	if err := q.validateTuple(rel, tuple, present); err != nil {
+		return fmt.Errorf("dynamicq: %w", err)
 	}
-	decl, _ := q.res.Structure.Sig.Relation(rel)
-	if decl.Arity != len(tuple) {
-		return fmt.Errorf("dynamicq: relation %q has arity %d, got tuple of length %d", rel, decl.Arity, len(tuple))
-	}
-	if present {
-		g := q.res.Structure.Gaifman()
-		for i := 0; i < len(tuple); i++ {
-			for j := i + 1; j < len(tuple); j++ {
-				if tuple[i] != tuple[j] && !g.HasEdge(tuple[i], tuple[j]) {
-					return fmt.Errorf("dynamicq: inserting %s%v would change the Gaifman graph (elements %d and %d are not adjacent); only Gaifman-preserving updates are supported", rel, tuple, tuple[i], tuple[j])
-				}
-			}
-		}
-	}
+	q.applyTuple(rel, tuple, present)
+	return nil
+}
+
+func (q *Query[T]) applyTuple(rel string, tuple structure.Tuple, present bool) {
 	q.relState[rel][tuple.Key()] = present
 	pos, neg := compile.RelationInputKeys(rel, tuple)
 	q.dyn.SetInput(pos, semiring.Iverson(q.s, present))
 	q.dyn.SetInput(neg, semiring.Iverson(q.s, !present))
+}
+
+// Change is one element of an ApplyBatch batch: a weight update (Weight
+// non-empty: Weight(Tuple) takes Value) or a dynamic-relation update (Rel
+// non-empty: membership of Tuple becomes Present).  Exactly one of Weight
+// and Rel must be set.
+type Change[T any] struct {
+	Weight  string
+	Rel     string
+	Tuple   structure.Tuple
+	Value   T
+	Present bool
+}
+
+// WeightChange builds a weight update for ApplyBatch.
+func WeightChange[T any](weight string, tuple structure.Tuple, value T) Change[T] {
+	return Change[T]{Weight: weight, Tuple: tuple, Value: value}
+}
+
+// TupleChange builds a dynamic-relation update for ApplyBatch.
+func TupleChange[T any](rel string, tuple structure.Tuple, present bool) Change[T] {
+	return Change[T]{Rel: rel, Tuple: tuple, Present: present}
+}
+
+// ApplyBatch applies a mixed batch of weight and tuple changes atomically:
+// every change is validated up front and either the whole batch is applied
+// or none of it is.  All leaf inputs are written first and a single
+// propagation wave then refreshes the circuit in rank order (see
+// circuit.Dynamic.ApplyBatch), so gates shared by several changes are
+// recomputed once per batch and repeated changes to the same key coalesce
+// with the last value winning.  The result is observationally identical to
+// applying the changes one at a time through SetWeight/SetTuple.
+func (q *Query[T]) ApplyBatch(changes []Change[T]) error {
+	// Validation pass: the batch is all-or-nothing.
+	for i, ch := range changes {
+		switch {
+		case ch.Weight != "" && ch.Rel != "":
+			return fmt.Errorf("dynamicq: batch change %d names both weight %q and relation %q", i, ch.Weight, ch.Rel)
+		case ch.Weight != "":
+			if err := q.validateWeight(ch.Weight, ch.Tuple); err != nil {
+				return fmt.Errorf("dynamicq: batch change %d: %w", i, err)
+			}
+		case ch.Rel != "":
+			if err := q.validateTuple(ch.Rel, ch.Tuple, ch.Present); err != nil {
+				return fmt.Errorf("dynamicq: batch change %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("dynamicq: batch change %d names neither a weight nor a relation", i)
+		}
+	}
+	// Record the updates and translate them into leaf changes for one wave.
+	leaf := q.scratch[:0]
+	for _, ch := range changes {
+		if ch.Weight != "" {
+			q.weights.Set(ch.Weight, ch.Tuple, ch.Value)
+			leaf = append(leaf, circuit.InputChange[T]{Key: structure.MakeWeightKey(ch.Weight, ch.Tuple), Value: ch.Value})
+			continue
+		}
+		q.relState[ch.Rel][ch.Tuple.Key()] = ch.Present
+		pos, neg := compile.RelationInputKeys(ch.Rel, ch.Tuple)
+		leaf = append(leaf,
+			circuit.InputChange[T]{Key: pos, Value: semiring.Iverson(q.s, ch.Present)},
+			circuit.InputChange[T]{Key: neg, Value: semiring.Iverson(q.s, !ch.Present)})
+	}
+	q.dyn.ApplyBatch(leaf)
+	// Zero the elements before truncating so the retained backing array does
+	// not pin the batch's keys and semiring values (e.g. provenance
+	// polynomials) until the next large batch.
+	clear(leaf)
+	q.scratch = leaf[:0]
 	return nil
 }
 

@@ -252,6 +252,111 @@ func rebuildWith(a *structure.Structure, rel string, tuple structure.Tuple, pres
 	*a = *fresh
 }
 
+// TestApplyBatchMixedChanges drives random mixed batches (weight updates and
+// dynamic-relation toggles) through ApplyBatch and a twin query applying the
+// same changes one at a time, interleaved with point queries, and checks
+// both against naive evaluation.
+func TestApplyBatchMixedChanges(t *testing.T) {
+	// f(x) = Σ_y [E(x,y)]·w(x,y)·u(y) with dynamic E.
+	q := expr.Agg([]string{"y"}, expr.Times(
+		expr.Guard(logic.R("E", "x", "y")), expr.W("w", "x", "y"), expr.W("u", "y"),
+	))
+	a, w := testDB(9, 20, 41)
+	opts := compile.Options{DynamicRelations: []string{"E"}}
+	batched, err := CompileQuery[int64](semiring.Nat, a, w.Clone(), q, opts)
+	if err != nil {
+		t.Fatalf("CompileQuery: %v", err)
+	}
+	sequential, err := CompileQuery[int64](semiring.Nat, a, w.Clone(), q, opts)
+	if err != nil {
+		t.Fatalf("CompileQuery: %v", err)
+	}
+	mirror := a.Clone()
+	mirrorW := w.Clone()
+
+	r := rand.New(rand.NewSource(43))
+	edges := append([]structure.Tuple(nil), a.Tuples("E")...)
+	for step := 0; step < 25; step++ {
+		batch := make([]Change[int64], r.Intn(6)+1)
+		for i := range batch {
+			tpl := edges[r.Intn(len(edges))]
+			switch r.Intn(3) {
+			case 0:
+				batch[i] = WeightChange("w", tpl, int64(r.Intn(6)))
+			case 1:
+				batch[i] = WeightChange("u", structure.Tuple{tpl[1]}, int64(r.Intn(4)))
+			default:
+				batch[i] = TupleChange[int64]("E", tpl, r.Intn(2) == 0)
+			}
+		}
+		if err := batched.ApplyBatch(batch); err != nil {
+			t.Fatalf("step %d: ApplyBatch: %v", step, err)
+		}
+		for _, ch := range batch {
+			if ch.Weight != "" {
+				if err := sequential.SetWeight(ch.Weight, ch.Tuple, ch.Value); err != nil {
+					t.Fatalf("step %d: SetWeight: %v", step, err)
+				}
+				mirrorW.Set(ch.Weight, ch.Tuple, ch.Value)
+			} else {
+				if err := sequential.SetTuple(ch.Rel, ch.Tuple, ch.Present); err != nil {
+					t.Fatalf("step %d: SetTuple: %v", step, err)
+				}
+				rebuildWith(mirror, ch.Rel, ch.Tuple, ch.Present)
+			}
+		}
+		for trial := 0; trial < 3; trial++ {
+			x := r.Intn(a.N)
+			got, err := batched.Value(x)
+			if err != nil {
+				t.Fatalf("step %d: Value(%d): %v", step, x, err)
+			}
+			seq, _ := sequential.Value(x)
+			if got != seq {
+				t.Fatalf("step %d: batched f(%d)=%d, sequential %d", step, x, got, seq)
+			}
+			want := naive(mirror, mirrorW, q, map[string]structure.Element{"x": x})
+			if got != want {
+				t.Fatalf("step %d: f(%d)=%d, naive %d", step, x, got, want)
+			}
+		}
+	}
+}
+
+// TestApplyBatchAllOrNothing checks that a batch containing any invalid
+// change is rejected without applying the valid prefix.
+func TestApplyBatchAllOrNothing(t *testing.T) {
+	q := expr.Agg([]string{"x", "y"}, expr.Times(
+		expr.Guard(logic.R("E", "x", "y")), expr.W("w", "x", "y"),
+	))
+	a, w := testDB(8, 16, 47)
+	query, err := CompileQuery[int64](semiring.Nat, a, w, q, compile.Options{DynamicRelations: []string{"E"}})
+	if err != nil {
+		t.Fatalf("CompileQuery: %v", err)
+	}
+	before, _ := query.ValueClosed()
+	tpl := a.Tuples("E")[0]
+	bad := [][]Change[int64]{
+		{WeightChange("w", tpl, int64(99)), WeightChange[int64]("nope", tpl, 1)},
+		{WeightChange("w", tpl, int64(99)), TupleChange[int64]("U", structure.Tuple{0}, true)},
+		{WeightChange("w", tpl, int64(99)), {Weight: "w", Rel: "E", Tuple: tpl}},
+		{WeightChange("w", tpl, int64(99)), {}},
+		{WeightChange("w", tpl, int64(99)), WeightChange("w", structure.Tuple{0}, int64(1))},
+	}
+	for i, batch := range bad {
+		if err := query.ApplyBatch(batch); err == nil {
+			t.Fatalf("invalid batch %d accepted", i)
+		}
+		if got, _ := query.ValueClosed(); got != before {
+			t.Fatalf("invalid batch %d partially applied: value %d, want %d", i, got, before)
+		}
+	}
+	// The empty batch is a no-op.
+	if err := query.ApplyBatch(nil); err != nil {
+		t.Fatalf("empty batch rejected: %v", err)
+	}
+}
+
 func TestRingAndFiniteSemiringPaths(t *testing.T) {
 	// The same query compiled over ℤ (ring fast path) and ℤ/5 (finite fast
 	// path) must agree with naive evaluation after updates.

@@ -28,6 +28,8 @@ type Answers struct {
 	vars []string
 	// relState tracks membership of dynamic relation tuples after updates.
 	relState map[string]map[string]bool
+	// scratch is the reusable input-assignment buffer behind ApplyBatch.
+	scratch []InputAssignment
 }
 
 // EnumerateAnswers preprocesses the query ϕ over the structure a.  The
@@ -231,31 +233,77 @@ func (ans *Answers) inputCurrent(key structure.WeightKey) Value {
 	return ans.inputValue(key)
 }
 
-// SetTuple inserts or removes a tuple of a dynamic relation, maintaining the
-// enumeration data structure in constant time.  Insertions must preserve the
-// Gaifman graph of the preprocessed structure.
-func (ans *Answers) SetTuple(rel string, tuple structure.Tuple, present bool) error {
+// validateTuple checks a dynamic-relation update: the relation must be
+// declared dynamic, the tuple must match its arity and insertions must
+// preserve the Gaifman graph of the preprocessed structure.
+func (ans *Answers) validateTuple(rel string, tuple structure.Tuple, present bool) error {
 	if !ans.res.DynamicRelations[rel] {
-		return fmt.Errorf("enumerate: relation %q was not declared dynamic at preprocessing time", rel)
+		return fmt.Errorf("relation %q was not declared dynamic at preprocessing time", rel)
 	}
 	decl, _ := ans.res.Structure.Sig.Relation(rel)
 	if decl.Arity != len(tuple) {
-		return fmt.Errorf("enumerate: relation %q has arity %d, got tuple of length %d", rel, decl.Arity, len(tuple))
+		return fmt.Errorf("relation %q has arity %d, got tuple of length %d", rel, decl.Arity, len(tuple))
 	}
 	if present {
 		g := ans.res.Structure.Gaifman()
 		for i := 0; i < len(tuple); i++ {
 			for j := i + 1; j < len(tuple); j++ {
 				if tuple[i] != tuple[j] && !g.HasEdge(tuple[i], tuple[j]) {
-					return fmt.Errorf("enumerate: inserting %s%v would change the Gaifman graph; only Gaifman-preserving updates are supported (Theorem 24)", rel, tuple)
+					return fmt.Errorf("inserting %s%v would change the Gaifman graph; only Gaifman-preserving updates are supported (Theorem 24)", rel, tuple)
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// SetTuple inserts or removes a tuple of a dynamic relation, maintaining the
+// enumeration data structure in constant time.  Insertions must preserve the
+// Gaifman graph of the preprocessed structure.
+func (ans *Answers) SetTuple(rel string, tuple structure.Tuple, present bool) error {
+	if err := ans.validateTuple(rel, tuple, present); err != nil {
+		return fmt.Errorf("enumerate: %w", err)
 	}
 	ans.relState[rel][tuple.Key()] = present
 	pos, neg := compile.RelationInputKeys(rel, tuple)
 	ans.enum.SetInput(pos, Bool(present))
 	ans.enum.SetInput(neg, Bool(!present))
+	return nil
+}
+
+// TupleChange is one dynamic-relation update of an ApplyBatch batch:
+// membership of Tuple in Rel becomes Present.
+type TupleChange struct {
+	Rel     string
+	Tuple   structure.Tuple
+	Present bool
+}
+
+// ApplyBatch applies several dynamic-relation updates atomically: every
+// change is validated up front (the batch is all-or-nothing) and the
+// enumeration data structure is refreshed with a single propagation wave, so
+// gates shared by several changes are revisited once per batch.  Repeated
+// changes to the same tuple coalesce with the last one winning.  As with
+// SetTuple, cursors drawn before the batch are invalidated.
+func (ans *Answers) ApplyBatch(changes []TupleChange) error {
+	for i, ch := range changes {
+		if err := ans.validateTuple(ch.Rel, ch.Tuple, ch.Present); err != nil {
+			return fmt.Errorf("enumerate: batch change %d: %w", i, err)
+		}
+	}
+	assigns := ans.scratch[:0]
+	for _, ch := range changes {
+		ans.relState[ch.Rel][ch.Tuple.Key()] = ch.Present
+		pos, neg := compile.RelationInputKeys(ch.Rel, ch.Tuple)
+		assigns = append(assigns,
+			InputAssignment{Key: pos, Value: Bool(ch.Present)},
+			InputAssignment{Key: neg, Value: Bool(!ch.Present)})
+	}
+	ans.enum.SetInputs(assigns)
+	// Zero the elements before truncating so the retained backing array does
+	// not pin the batch's keys and input values until the next large batch.
+	clear(assigns)
+	ans.scratch = assigns[:0]
 	return nil
 }
 

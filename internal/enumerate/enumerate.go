@@ -125,9 +125,25 @@ type Enumerator struct {
 	inputValue map[int]Value
 	empty      []bool
 	parents    [][]int
+	// rank[id] is the gate's topological rank (longest path from a leaf);
+	// children always have strictly smaller rank.
+	rank []int
 
 	adders []*adderMeta
 	perms  []*permGateMeta
+
+	// Wave scratch reused across updates: dirty gates wait in one bucket per
+	// rank and a wave drains the buckets in increasing rank order, so every
+	// affected gate is refreshed exactly once per update batch.
+	buckets   [][]int
+	queued    []bool
+	changedCh [][]int // changedCh[g] lists g's children whose emptiness flipped
+}
+
+// InputAssignment pairs a weight input with its new value for SetInputs.
+type InputAssignment struct {
+	Key   structure.WeightKey
+	Value Value
 }
 
 // adderMeta maintains, for an addition gate, the positions (occurrence
@@ -198,9 +214,39 @@ func build(c *circuit.Circuit, inputs func(key structure.WeightKey) Value, nonem
 		inputValue: map[int]Value{},
 		empty:      make([]bool, c.NumGates()),
 		parents:    make([][]int, c.NumGates()),
+		rank:       make([]int, c.NumGates()),
 		adders:     make([]*adderMeta, c.NumGates()),
 		perms:      make([]*permGateMeta, c.NumGates()),
 	}
+	// Topological ranks; like circuit.NewDynamic, reject circuits whose gate
+	// ids are not topologically ordered instead of silently maintaining the
+	// emptiness bookkeeping in the wrong order.
+	maxRank := 0
+	for id := range c.Gates {
+		r := 0
+		g := &c.Gates[id]
+		child := func(ch int) {
+			if ch < 0 || ch >= id {
+				panic(fmt.Sprintf("enumerate: gate %d has child %d; gates must be stored in topological order (child ids smaller than the parent's)", id, ch))
+			}
+			if e.rank[ch]+1 > r {
+				r = e.rank[ch] + 1
+			}
+		}
+		for _, ch := range g.Children {
+			child(ch)
+		}
+		for _, en := range g.Entries {
+			child(en.Gate)
+		}
+		e.rank[id] = r
+		if r > maxRank {
+			maxRank = r
+		}
+	}
+	e.buckets = make([][]int, maxRank+1)
+	e.queued = make([]bool, c.NumGates())
+	e.changedCh = make([][]int, c.NumGates())
 	for id, g := range c.Gates {
 		switch g.Kind {
 		case circuit.KindInput:
@@ -330,9 +376,34 @@ func (e *Enumerator) CollectAll(limit int) []provenance.Monomial {
 // SetInput replaces the value of a weight input and updates the emptiness
 // bookkeeping along the input's fan-out cone.
 func (e *Enumerator) SetInput(key structure.WeightKey, v Value) {
+	if e.assign(key, v) {
+		e.runWave()
+	}
+}
+
+// SetInputs replaces the values of several weight inputs and refreshes the
+// emptiness bookkeeping with a single propagation wave, so gates shared by
+// several changed inputs are revisited once per batch instead of once per
+// input.  The result is identical to calling SetInput for each assignment in
+// order.
+func (e *Enumerator) SetInputs(assigns []InputAssignment) {
+	touched := false
+	for _, a := range assigns {
+		if e.assign(a.Key, a.Value) {
+			touched = true
+		}
+	}
+	if touched {
+		e.runWave()
+	}
+}
+
+// assign stores an input value and, when its emptiness flipped, seeds the
+// wave; it reports whether anything changed.
+func (e *Enumerator) assign(key structure.WeightKey, v Value) bool {
 	id := e.c.InputGate(key)
 	if id < 0 {
-		return
+		return false
 	}
 	if v == nil {
 		v = zeroValue{}
@@ -340,54 +411,49 @@ func (e *Enumerator) SetInput(key structure.WeightKey, v Value) {
 	e.inputValue[id] = v
 	newEmpty := v.Empty()
 	if newEmpty == e.empty[id] {
-		return
+		return false
 	}
 	e.empty[id] = newEmpty
-	e.propagate(id)
+	e.seed(id)
+	return true
 }
 
-// propagate refreshes the metadata and emptiness of all gates reachable from
-// the changed gate, in topological (id) order.  Each affected parent only
-// revisits the positions of its children that actually flipped emptiness, so
-// the cost per update is bounded by the circuit's fan-out and depth, not by
-// the fan-in of wide gates.
-func (e *Enumerator) propagate(changed int) {
-	dirty := map[int]bool{}
-	var queue []int
-	push := func(g int) {
-		if !dirty[g] {
-			dirty[g] = true
-			queue = append(queue, g)
+// seed notifies the parents of a gate whose emptiness flipped, queueing them
+// by rank.  An input whose emptiness flips twice within one batch seeds its
+// parents twice; refreshGate's per-child work is idempotent, so the
+// duplicate entries are harmless.
+func (e *Enumerator) seed(g int) {
+	for _, p := range e.parents[g] {
+		e.changedCh[p] = append(e.changedCh[p], g)
+		if !e.queued[p] {
+			e.queued[p] = true
+			e.buckets[e.rank[p]] = append(e.buckets[e.rank[p]], p)
 		}
 	}
-	// pending[p] is the set of children of p whose emptiness flipped.
-	pending := map[int][]int{}
-	for _, p := range e.parents[changed] {
-		pending[p] = append(pending[p], changed)
-		push(p)
-	}
-	for len(queue) > 0 {
-		// Smallest id first keeps children finalised before parents.
-		minIdx := 0
-		for i := range queue {
-			if queue[i] < queue[minIdx] {
-				minIdx = i
+}
+
+// runWave drains the rank buckets in increasing order: children flip before
+// their parents are refreshed, a gate of rank r only ever enqueues gates of
+// strictly larger rank, and every affected gate is refreshed exactly once.
+// Each affected gate only revisits the positions of its children that
+// actually flipped emptiness, so the cost per update is bounded by the
+// circuit's fan-out and depth, not by the fan-in of wide gates.  The buckets
+// and changed-children lists are scratch buffers owned by the Enumerator and
+// reused across waves.
+func (e *Enumerator) runWave() {
+	for r := 1; r < len(e.buckets); r++ {
+		bucket := e.buckets[r]
+		for _, g := range bucket {
+			e.queued[g] = false
+			newEmpty := e.refreshGate(g, e.changedCh[g])
+			e.changedCh[g] = e.changedCh[g][:0]
+			if newEmpty == e.empty[g] {
+				continue
 			}
+			e.empty[g] = newEmpty
+			e.seed(g)
 		}
-		g := queue[minIdx]
-		queue = append(queue[:minIdx], queue[minIdx+1:]...)
-		dirty[g] = false
-		changedChildren := pending[g]
-		delete(pending, g)
-		newEmpty := e.refreshGate(g, changedChildren)
-		if newEmpty == e.empty[g] {
-			continue
-		}
-		e.empty[g] = newEmpty
-		for _, p := range e.parents[g] {
-			pending[p] = append(pending[p], g)
-			push(p)
-		}
+		e.buckets[r] = bucket[:0]
 	}
 }
 
@@ -429,13 +495,11 @@ func (e *Enumerator) refreshGate(g int, changedChildren []int) bool {
 		return false
 	case circuit.KindPerm:
 		meta := e.perms[g]
-		touched := map[int]bool{}
+		// Recomputing a column's type is idempotent, so columns wired to
+		// several changed children are simply recomputed more than once
+		// rather than tracked in a per-call set.
 		for _, ch := range changedChildren {
 			for _, col := range meta.colsOfChild[ch] {
-				if touched[col] {
-					continue
-				}
-				touched[col] = true
 				t := 0
 				for r := 0; r < meta.rows; r++ {
 					cch := meta.entry[col][r]

@@ -1,9 +1,11 @@
 package enumerate
 
 import (
+	"math/big"
 	"math/rand"
 	"testing"
 
+	"repro/internal/circuit"
 	"repro/internal/compile"
 	"repro/internal/logic"
 	"repro/internal/structure"
@@ -49,6 +51,85 @@ func TestEnumerateRandomFormulasMatchesNaive(t *testing.T) {
 			t.Fatalf("round %d (%s): %v", round, phi, err)
 		}
 		checkAnswers(t, ans, a, phi, vars)
+	}
+}
+
+// TestEnumeratorRejectsNonTopologicalCircuits mirrors the circuit.Dynamic
+// property: a circuit whose gate ids are not topologically ordered must be
+// rejected at preprocessing time, not silently enumerated in the wrong order.
+func TestEnumeratorRejectsNonTopologicalCircuits(t *testing.T) {
+	c := &circuit.Circuit{
+		Gates: []circuit.Gate{
+			{Kind: circuit.KindAdd, Children: []int{1}},
+			{Kind: circuit.KindConst, N: big.NewInt(2)},
+		},
+		Output: 0,
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("New accepted a non-topological circuit")
+		}
+	}()
+	New(c, nil)
+}
+
+// TestAnswersApplyBatch drives random batches of Gaifman-preserving updates
+// through ApplyBatch and a twin enumerator applying the same changes one at
+// a time, comparing both against a structure rebuilt from scratch.
+func TestAnswersApplyBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	for round := 0; round < 8; round++ {
+		a := enumerationStructure(8, 18, int64(300+round))
+		vars := []string{"x", "y"}
+		phi := logic.Conj(
+			logic.R("E", "x", "y"),
+			logic.R("S", "x"),
+			logic.Neg(logic.R("S", "y")),
+		)
+		opts := compile.Options{DynamicRelations: []string{"S"}}
+		batched, err := EnumerateAnswers(a, phi, vars, opts)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		sequential, err := EnumerateAnswers(a, phi, vars, opts)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		mirror := a.Clone()
+		for step := 0; step < 8; step++ {
+			batch := make([]TupleChange, r.Intn(5)+1)
+			for i := range batch {
+				// Repeated tuples within a batch are deliberate: the last
+				// change must win.
+				batch[i] = TupleChange{Rel: "S", Tuple: structure.Tuple{r.Intn(a.N)}, Present: r.Intn(2) == 0}
+			}
+			if err := batched.ApplyBatch(batch); err != nil {
+				t.Fatalf("round %d step %d: ApplyBatch: %v", round, step, err)
+			}
+			for _, ch := range batch {
+				if err := sequential.SetTuple(ch.Rel, ch.Tuple, ch.Present); err != nil {
+					t.Fatalf("round %d step %d: SetTuple: %v", round, step, err)
+				}
+				setMirror(mirror, ch.Rel, ch.Tuple, ch.Present)
+			}
+			if batched.Count() != sequential.Count() {
+				t.Fatalf("round %d step %d: batched count %d, sequential %d",
+					round, step, batched.Count(), sequential.Count())
+			}
+			checkAnswers(t, batched, mirror, phi, vars)
+		}
+		// All-or-nothing: a batch with any invalid change applies nothing.
+		before := batched.Count()
+		bad := []TupleChange{
+			{Rel: "S", Tuple: structure.Tuple{0}, Present: before == 0},
+			{Rel: "E", Tuple: structure.Tuple{0, 1}, Present: true}, // E is not dynamic
+		}
+		if err := batched.ApplyBatch(bad); err == nil {
+			t.Fatalf("round %d: invalid batch accepted", round)
+		}
+		if got := batched.Count(); got != before {
+			t.Fatalf("round %d: invalid batch partially applied: count %d, want %d", round, got, before)
+		}
 	}
 }
 

@@ -258,6 +258,13 @@ func NewDynamic[T any](s semiring.Semiring[T], m *Matrix[T]) *Dynamic[T] {
 // (a single column cannot match two rows).
 func (d *Dynamic[T]) leafVector(c int) []T {
 	vec := make([]T, d.vecLen)
+	d.leafVectorInto(vec, c)
+	return vec
+}
+
+// leafVectorInto writes the subset vector of column c into vec, reusing the
+// slice so that updates allocate nothing.
+func (d *Dynamic[T]) leafVectorInto(vec []T, c int) {
 	for i := range vec {
 		vec[i] = d.s.Zero()
 	}
@@ -267,13 +274,20 @@ func (d *Dynamic[T]) leafVector(c int) []T {
 			vec[1<<uint(r)] = d.entries.At(r, c)
 		}
 	}
-	return vec
 }
 
 // merge combines the subset vectors of two adjacent column ranges:
 // out[S] = Σ_{T ⊆ S} left[T] · right[S\T].
 func (d *Dynamic[T]) merge(left, right []T) []T {
 	out := make([]T, d.vecLen)
+	d.mergeInto(out, left, right)
+	return out
+}
+
+// mergeInto writes the merge of left and right into out; out must not alias
+// either operand (tree nodes never alias their children, so Update can reuse
+// the existing node vectors).
+func (d *Dynamic[T]) mergeInto(out, left, right []T) {
 	for i := range out {
 		out[i] = d.s.Zero()
 	}
@@ -286,7 +300,6 @@ func (d *Dynamic[T]) merge(left, right []T) []T {
 			}
 		}
 	}
-	return out
 }
 
 // Value returns the permanent of the current matrix.
@@ -298,17 +311,18 @@ func (d *Dynamic[T]) Value() T {
 }
 
 // Update sets entry (row, col) to v and refreshes the structure in
-// O(3^rows · log cols) semiring operations.
+// O(3^rows · log cols) semiring operations, rewriting the affected tree
+// vectors in place so steady-state updates allocate nothing.
 func (d *Dynamic[T]) Update(row, col int, v T) {
 	if row < 0 || row >= d.rows || col < 0 || col >= d.cols {
 		panic("perm: update out of range")
 	}
 	d.entries.Set(row, col, v)
 	i := d.size + col
-	d.tree[i] = d.leafVector(col)
+	d.leafVectorInto(d.tree[i], col)
 	for i >= 2 {
 		i /= 2
-		d.tree[i] = d.merge(d.tree[2*i], d.tree[2*i+1])
+		d.mergeInto(d.tree[i], d.tree[2*i], d.tree[2*i+1])
 	}
 }
 

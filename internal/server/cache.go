@@ -19,6 +19,11 @@ type lruCache struct {
 type cacheSlot struct {
 	key  string
 	once sync.Once
+	// building is true until the slot's build completes; guarded by the
+	// cache mutex.  Eviction skips building slots: dropping one would let a
+	// concurrent request for the same key start a duplicate compilation
+	// while the first is still running.
+	building bool
 	// value and err are written inside once and read only afterwards.
 	value any
 	err   error
@@ -32,8 +37,9 @@ func newLRUCache(max int) *lruCache {
 }
 
 // getOrCreate returns the cached value for key, building it with build on
-// first use.  The second return reports whether the slot already existed
-// (a cache hit — possibly still being built by another goroutine).  A slot
+// first use.  The second return reports whether the request was served from
+// an existing, successfully built (or still successfully building) slot — a
+// waiter that joins a build which then fails is a miss, not a hit.  A slot
 // whose build failed is evicted so the next request retries.
 func (c *lruCache) getOrCreate(key string, build func() (any, error)) (any, bool, error) {
 	c.mu.Lock()
@@ -41,24 +47,39 @@ func (c *lruCache) getOrCreate(key string, build func() (any, error)) (any, bool
 	if hit {
 		c.order.MoveToFront(el)
 	} else {
-		el = c.order.PushFront(&cacheSlot{key: key})
+		el = c.order.PushFront(&cacheSlot{key: key, building: true})
 		c.items[key] = el
-		for c.order.Len() > c.max {
-			oldest := c.order.Back()
-			c.order.Remove(oldest)
-			delete(c.items, oldest.Value.(*cacheSlot).key)
-		}
+		c.evictLocked()
 	}
 	slot := el.Value.(*cacheSlot)
 	c.mu.Unlock()
 
 	slot.once.Do(func() {
 		slot.value, slot.err = build()
+		c.mu.Lock()
+		slot.building = false
+		c.mu.Unlock()
 		if slot.err != nil {
 			c.remove(key, slot)
 		}
 	})
-	return slot.value, hit, slot.err
+	return slot.value, hit && slot.err == nil, slot.err
+}
+
+// evictLocked trims the cache to max entries, skipping slots whose build is
+// still in flight (the cache may transiently exceed max while many distinct
+// cold keys build concurrently).  Callers must hold c.mu.
+func (c *lruCache) evictLocked() {
+	excess := c.order.Len() - c.max
+	for el := c.order.Back(); el != nil && excess > 0; {
+		prev := el.Prev()
+		if slot := el.Value.(*cacheSlot); !slot.building {
+			c.order.Remove(el)
+			delete(c.items, slot.key)
+			excess--
+		}
+		el = prev
+	}
 }
 
 // remove drops the slot from the cache if it is still the one mapped at key.

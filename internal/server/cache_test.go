@@ -1,0 +1,129 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheEvictionSkipsBuildingSlots is the regression test for the
+// eviction-during-build race: with a cache bound of 1, a slow build must not
+// be evicted by an unrelated insertion, or a concurrent request for the same
+// key would start a duplicate compilation.
+func TestCacheEvictionSkipsBuildingSlots(t *testing.T) {
+	c := newLRUCache(1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var aBuilds atomic.Int32
+
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		_, _, err := c.getOrCreate("A", func() (any, error) {
+			close(started)
+			<-release
+			aBuilds.Add(1)
+			return "a", nil
+		})
+		if err != nil {
+			t.Errorf("building A: %v", err)
+		}
+	}()
+	<-started
+
+	// Overflow the cache while A is still building: eviction must pick a
+	// completed slot (or none), never the in-flight one.
+	if _, _, err := c.getOrCreate("B", func() (any, error) { return "b", nil }); err != nil {
+		t.Fatalf("building B: %v", err)
+	}
+
+	// A second request for A must join the in-flight build, not start a new
+	// one.
+	secondDone := make(chan struct{})
+	var secondHit bool
+	go func() {
+		defer close(secondDone)
+		v, hit, err := c.getOrCreate("A", func() (any, error) {
+			aBuilds.Add(1)
+			return "duplicate", nil
+		})
+		if err != nil {
+			t.Errorf("joining A: %v", err)
+		}
+		if v != "a" {
+			t.Errorf("joined build returned %v, want the original value", v)
+		}
+		secondHit = hit
+	}()
+
+	close(release)
+	<-firstDone
+	<-secondDone
+	if got := aBuilds.Load(); got != 1 {
+		t.Errorf("key A was built %d times, want 1", got)
+	}
+	if !secondHit {
+		t.Errorf("request joining a successful in-flight build should count as a hit")
+	}
+}
+
+// TestCacheFailedBuildIsNotAHit checks that every request sharing a failed
+// build — the winner and all waiters — reports hit=false, and that the slot
+// is removed so the next request retries.
+func TestCacheFailedBuildIsNotAHit(t *testing.T) {
+	c := newLRUCache(4)
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	type result struct {
+		hit bool
+		err error
+	}
+	results := make(chan result, 5)
+	go func() {
+		_, hit, err := c.getOrCreate("k", func() (any, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+		results <- result{hit, err}
+	}()
+	<-started
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, hit, err := c.getOrCreate("k", func() (any, error) { return nil, boom })
+			results <- result{hit, err}
+		}()
+	}
+	// Give the waiters time to attach to the in-flight slot before it fails.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i := 0; i < 5; i++ {
+		r := <-results
+		if r.err == nil {
+			t.Errorf("request sharing a failed build reported no error")
+		}
+		if r.hit {
+			t.Errorf("request sharing a failed build reported hit=true")
+		}
+	}
+
+	// The failed slot is gone: the next request rebuilds and succeeds.
+	v, hit, err := c.getOrCreate("k", func() (any, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("retry after failed build: value %v, err %v", v, err)
+	}
+	if hit {
+		t.Errorf("retry after failed build reported hit=true, want false")
+	}
+	if _, hit, _ := c.getOrCreate("k", func() (any, error) { return 0, nil }); !hit {
+		t.Errorf("request after successful rebuild should be a hit")
+	}
+}

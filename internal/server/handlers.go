@@ -20,7 +20,8 @@ var errConflict = errors.New("conflict")
 //	POST /query      evaluate a closed expression in a named semiring
 //	POST /session    create a named dynamic-update session
 //	POST /point      point query at a tuple of free variables
-//	POST /update     apply a batch of weight/tuple updates to a session
+//	POST /update     apply weight/tuple updates to a session one at a time
+//	POST /batch      apply a batch atomically with one propagation wave
 //	GET  /enumerate  stream query answers as NDJSON with constant delay
 //	GET  /stats      serving counters
 //	GET  /healthz    liveness probe
@@ -31,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /session", s.wrap(s.handleDeleteSession))
 	mux.HandleFunc("POST /point", s.wrap(s.handlePoint))
 	mux.HandleFunc("POST /update", s.wrap(s.handleUpdate))
+	mux.HandleFunc("POST /batch", s.wrap(s.handleBatch))
 	mux.HandleFunc("GET /enumerate", s.wrap(s.handleEnumerate))
 	mux.HandleFunc("GET /stats", s.wrap(s.handleStats))
 	mux.HandleFunc("GET /healthz", s.wrap(func(w http.ResponseWriter, r *http.Request) {
@@ -300,6 +302,61 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, updateResponse{Applied: applied})
+}
+
+// ---------------------------------------------------------------------------
+// POST /batch
+// ---------------------------------------------------------------------------
+
+type batchResponse struct {
+	Applied int `json:"applied"`
+}
+
+// handleBatch applies a batch of updates atomically: every update is
+// validated before anything is applied (all-or-nothing, unlike /update's
+// stop-at-first-error semantics) and the session's evaluator then runs a
+// single propagation wave for the whole batch, so updates sharing circuit
+// gates — or repeatedly hitting the same hot keys — cost far less than the
+// equivalent sequence of individual updates.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	changes := make([]SessionChange, len(req.Updates))
+	for i, u := range req.Updates {
+		if u.Weight != "" && u.Rel != "" {
+			s.writeError(w, fmt.Errorf("update %d names both a weight and a relation", i))
+			return
+		}
+		if u.Weight == "" && u.Rel == "" {
+			s.writeError(w, fmt.Errorf("update %d names neither a weight nor a relation", i))
+			return
+		}
+		changes[i] = SessionChange{
+			Weight:  u.Weight,
+			Rel:     u.Rel,
+			Tuple:   u.Tuple,
+			Value:   u.Value,
+			Present: u.Present == nil || *u.Present,
+		}
+	}
+	h, err := s.session(req.Session)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	h.mu.Lock()
+	err = h.sess.ApplyBatch(changes)
+	h.mu.Unlock()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.stats.Batches.Add(1)
+	s.stats.BatchedUpdates.Add(int64(len(changes)))
+	s.writeJSON(w, batchResponse{Applied: len(changes)})
 }
 
 // ---------------------------------------------------------------------------

@@ -48,6 +48,20 @@ type Session interface {
 	SetWeight(weight string, tuple structure.Tuple, value int64) error
 	// SetTuple inserts or removes a tuple of a dynamic relation.
 	SetTuple(rel string, tuple structure.Tuple, present bool) error
+	// ApplyBatch applies a mixed batch of weight and tuple changes
+	// atomically (all-or-nothing validation) with a single propagation
+	// wave; see dynamicq.Query.ApplyBatch.
+	ApplyBatch(changes []SessionChange) error
+}
+
+// SessionChange is one update of a Session.ApplyBatch batch: a weight update
+// (Weight non-empty) or a dynamic-relation update (Rel non-empty).
+type SessionChange struct {
+	Weight  string
+	Rel     string
+	Tuple   structure.Tuple
+	Value   int64
+	Present bool
 }
 
 // typedSemiring adapts one semiring.Semiring[T] to the erased interface.
@@ -106,6 +120,17 @@ func (s *typedSession[T]) SetWeight(weight string, tuple structure.Tuple, value 
 
 func (s *typedSession[T]) SetTuple(rel string, tuple structure.Tuple, present bool) error {
 	return s.q.SetTuple(rel, tuple, present)
+}
+
+func (s *typedSession[T]) ApplyBatch(changes []SessionChange) error {
+	typed := make([]dynamicq.Change[T], len(changes))
+	for i, ch := range changes {
+		typed[i] = dynamicq.Change[T]{Rel: ch.Rel, Tuple: ch.Tuple, Present: ch.Present, Weight: ch.Weight}
+		if ch.Weight != "" {
+			typed[i].Value = s.ts.embed(structure.MakeWeightKey(ch.Weight, ch.Tuple), ch.Value)
+		}
+	}
+	return s.q.ApplyBatch(typed)
 }
 
 // semirings is the registry of carriers served over HTTP.  The provenance

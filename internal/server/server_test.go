@@ -280,6 +280,89 @@ func TestEnumerateStreamsCorrectPrefix(t *testing.T) {
 	}
 }
 
+// TestBatchEndpoint covers POST /batch: atomic application of a mixed batch
+// in one propagation wave, the stats counters, all-or-nothing rejection of
+// invalid batches, and agreement with a sequential oracle.
+func TestBatchEndpoint(t *testing.T) {
+	srv, ts, db := newTestServer(t, 6)
+	const sessionExpr = "sum y . [E(x,y)] * w(x,y)"
+	if resp, code := postJSON(t, ts.URL+"/session", map[string]any{
+		"name": "b", "expr": sessionExpr, "semiring": "natural",
+	}); code != http.StatusOK {
+		t.Fatalf("creating session: %v", resp)
+	}
+
+	edges := db.A.Tuples("E")
+	finalValue := func(i int) int64 { return int64(500 + i%7) }
+	updates := make([]map[string]any, len(edges))
+	for i, e := range edges {
+		updates[i] = map[string]any{"weight": "w", "tuple": e, "value": finalValue(i)}
+	}
+	resp, code := postJSON(t, ts.URL+"/batch", map[string]any{"session": "b", "updates": updates})
+	if code != http.StatusOK {
+		t.Fatalf("/batch failed: %v", resp)
+	}
+	if got := resp["applied"]; got != float64(len(updates)) {
+		t.Errorf("applied = %v, want %d", got, len(updates))
+	}
+	if got := srv.Stats().Batches.Load(); got != 1 {
+		t.Errorf("batches counter = %d, want 1", got)
+	}
+	if got := srv.Stats().BatchedUpdates.Load(); got != int64(len(updates)) {
+		t.Errorf("batchedUpdates counter = %d, want %d", got, len(updates))
+	}
+
+	// Sequential oracle under the final weights.
+	finalW := db.Weights()
+	for i, e := range edges {
+		finalW.Set("w", e, finalValue(i))
+	}
+	oracle, err := dynamicq.CompileQuery[int64](semiring.Nat, db.A, finalW,
+		parser.MustParseExpr(sessionExpr), compile.Options{})
+	if err != nil {
+		t.Fatalf("compiling oracle: %v", err)
+	}
+	for x := 0; x < db.A.N; x += 3 {
+		got, code := postJSON(t, ts.URL+"/point", map[string]any{"session": "b", "args": []int{x}})
+		if code != http.StatusOK {
+			t.Fatalf("point %d: %v", x, got)
+		}
+		want, err := oracle.Value(x)
+		if err != nil {
+			t.Fatalf("oracle at %d: %v", x, err)
+		}
+		if got["value"] != fmt.Sprint(want) {
+			t.Fatalf("point %d = %v after /batch, oracle says %d", x, got["value"], want)
+		}
+	}
+
+	// All-or-nothing: a batch with an invalid tail applies nothing.
+	before, _ := postJSON(t, ts.URL+"/point", map[string]any{"session": "b", "args": []int{0}})
+	bad := []map[string]any{
+		{"weight": "w", "tuple": edges[0], "value": 99999},
+		{"weight": "w", "rel": "E", "tuple": edges[0], "value": 1},
+	}
+	if resp, code := postJSON(t, ts.URL+"/batch", map[string]any{"session": "b", "updates": bad}); code != http.StatusBadRequest {
+		t.Fatalf("invalid batch: status %d (%v)", code, resp)
+	}
+	bad[1] = map[string]any{"weight": "nope", "tuple": edges[0], "value": 1}
+	if resp, code := postJSON(t, ts.URL+"/batch", map[string]any{"session": "b", "updates": bad}); code != http.StatusBadRequest {
+		t.Fatalf("unknown-weight batch: status %d (%v)", code, resp)
+	}
+	after, _ := postJSON(t, ts.URL+"/point", map[string]any{"session": "b", "args": []int{0}})
+	if after["value"] != before["value"] {
+		t.Errorf("invalid batch partially applied: point 0 went from %v to %v", before["value"], after["value"])
+	}
+	if got := srv.Stats().Batches.Load(); got != 1 {
+		t.Errorf("failed batches were counted: batches = %d, want 1", got)
+	}
+
+	// Unknown sessions are rejected.
+	if resp, code := postJSON(t, ts.URL+"/batch", map[string]any{"session": "ghost", "updates": updates[:1]}); code != http.StatusBadRequest {
+		t.Errorf("unknown session: status %d (%v)", code, resp)
+	}
+}
+
 // TestErrorPaths covers the 4xx surface.
 func TestErrorPaths(t *testing.T) {
 	_, ts, _ := newTestServer(t, 4)

@@ -8,12 +8,14 @@ import (
 // Stats holds the expvar-style counters of a running server.  All fields are
 // updated atomically and may be read while the server handles traffic.
 type Stats struct {
-	Queries       atomic.Int64 // completed /query requests
-	Points        atomic.Int64 // completed /point requests
-	Updates       atomic.Int64 // individual updates applied via /update
-	UpdateBatches atomic.Int64 // completed /update requests
-	Enumerations  atomic.Int64 // completed /enumerate requests
-	Sessions      atomic.Int64 // sessions created via /session
+	Queries        atomic.Int64 // completed /query requests
+	Points         atomic.Int64 // completed /point requests
+	Updates        atomic.Int64 // individual updates applied via /update
+	UpdateBatches  atomic.Int64 // completed /update requests
+	Batches        atomic.Int64 // completed /batch requests
+	BatchedUpdates atomic.Int64 // updates applied atomically via /batch
+	Enumerations   atomic.Int64 // completed /enumerate requests
+	Sessions       atomic.Int64 // sessions created via /session
 
 	Compiles    atomic.Int64 // expressions compiled (cache misses that ran the compiler)
 	CacheHits   atomic.Int64 // cache lookups served without compiling
@@ -28,39 +30,43 @@ type Stats struct {
 
 // StatsSnapshot is the JSON shape served by GET /stats.
 type StatsSnapshot struct {
-	Queries       int64   `json:"queries"`
-	Points        int64   `json:"points"`
-	Updates       int64   `json:"updates"`
-	UpdateBatches int64   `json:"updateBatches"`
-	Enumerations  int64   `json:"enumerations"`
-	Sessions      int64   `json:"sessions"`
-	Compiles      int64   `json:"compiles"`
-	CacheHits     int64   `json:"cacheHits"`
-	CacheMisses   int64   `json:"cacheMisses"`
-	CompileMillis float64 `json:"compileMillis"`
-	EvalMillis    float64 `json:"evalMillis"`
-	InFlight      int64   `json:"inFlight"`
-	Errors        int64   `json:"errors"`
-	CachedQueries int     `json:"cachedQueries"`
-	Databases     int     `json:"databases"`
-	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Queries        int64   `json:"queries"`
+	Points         int64   `json:"points"`
+	Updates        int64   `json:"updates"`
+	UpdateBatches  int64   `json:"updateBatches"`
+	Batches        int64   `json:"batches"`
+	BatchedUpdates int64   `json:"batchedUpdates"`
+	Enumerations   int64   `json:"enumerations"`
+	Sessions       int64   `json:"sessions"`
+	Compiles       int64   `json:"compiles"`
+	CacheHits      int64   `json:"cacheHits"`
+	CacheMisses    int64   `json:"cacheMisses"`
+	CompileMillis  float64 `json:"compileMillis"`
+	EvalMillis     float64 `json:"evalMillis"`
+	InFlight       int64   `json:"inFlight"`
+	Errors         int64   `json:"errors"`
+	CachedQueries  int     `json:"cachedQueries"`
+	Databases      int     `json:"databases"`
+	UptimeSeconds  float64 `json:"uptimeSeconds"`
 }
 
 func (st *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Queries:       st.Queries.Load(),
-		Points:        st.Points.Load(),
-		Updates:       st.Updates.Load(),
-		UpdateBatches: st.UpdateBatches.Load(),
-		Enumerations:  st.Enumerations.Load(),
-		Sessions:      st.Sessions.Load(),
-		Compiles:      st.Compiles.Load(),
-		CacheHits:     st.CacheHits.Load(),
-		CacheMisses:   st.CacheMisses.Load(),
-		CompileMillis: float64(st.CompileNanos.Load()) / 1e6,
-		EvalMillis:    float64(st.EvalNanos.Load()) / 1e6,
-		InFlight:      st.InFlight.Load(),
-		Errors:        st.Errors.Load(),
+		Queries:        st.Queries.Load(),
+		Points:         st.Points.Load(),
+		Updates:        st.Updates.Load(),
+		UpdateBatches:  st.UpdateBatches.Load(),
+		Batches:        st.Batches.Load(),
+		BatchedUpdates: st.BatchedUpdates.Load(),
+		Enumerations:   st.Enumerations.Load(),
+		Sessions:       st.Sessions.Load(),
+		Compiles:       st.Compiles.Load(),
+		CacheHits:      st.CacheHits.Load(),
+		CacheMisses:    st.CacheMisses.Load(),
+		CompileMillis:  float64(st.CompileNanos.Load()) / 1e6,
+		EvalMillis:     float64(st.EvalNanos.Load()) / 1e6,
+		InFlight:       st.InFlight.Load(),
+		Errors:         st.Errors.Load(),
 	}
 }
 

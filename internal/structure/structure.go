@@ -338,6 +338,16 @@ func (w *Weights[T]) GetKey(k WeightKey) (T, bool) {
 // Len returns the number of explicitly set weights.
 func (w *Weights[T]) Len() int { return len(w.vals) }
 
+// Clone returns an independent copy of the assignment; the values themselves
+// are shared (weights are treated as immutable semiring elements).
+func (w *Weights[T]) Clone() *Weights[T] {
+	out := NewWeights[T]()
+	for k, v := range w.vals {
+		out.vals[k] = v
+	}
+	return out
+}
+
 // ForEach iterates over all explicitly set weights.
 func (w *Weights[T]) ForEach(fn func(k WeightKey, v T)) {
 	for k, v := range w.vals {
