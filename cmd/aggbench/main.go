@@ -23,7 +23,16 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit Markdown tables")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty runs all")
 	workers := flag.Int("workers", 1, "experiments run concurrently on this many goroutines (0 = GOMAXPROCS; >1 skews timings)")
+	e14check := flag.Bool("e14check", false, "run the E14 program-vs-legacy layout comparison as a pass/fail smoke check and exit")
 	flag.Parse()
+
+	if *e14check {
+		if err := bench.E14Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {

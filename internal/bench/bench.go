@@ -762,6 +762,7 @@ func Registry(quick bool) []Experiment {
 		{"E11", func() *Table { return E11ParallelEvaluation(sizes, 0) }},
 		{"E12", func() *Table { return E12ServingThroughput(small, 8) }},
 		{"E13", func() *Table { return E13BatchedUpdates(small, 10000, 1024, 64) }},
+		{"E14", func() *Table { return E14ProgramLayout(quick) }},
 	}
 }
 

@@ -18,6 +18,7 @@ package circuit
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"repro/internal/perm"
 	"repro/internal/semiring"
@@ -80,15 +81,21 @@ type Gate struct {
 	Entries    []PermEntry
 }
 
-// Circuit is a directed acyclic circuit.  Gates are stored in topological
-// order: every child index is smaller than its parent's index.
+// Circuit is a directed acyclic circuit under construction.  Gates are
+// stored in topological order: every child index is smaller than its
+// parent's index.  Once built, freeze it with Program (memoised) to obtain
+// the flat execution form shared by all engines.
 type Circuit struct {
 	Gates  []Gate
 	Output int
 
 	inputIndex map[structure.WeightKey]int
+	constIndex map[string]int
 	zeroGate   int
 	oneGate    int
+
+	progMu sync.Mutex
+	prog   *Program
 }
 
 // NewBuilder returns an empty circuit under construction, pre-seeded with
@@ -98,6 +105,20 @@ func NewBuilder() *Circuit {
 	c.zeroGate = c.addGate(Gate{Kind: KindConst, N: big.NewInt(0)})
 	c.oneGate = c.addGate(Gate{Kind: KindConst, N: big.NewInt(1)})
 	return c
+}
+
+// Program returns the frozen CSR form of the circuit, freezing on first use
+// and re-freezing when gates were added since.  It is safe for concurrent
+// use once construction has finished; the returned Program is immutable and
+// shared, so concurrent evaluations, dynamic sessions and enumerators all
+// borrow one artefact.
+func (c *Circuit) Program() *Program {
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	if c.prog == nil || c.prog.numGates != len(c.Gates) || c.prog.output != c.Output {
+		c.prog = Freeze(c)
+	}
+	return c.prog
 }
 
 func (c *Circuit) addGate(g Gate) int {
@@ -136,10 +157,19 @@ func (c *Circuit) InputGate(key structure.WeightKey) int {
 	return -1
 }
 
-// Inputs returns the map from weight keys to input gate ids.
-func (c *Circuit) Inputs() map[structure.WeightKey]int { return c.inputIndex }
+// Inputs returns a copy of the map from weight keys to input gate ids; the
+// circuit's internal index stays private, so callers cannot corrupt it.
+func (c *Circuit) Inputs() map[structure.WeightKey]int {
+	out := make(map[structure.WeightKey]int, len(c.inputIndex))
+	for k, v := range c.inputIndex {
+		out[k] = v
+	}
+	return out
+}
 
-// Const returns a constant gate with value n ≥ 0.
+// Const returns a constant gate with value n ≥ 0.  Constants are interned:
+// requesting the same value again returns the existing gate instead of
+// growing the circuit.
 func (c *Circuit) Const(n *big.Int) int {
 	if n.Sign() < 0 {
 		panic("circuit: negative constants are not representable in a general semiring")
@@ -150,7 +180,16 @@ func (c *Circuit) Const(n *big.Int) int {
 	if n.Cmp(big.NewInt(1)) == 0 {
 		return c.oneGate
 	}
-	return c.addGate(Gate{Kind: KindConst, N: new(big.Int).Set(n)})
+	key := n.String()
+	if id, ok := c.constIndex[key]; ok {
+		return id
+	}
+	id := c.addGate(Gate{Kind: KindConst, N: new(big.Int).Set(n)})
+	if c.constIndex == nil {
+		c.constIndex = make(map[string]int)
+	}
+	c.constIndex[key] = id
+	return id
 }
 
 // ConstInt returns a constant gate with a small value.
@@ -323,17 +362,27 @@ func WeightsValuation[T any](w *structure.Weights[T]) Valuation[T] {
 // Evaluate computes the value of the output gate in the semiring s under
 // the valuation v, visiting every gate once.  Permanent gates are evaluated
 // with the O(2^rows · rows · cols) column dynamic program of package perm.
+// Evaluation runs on the circuit's frozen Program (freezing on first use);
+// use EvaluateProgram directly when the Program is already at hand.
 func Evaluate[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T]) T {
 	if c.Output < 0 {
 		panic("circuit: no output gate set")
 	}
-	vals := EvaluateAll(c, s, v)
-	return vals[c.Output]
+	return EvaluateProgram(c.Program(), s, v)
 }
 
-// EvaluateAll computes the value of every gate, returning the slice indexed
-// by gate id.
+// EvaluateAll computes the value of every gate on the circuit's frozen
+// Program, returning the slice indexed by gate id.
 func EvaluateAll[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T]) []T {
+	return EvaluateAllProgram(c.Program(), s, v)
+}
+
+// LegacyEvaluateAll computes the value of every gate by walking the builder
+// layout directly (one Children slice and one big.Int per Gate).  It is the
+// pre-Program execution path, retained as the differential-testing oracle
+// and the baseline of bench experiment E14; all production callers go
+// through the Program form.
+func LegacyEvaluateAll[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T]) []T {
 	vals := make([]T, len(c.Gates))
 	for id := range c.Gates {
 		evaluateGate(c, s, v, id, vals)

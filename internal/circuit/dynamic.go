@@ -2,7 +2,6 @@ package circuit
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/perm"
 	"repro/internal/semiring"
@@ -28,16 +27,17 @@ import (
 //
 // The strategy is chosen automatically from the semiring's capabilities.
 //
-// Propagation is driven by topological ranks precomputed once in NewDynamic:
-// dirty gates wait in one bucket per rank and each wave drains the buckets in
-// increasing rank order, so every affected gate is recomputed exactly once per
-// wave no matter how many of its children changed.  All wave state (buckets,
-// changed-children lists, old values) lives in scratch buffers owned by the
-// Dynamic and reused across updates: once the buffers have grown to their
-// steady-state capacity, updates on the generic path perform zero heap
-// allocations.
+// The evaluator runs on the circuit's frozen Program and borrows its
+// topological ranks and parents CSR instead of rebuilding them per session:
+// dirty gates wait in one bucket per rank and each wave drains the buckets
+// in increasing rank order, so every affected gate is recomputed exactly
+// once per wave no matter how many of its children changed.  All wave state
+// (buckets, changed-children lists, old values) lives in scratch buffers
+// owned by the Dynamic and reused across updates: once the buffers have
+// grown to their steady-state capacity, updates on the generic path perform
+// zero heap allocations.
 type Dynamic[T any] struct {
-	c *Circuit
+	p *Program
 	s semiring.Semiring[T]
 
 	ring   semiring.Ring[T]   // nil unless the semiring is a ring
@@ -50,12 +50,7 @@ type Dynamic[T any] struct {
 	// injective on the carrier (the scan is the always-correct fallback).
 	elemIdx map[string]int
 
-	vals    []T
-	parents [][]int
-	// rank[id] is the gate's topological rank (the length of the longest
-	// path from a leaf); every child has a strictly smaller rank, so draining
-	// dirty gates in rank order recomputes children before parents.
-	rank []int
+	vals []T
 
 	adders []*adderState[T]
 	perms  []permState[T]
@@ -78,7 +73,7 @@ type InputChange[T any] struct {
 }
 
 type adderState[T any] struct {
-	children []int
+	children []int32
 	// occurrences[child] lists the positions of that child within children,
 	// so that an update touches only the changed child's occurrences.
 	occurrences map[int][]int
@@ -96,16 +91,22 @@ type permState[T any] struct {
 	positions map[int][][2]int
 }
 
-// NewDynamic initialises the dynamic evaluator under the given valuation.
-// The circuit must store its gates in topological order (every child id
-// smaller than its parent's id, as the builder guarantees); NewDynamic
-// panics on circuits violating that invariant rather than silently
-// propagating updates in the wrong order.
+// NewDynamic initialises the dynamic evaluator for the circuit's frozen
+// Program under the given valuation; see NewDynamicProgram.
 func NewDynamic[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T]) *Dynamic[T] {
-	if c.Output < 0 {
+	return NewDynamicProgram(c.Program(), s, v)
+}
+
+// NewDynamicProgram initialises the dynamic evaluator on a frozen Program
+// under the given valuation.  Freezing already validated the topological
+// gate order, so propagation may trust the Program's ranks.  Many Dynamic
+// sessions may share one Program; each gets independent update state while
+// the ranks, parents and children arenas stay shared and immutable.
+func NewDynamicProgram[T any](p *Program, s semiring.Semiring[T], v Valuation[T]) *Dynamic[T] {
+	if p.output < 0 {
 		panic("circuit: no output gate set")
 	}
-	d := &Dynamic[T]{c: c, s: s}
+	d := &Dynamic[T]{p: p, s: s}
 	if r, ok := s.(semiring.Ring[T]); ok {
 		d.ring = r
 	}
@@ -124,70 +125,31 @@ func NewDynamic[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T]) *Dyna
 			}
 		}
 	}
-	// Topological ranks; validates the gate order before anything evaluates.
-	d.rank = make([]int, len(c.Gates))
-	maxRank := 0
-	for id := range c.Gates {
-		r := 0
-		for _, ch := range c.children(id) {
-			if ch < 0 || ch >= id {
-				panic(fmt.Sprintf("circuit: gate %d has child %d; gates must be stored in topological order (child ids smaller than the parent's)", id, ch))
-			}
-			if d.rank[ch]+1 > r {
-				r = d.rank[ch] + 1
-			}
-		}
-		d.rank[id] = r
-		if r > maxRank {
-			maxRank = r
-		}
-	}
-	d.vals = EvaluateAll(c, s, v)
-	d.parents = make([][]int, len(c.Gates))
-	d.adders = make([]*adderState[T], len(c.Gates))
-	d.perms = make([]permState[T], len(c.Gates))
-	for id, g := range c.Gates {
-		for _, ch := range c.children(id) {
-			d.parents[ch] = append(d.parents[ch], id)
-		}
-		switch g.Kind {
+	n := p.numGates
+	d.vals = EvaluateAllProgram(p, s, v)
+	d.adders = make([]*adderState[T], n)
+	d.perms = make([]permState[T], n)
+	for id := 0; id < n; id++ {
+		switch Kind(p.kind[id]) {
 		case KindAdd:
-			d.adders[id] = d.newAdderState(g.Children)
+			d.adders[id] = d.newAdderState(p.ChildIDs(id))
 		case KindPerm:
-			d.perms[id] = d.newPermState(g)
+			d.perms[id] = d.newPermState(id)
 		}
 	}
-	// Deduplicate parent lists (a child may be wired several times).
-	for ch := range d.parents {
-		d.parents[ch] = dedupInts(d.parents[ch])
-	}
-	d.buckets = make([][]int, maxRank+1)
-	d.queued = make([]bool, len(c.Gates))
-	d.changed = make([][]int, len(c.Gates))
-	d.oldOf = make([]T, len(c.Gates))
-	d.stamp = make([]uint64, len(c.Gates))
+	d.buckets = make([][]int, p.maxRank+1)
+	d.queued = make([]bool, n)
+	d.changed = make([][]int, n)
+	d.oldOf = make([]T, n)
+	d.stamp = make([]uint64, n)
 	d.epoch = 1
 	return d
 }
 
-func dedupInts(xs []int) []int {
-	if len(xs) < 2 {
-		return xs
-	}
-	sort.Ints(xs)
-	out := xs[:1]
-	for _, x := range xs[1:] {
-		if x != out[len(out)-1] {
-			out = append(out, x)
-		}
-	}
-	return out
-}
-
-func (d *Dynamic[T]) newAdderState(children []int) *adderState[T] {
+func (d *Dynamic[T]) newAdderState(children []int32) *adderState[T] {
 	st := &adderState[T]{children: children, occurrences: map[int][]int{}}
 	for pos, ch := range children {
-		st.occurrences[ch] = append(st.occurrences[ch], pos)
+		st.occurrences[int(ch)] = append(st.occurrences[int(ch)], pos)
 	}
 	switch {
 	case d.ring != nil:
@@ -224,8 +186,9 @@ func (d *Dynamic[T]) newAdderState(children []int) *adderState[T] {
 const smallCarrierScanLimit = 32
 
 // elemIndex resolves a carrier element to its index in elems: via the
-// rendering map precomputed in NewDynamic for large carriers, by a linear
-// Equal scan otherwise (and as the fallback for elements the map misses).
+// rendering map precomputed in NewDynamicProgram for large carriers, by a
+// linear Equal scan otherwise (and as the fallback for elements the map
+// misses).
 func (d *Dynamic[T]) elemIndex(v T) int {
 	if d.elemIdx != nil {
 		if i, ok := d.elemIdx[d.s.Format(v)]; ok {
@@ -240,13 +203,14 @@ func (d *Dynamic[T]) elemIndex(v T) int {
 	panic("circuit: value outside the finite semiring carrier")
 }
 
-func (d *Dynamic[T]) newPermState(g Gate) permState[T] {
-	m := perm.NewMatrix[T](d.s, g.Rows, g.Cols)
+func (d *Dynamic[T]) newPermState(id int) permState[T] {
+	rows, cols := d.p.PermShape(id)
+	m := perm.NewMatrix[T](d.s, rows, cols)
 	positions := make(map[int][][2]int)
-	for _, e := range g.Entries {
-		m.Set(e.Row, e.Col, d.vals[e.Gate])
-		positions[e.Gate] = append(positions[e.Gate], [2]int{e.Row, e.Col})
-	}
+	d.p.ForEachPermEntry(id, func(row, col, gate int) {
+		m.Set(row, col, d.vals[gate])
+		positions[gate] = append(positions[gate], [2]int{row, col})
+	})
 	var maint perm.Maintainer[T]
 	switch {
 	case d.ring != nil:
@@ -260,7 +224,7 @@ func (d *Dynamic[T]) newPermState(g Gate) permState[T] {
 }
 
 // Value returns the current value of the output gate.
-func (d *Dynamic[T]) Value() T { return d.vals[d.c.Output] }
+func (d *Dynamic[T]) Value() T { return d.vals[d.p.output] }
 
 // GateValue returns the current value of an arbitrary gate.
 func (d *Dynamic[T]) GateValue(id int) T { return d.vals[id] }
@@ -270,7 +234,7 @@ func (d *Dynamic[T]) GateValue(id int) T { return d.vals[id] }
 // matching the convention that weights outside the circuit cannot influence
 // the query value.
 func (d *Dynamic[T]) SetInput(key structure.WeightKey, value T) {
-	id := d.c.InputGate(key)
+	id := d.p.InputGate(key)
 	if id < 0 {
 		return
 	}
@@ -292,7 +256,7 @@ func (d *Dynamic[T]) SetInput(key structure.WeightKey, value T) {
 func (d *Dynamic[T]) ApplyBatch(changes []InputChange[T]) {
 	touched := false
 	for _, ch := range changes {
-		id := d.c.InputGate(ch.Key)
+		id := d.p.InputGate(ch.Key)
 		if id < 0 {
 			continue
 		}
@@ -321,11 +285,12 @@ func (d *Dynamic[T]) markChanged(g int, old T) {
 	}
 	d.stamp[g] = d.epoch
 	d.oldOf[g] = old
-	for _, p := range d.parents[g] {
+	for _, p32 := range d.p.ParentIDs(g) {
+		p := int(p32)
 		d.changed[p] = append(d.changed[p], g)
 		if !d.queued[p] {
 			d.queued[p] = true
-			r := d.rank[p]
+			r := d.p.rank[p]
 			d.buckets[r] = append(d.buckets[r], p)
 		}
 	}
@@ -357,13 +322,12 @@ func (d *Dynamic[T]) runWave() {
 // changed children (their pre-wave values are in oldOf), and returns the new
 // value of g.
 func (d *Dynamic[T]) recomputeGate(g int) T {
-	gate := d.c.Gates[g]
-	switch gate.Kind {
+	switch Kind(d.p.kind[g]) {
 	case KindAdd:
 		return d.recomputeAdd(g)
 	case KindMul:
 		acc := d.s.One()
-		for _, ch := range gate.Children {
+		for _, ch := range d.p.ChildIDs(g) {
 			acc = d.s.Mul(acc, d.vals[ch])
 		}
 		return acc
@@ -379,7 +343,7 @@ func (d *Dynamic[T]) recomputeGate(g int) T {
 		}
 		return st.maintainer.Value()
 	default:
-		panic(fmt.Sprintf("circuit: gate %d of kind %v cannot be recomputed dynamically", g, gate.Kind))
+		panic(fmt.Sprintf("circuit: gate %d of kind %v cannot be recomputed dynamically", g, Kind(d.p.kind[g])))
 	}
 }
 

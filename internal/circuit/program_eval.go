@@ -1,0 +1,192 @@
+// Evaluation over the frozen Program form: the same semantics as the gate
+// walk in circuit.go, but iterating the CSR arenas with index arithmetic —
+// no per-gate slice headers to chase and no big.Int arithmetic for
+// constants that fit int64.
+package circuit
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/semiring"
+)
+
+// EvaluateProgram computes the value of the output gate in the semiring s
+// under the valuation v, visiting every gate once in id (topological) order.
+func EvaluateProgram[T any](p *Program, s semiring.Semiring[T], v Valuation[T]) T {
+	if p.output < 0 {
+		panic("circuit: no output gate set")
+	}
+	vals := EvaluateAllProgram(p, s, v)
+	return vals[p.output]
+}
+
+// EvaluateAllProgram computes the value of every gate, returning the slice
+// indexed by gate id.
+func EvaluateAllProgram[T any](p *Program, s semiring.Semiring[T], v Valuation[T]) []T {
+	vals := make([]T, p.numGates)
+	var sc permScratch[T]
+	for id := 0; id < p.numGates; id++ {
+		evaluateProgramGate(p, s, v, id, vals, &sc)
+	}
+	return vals
+}
+
+// permScratch holds the reusable buffers of the permanent-gate column
+// dynamic program, so that evaluating many permanent gates in one pass
+// performs no per-gate heap allocations.
+type permScratch[T any] struct {
+	col   []T // current column, indexed by row
+	state []T // DP state over row subsets
+	next  []T
+}
+
+func (sc *permScratch[T]) ensure(rows, size int) {
+	if cap(sc.col) < rows {
+		sc.col = make([]T, rows)
+	}
+	if cap(sc.state) < size {
+		sc.state = make([]T, size)
+		sc.next = make([]T, size)
+	}
+}
+
+// evaluateProgramGate computes the value of a single gate into vals[id].
+// All children must already be present in vals; distinct gate ids may be
+// evaluated concurrently as long as that invariant holds and each goroutine
+// owns its scratch.
+func evaluateProgramGate[T any](p *Program, s semiring.Semiring[T], v Valuation[T], id int, vals []T, sc *permScratch[T]) {
+	switch Kind(p.kind[id]) {
+	case KindInput:
+		if x, ok := v(p.inputKeys[p.arg[id]]); ok {
+			vals[id] = x
+		} else {
+			vals[id] = s.Zero()
+		}
+	case KindConst:
+		ci := p.arg[id]
+		if b := p.constBig[ci]; b != nil {
+			vals[id] = semiring.ScalarMulBig(s, b, s.One())
+		} else {
+			vals[id] = semiring.ScalarMul(s, p.constSmall[ci], s.One())
+		}
+	case KindAdd:
+		acc := s.Zero()
+		for _, ch := range p.children[p.childStart[id]:p.childStart[id+1]] {
+			acc = s.Add(acc, vals[ch])
+		}
+		vals[id] = acc
+	case KindMul:
+		acc := s.One()
+		for _, ch := range p.children[p.childStart[id]:p.childStart[id+1]] {
+			acc = s.Mul(acc, vals[ch])
+		}
+		vals[id] = acc
+	case KindPerm:
+		vals[id] = evaluateProgramPerm(p, s, id, vals, sc)
+	}
+}
+
+// evaluateProgramPerm evaluates a permanent gate with the column dynamic
+// program of perm.PermColumns, run directly over the column-major entry
+// arena with the caller's scratch buffers: no column matrix is materialised
+// and nothing is allocated.
+func evaluateProgramPerm[T any](p *Program, s semiring.Semiring[T], id int, vals []T, sc *permScratch[T]) T {
+	pm := p.perms[p.arg[id]]
+	rows, nCols := int(pm.rows), int(pm.cols)
+	if rows == 0 {
+		return s.One()
+	}
+	size := 1 << uint(rows)
+	sc.ensure(rows, size)
+	col := sc.col[:rows]
+	state := sc.state[:size]
+	next := sc.next[:size]
+	for i := range state {
+		state[i] = s.Zero()
+	}
+	state[0] = s.One()
+	kids := p.children[p.childStart[id]:p.childStart[id+1]]
+	idx := 0
+	for c := 0; c < nCols; c++ {
+		for r := range col {
+			col[r] = s.Zero()
+		}
+		// Entries are column-major, so this column's wired cells are a
+		// contiguous run of the arena.
+		for idx < len(kids) && int(p.permCols[pm.entOff+int32(idx)]) == c {
+			col[p.permRows[pm.entOff+int32(idx)]] = vals[kids[idx]]
+			idx++
+		}
+		copy(next, state)
+		for sub := 0; sub < size; sub++ {
+			if semiring.IsZero(s, state[sub]) {
+				continue
+			}
+			for r := 0; r < rows; r++ {
+				bit := 1 << uint(r)
+				if sub&bit != 0 {
+					continue
+				}
+				next[sub|bit] = s.Add(next[sub|bit], s.Mul(state[sub], col[r]))
+			}
+		}
+		state, next = next, state
+	}
+	return state[size-1]
+}
+
+// ParallelEvaluateAllProgram computes the value of every gate like
+// EvaluateAllProgram, spreading each level of the program's baked schedule
+// across workers goroutines (≤ 0 selects GOMAXPROCS).  The valuation v and
+// the semiring s are called from multiple goroutines concurrently; both must
+// be safe for concurrent use.
+func ParallelEvaluateAllProgram[T any](p *Program, s semiring.Semiring[T], v Valuation[T], workers int) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	vals := make([]T, p.numGates)
+	if workers == 1 {
+		var sc permScratch[T]
+		for id := 0; id < p.numGates; id++ {
+			evaluateProgramGate(p, s, v, id, vals, &sc)
+		}
+		return vals
+	}
+	var wg sync.WaitGroup
+	var sc permScratch[T] // scratch for levels run on the calling goroutine
+	for d := 0; d <= p.maxRank; d++ {
+		level := p.LevelGates(d)
+		n := len(level)
+		chunks := workers
+		if max := n / minGatesPerWorker; chunks > max {
+			chunks = max
+		}
+		if chunks <= 1 {
+			for _, id := range level {
+				evaluateProgramGate(p, s, v, int(id), vals, &sc)
+			}
+			continue
+		}
+		// Contiguous chunks: gates within a level touch disjoint vals slots,
+		// so no synchronisation beyond the per-level barrier is needed.
+		chunkSize := (n + chunks - 1) / chunks
+		wg.Add(chunks)
+		for w := 0; w < chunks; w++ {
+			lo := w * chunkSize
+			hi := lo + chunkSize
+			if hi > n {
+				hi = n
+			}
+			go func(ids []int32) {
+				defer wg.Done()
+				var sc permScratch[T] // one scratch per worker goroutine
+				for _, id := range ids {
+					evaluateProgramGate(p, s, v, int(id), vals, &sc)
+				}
+			}(level[lo:hi])
+		}
+		wg.Wait()
+	}
+	return vals
+}

@@ -10,13 +10,13 @@
 // dynamic program, dominate evaluation time and parallelise across the pool.
 //
 // The schedule depends only on the circuit topology, never on the semiring
-// or the valuation, so it is computed once (internal/compile does so at
-// circuit-build time) and reused across evaluations.
+// or the valuation.  Since the Program refactor it is baked into the frozen
+// Program at freeze time; the Schedule type remains as a materialised view
+// for callers that consume the level decomposition directly.
 package circuit
 
 import (
 	"runtime"
-	"sync"
 
 	"repro/internal/semiring"
 )
@@ -33,41 +33,11 @@ type Schedule struct {
 	gates int
 }
 
-// NewSchedule computes the level decomposition of the circuit in one pass
-// over the gates (they are stored in topological order).
+// NewSchedule returns the level decomposition of the circuit.  It is a view
+// of the schedule baked into the circuit's frozen Program, so repeated calls
+// share one materialisation.
 func NewSchedule(c *Circuit) *Schedule {
-	depth := make([]int, len(c.Gates))
-	maxDepth := 0
-	for id := range c.Gates {
-		d := 0
-		g := &c.Gates[id]
-		for _, ch := range g.Children {
-			if depth[ch]+1 > d {
-				d = depth[ch] + 1
-			}
-		}
-		for _, e := range g.Entries {
-			if depth[e.Gate]+1 > d {
-				d = depth[e.Gate] + 1
-			}
-		}
-		depth[id] = d
-		if d > maxDepth {
-			maxDepth = d
-		}
-	}
-	levels := make([][]int, maxDepth+1)
-	counts := make([]int, maxDepth+1)
-	for _, d := range depth {
-		counts[d]++
-	}
-	for d := range levels {
-		levels[d] = make([]int, 0, counts[d])
-	}
-	for id, d := range depth {
-		levels[d] = append(levels[d], id)
-	}
-	return &Schedule{Levels: levels, gates: len(c.Gates)}
+	return c.Program().Schedule()
 }
 
 // Depth returns the number of levels minus one, i.e. the circuit depth.
@@ -94,10 +64,10 @@ type EvalOptions struct {
 	// runtime.GOMAXPROCS(0).
 	Workers int
 
-	// Schedule is an optional precomputed level schedule for the circuit
-	// being evaluated.  When nil, a schedule is computed on the fly.  A
-	// schedule built for a different circuit (or a stale prefix of this one)
-	// must not be passed.
+	// Schedule is an optional previously obtained schedule for the circuit
+	// being evaluated.  The level schedule itself now lives in the frozen
+	// Program, so the field only serves as a staleness check: a schedule
+	// built for a different circuit (or a stale prefix of this one) panics.
 	Schedule *Schedule
 }
 
@@ -118,68 +88,23 @@ func ParallelEvaluate[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T],
 }
 
 // ParallelEvaluateAll computes the value of every gate, like EvaluateAll,
-// using opts.Workers goroutines per level.  The result is identical to
-// EvaluateAll for any semiring: levels are processed in increasing depth
-// order and gates within a level are independent, so the evaluation order
-// difference is invisible (each gate folds its own children sequentially).
+// using opts.Workers goroutines per level of the frozen Program's baked
+// schedule.  The result is identical to EvaluateAll for any semiring: levels
+// are processed in increasing depth order and gates within a level are
+// independent, so the evaluation order difference is invisible (each gate
+// folds its own children sequentially).
 //
 // The valuation v and the semiring s are called from multiple goroutines
 // concurrently; both must be safe for concurrent use.  All the semirings in
 // internal/semiring and the valuations built by compile.NewValuation are
 // read-only and qualify.
 func ParallelEvaluateAll[T any](c *Circuit, s semiring.Semiring[T], v Valuation[T], opts EvalOptions) []T {
+	if opts.Schedule != nil && opts.Schedule.gates != len(c.Gates) {
+		panic("circuit: schedule does not match circuit (was the circuit extended after scheduling?)")
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	sched := opts.Schedule
-	if sched == nil {
-		sched = NewSchedule(c)
-	} else if sched.gates != len(c.Gates) {
-		panic("circuit: schedule does not match circuit (was the circuit extended after scheduling?)")
-	}
-
-	vals := make([]T, len(c.Gates))
-	if workers == 1 {
-		for _, level := range sched.Levels {
-			for _, id := range level {
-				evaluateGate(c, s, v, id, vals)
-			}
-		}
-		return vals
-	}
-
-	var wg sync.WaitGroup
-	for _, level := range sched.Levels {
-		n := len(level)
-		chunks := workers
-		if max := n / minGatesPerWorker; chunks > max {
-			chunks = max
-		}
-		if chunks <= 1 {
-			for _, id := range level {
-				evaluateGate(c, s, v, id, vals)
-			}
-			continue
-		}
-		// Contiguous chunks: gates within a level touch disjoint vals slots,
-		// so no synchronisation beyond the per-level barrier is needed.
-		chunkSize := (n + chunks - 1) / chunks
-		wg.Add(chunks)
-		for w := 0; w < chunks; w++ {
-			lo := w * chunkSize
-			hi := lo + chunkSize
-			if hi > n {
-				hi = n
-			}
-			go func(ids []int) {
-				defer wg.Done()
-				for _, id := range ids {
-					evaluateGate(c, s, v, id, vals)
-				}
-			}(level[lo:hi])
-		}
-		wg.Wait()
-	}
-	return vals
+	return ParallelEvaluateAllProgram(c.Program(), s, v, workers)
 }

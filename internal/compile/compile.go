@@ -52,11 +52,15 @@ type Stats struct {
 // database (and, for dynamic relations, tuple-membership indicators), plus
 // the bookkeeping needed to evaluate and update it.
 type Result struct {
-	// Circuit is the compiled circuit; evaluate it with
-	// circuit.Evaluate / circuit.NewDynamic under NewValuation.
+	// Circuit is the compiled circuit in builder form; it is kept for
+	// structural inspection (Statistics, knowledge-compilation analysis).
 	Circuit *circuit.Circuit
-	// Schedule is the level schedule of Circuit, precomputed at compile time
-	// so that repeated (parallel) evaluations pay scheduling once.
+	// Program is the frozen CSR form of Circuit, compiled once at the end of
+	// Compile.  Every execution layer — evaluation, dynamic sessions,
+	// enumeration — runs on this shared immutable artefact.
+	Program *circuit.Program
+	// Schedule is the level schedule baked into Program at freeze time,
+	// materialised for callers that consume the level decomposition.
 	Schedule *circuit.Schedule
 	// Structure is the (possibly quantifier-elimination-extended) structure
 	// the circuit was compiled against.
@@ -167,7 +171,8 @@ func Compile(a *structure.Structure, e expr.Expr, opts Options) (*Result, error)
 	}
 	c.SetOutput(c.Add(gates...))
 	res.Circuit = c
-	res.Schedule = circuit.NewSchedule(c)
+	res.Program = c.Program()
+	res.Schedule = res.Program.Schedule()
 	return res, nil
 }
 
@@ -561,19 +566,19 @@ func NewValuation[T any](res *Result, s semiring.Semiring[T], w *structure.Weigh
 	}
 }
 
-// Evaluate compiles nothing further: it evaluates the compiled circuit in
+// Evaluate compiles nothing further: it evaluates the compiled program in
 // the given semiring under the given weights (unit-cost model, result (A) of
 // the paper).
 func Evaluate[T any](res *Result, s semiring.Semiring[T], w *structure.Weights[T]) T {
-	return circuit.Evaluate(res.Circuit, s, NewValuation(res, s, w))
+	return circuit.EvaluateProgram(res.Program, s, NewValuation(res, s, w))
 }
 
-// EvaluateParallel evaluates the compiled circuit like Evaluate but spreads
+// EvaluateParallel evaluates the compiled program like Evaluate but spreads
 // each topological level of gates across workers goroutines (≤ 0 selects
-// GOMAXPROCS), reusing the schedule precomputed by Compile.
+// GOMAXPROCS), using the level schedule baked in at freeze time.
 func EvaluateParallel[T any](res *Result, s semiring.Semiring[T], w *structure.Weights[T], workers int) T {
-	return circuit.ParallelEvaluate(res.Circuit, s, NewValuation(res, s, w),
-		circuit.EvalOptions{Workers: workers, Schedule: res.Schedule})
+	vals := circuit.ParallelEvaluateAllProgram(res.Program, s, NewValuation(res, s, w), workers)
+	return vals[res.Program.OutputGate()]
 }
 
 // BigCoefficient is a helper exposing big.Int construction to callers

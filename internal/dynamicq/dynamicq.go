@@ -140,7 +140,10 @@ func NewQuery[T any](s semiring.Semiring[T], sh *Shared, w *structure.Weights[T]
 		}
 		q.fvKeys[i] = keys
 	}
-	q.dyn = circuit.NewDynamic(res.Circuit, s, compile.NewValuation(res, s, w))
+	// Every session instantiated from this Shared borrows the same frozen
+	// Program: the ranks, parents CSR and children arena are shared, only the
+	// per-session values and maintenance state below are private.
+	q.dyn = circuit.NewDynamicProgram(res.Program, s, compile.NewValuation(res, s, w))
 	return q
 }
 

@@ -100,9 +100,9 @@ func enumerateAnswers(a *structure.Structure, phi logic.Formula, vars []string, 
 		ans.relState[rel] = state
 	}
 	if workers == 1 {
-		ans.enum = New(res.Circuit, ans.inputValue)
+		ans.enum = NewProgram(res.Program, ans.inputValue)
 	} else {
-		ans.enum = NewParallel(res.Circuit, ans.inputValue, res.Schedule, workers)
+		ans.enum = NewProgramParallel(res.Program, ans.inputValue, workers)
 	}
 	return ans, nil
 }
@@ -218,7 +218,7 @@ func (ans *Answers) Count() int64 {
 		}
 		return 1, true
 	}
-	return circuit.Evaluate[int64](ans.res.Circuit, semiring.Nat, val)
+	return circuit.EvaluateProgram[int64](ans.res.Program, semiring.Nat, val)
 }
 
 // inputCurrent returns the current value of an input, reflecting dynamic

@@ -118,16 +118,17 @@ func (c *sliceCursor) Next() (provenance.Monomial, bool) {
 // cursors for the output gate and supports input updates in constant time
 // per affected gate (the circuits produced by the compiler have bounded
 // depth and fan-out, hence bounded reach-out).
+//
+// The enumerator runs on the circuit's frozen Program and borrows its
+// topological ranks, parents CSR and children arena instead of rebuilding
+// them: many enumerators may share one Program, each with private emptiness
+// bookkeeping.
 type Enumerator struct {
-	c *circuit.Circuit
+	p *circuit.Program
 
 	// inputValue[id] is the value of input gate id.
 	inputValue map[int]Value
 	empty      []bool
-	parents    [][]int
-	// rank[id] is the gate's topological rank (longest path from a leaf);
-	// children always have strictly smaller rank.
-	rank []int
 
 	adders []*adderMeta
 	perms  []*permGateMeta
@@ -147,9 +148,10 @@ type InputAssignment struct {
 }
 
 // adderMeta maintains, for an addition gate, the positions (occurrence
-// indices within Children) whose child is currently non-empty.
+// indices within the children arena slice) whose child is currently
+// non-empty.
 type adderMeta struct {
-	children  []int
+	children  []int32     // view into the Program's children arena
 	positions []int       // positions with non-empty children
 	index     map[int]int // position → index in positions, -1 when absent
 	// occurrences[child] lists the positions of that child, so that an
@@ -172,10 +174,17 @@ type permGateMeta struct {
 	colsOfChild map[int][]int
 }
 
-// New builds the enumerator for a circuit under the given input assignment.
-// Inputs not covered by the assignment are zero.
+// New builds the enumerator for a circuit under the given input assignment,
+// freezing the circuit into its Program form first.  Inputs not covered by
+// the assignment are zero.
 func New(c *circuit.Circuit, inputs func(key structure.WeightKey) Value) *Enumerator {
-	return build(c, inputs, nil)
+	return build(c.Program(), inputs, nil)
+}
+
+// NewProgram builds the enumerator directly on a frozen Program, sharing its
+// ranks, parents and children arenas with every other engine using it.
+func NewProgram(p *circuit.Program, inputs func(key structure.WeightKey) Value) *Enumerator {
+	return build(p, inputs, nil)
 }
 
 // NewParallel builds the enumerator like New, but computes the initial
@@ -187,10 +196,21 @@ func New(c *circuit.Circuit, inputs func(key structure.WeightKey) Value) *Enumer
 // is Lemma 39's matchability test).  The sequential metadata pass that
 // follows then skips its per-gate emptiness work.
 //
-// sched may be nil (the schedule is computed on the fly); workers ≤ 0
-// selects GOMAXPROCS.  inputs is called from multiple goroutines and must be
-// safe for concurrent use.
+// sched is retained for compatibility and only validated (the level schedule
+// is baked into the Program); workers ≤ 0 selects GOMAXPROCS.  inputs is
+// called from multiple goroutines and must be safe for concurrent use.
 func NewParallel(c *circuit.Circuit, inputs func(key structure.WeightKey) Value, sched *circuit.Schedule, workers int) *Enumerator {
+	p := c.Program()
+	if sched != nil && sched.NumGates() != p.NumGates() {
+		panic("enumerate: schedule does not match circuit (was the circuit extended after scheduling?)")
+	}
+	return NewProgramParallel(p, inputs, workers)
+}
+
+// NewProgramParallel builds the enumerator like NewProgram, computing the
+// initial per-gate emptiness with the level-parallel program engine on
+// workers goroutines (≤ 0 selects GOMAXPROCS).
+func NewProgramParallel(p *circuit.Program, inputs func(key structure.WeightKey) Value, workers int) *Enumerator {
 	val := func(key structure.WeightKey) (bool, bool) {
 		if inputs == nil {
 			return false, true
@@ -198,74 +218,48 @@ func NewParallel(c *circuit.Circuit, inputs func(key structure.WeightKey) Value,
 		v := inputs(key)
 		return v != nil && !v.Empty(), true
 	}
-	nonempty := circuit.ParallelEvaluateAll[bool](c, semiring.Bool, val,
-		circuit.EvalOptions{Workers: workers, Schedule: sched})
-	return build(c, inputs, nonempty)
+	nonempty := circuit.ParallelEvaluateAllProgram[bool](p, semiring.Bool, val, workers)
+	return build(p, inputs, nonempty)
 }
 
 // build constructs the enumerator; when nonempty is non-nil it carries the
-// precomputed per-gate emptiness and the pass skips recomputing it.
-func build(c *circuit.Circuit, inputs func(key structure.WeightKey) Value, nonempty []bool) *Enumerator {
-	if c.Output < 0 {
+// precomputed per-gate emptiness and the pass skips recomputing it.  The
+// Program's freeze already validated the topological gate order, so the
+// emptiness bookkeeping may trust its ranks.
+func build(p *circuit.Program, inputs func(key structure.WeightKey) Value, nonempty []bool) *Enumerator {
+	if p.OutputGate() < 0 {
 		panic("enumerate: circuit has no output gate")
 	}
+	n := p.NumGates()
 	e := &Enumerator{
-		c:          c,
+		p:          p,
 		inputValue: map[int]Value{},
-		empty:      make([]bool, c.NumGates()),
-		parents:    make([][]int, c.NumGates()),
-		rank:       make([]int, c.NumGates()),
-		adders:     make([]*adderMeta, c.NumGates()),
-		perms:      make([]*permGateMeta, c.NumGates()),
+		empty:      make([]bool, n),
+		adders:     make([]*adderMeta, n),
+		perms:      make([]*permGateMeta, n),
 	}
-	// Topological ranks; like circuit.NewDynamic, reject circuits whose gate
-	// ids are not topologically ordered instead of silently maintaining the
-	// emptiness bookkeeping in the wrong order.
-	maxRank := 0
-	for id := range c.Gates {
-		r := 0
-		g := &c.Gates[id]
-		child := func(ch int) {
-			if ch < 0 || ch >= id {
-				panic(fmt.Sprintf("enumerate: gate %d has child %d; gates must be stored in topological order (child ids smaller than the parent's)", id, ch))
-			}
-			if e.rank[ch]+1 > r {
-				r = e.rank[ch] + 1
-			}
-		}
-		for _, ch := range g.Children {
-			child(ch)
-		}
-		for _, en := range g.Entries {
-			child(en.Gate)
-		}
-		e.rank[id] = r
-		if r > maxRank {
-			maxRank = r
-		}
-	}
-	e.buckets = make([][]int, maxRank+1)
-	e.queued = make([]bool, c.NumGates())
-	e.changedCh = make([][]int, c.NumGates())
-	for id, g := range c.Gates {
-		switch g.Kind {
+	e.buckets = make([][]int, p.Depth()+1)
+	e.queued = make([]bool, n)
+	e.changedCh = make([][]int, n)
+	for id := 0; id < n; id++ {
+		switch p.GateKind(id) {
 		case circuit.KindInput:
 			v := Value(zeroValue{})
 			if inputs != nil {
-				if got := inputs(g.Key); got != nil {
+				if got := inputs(p.InputKey(id)); got != nil {
 					v = got
 				}
 			}
 			e.inputValue[id] = v
 			e.empty[id] = v.Empty()
 		case circuit.KindConst:
-			e.empty[id] = g.N.Sign() == 0
+			e.empty[id] = p.ConstIsZero(id)
 		case circuit.KindAdd:
-			meta := &adderMeta{children: g.Children, index: map[int]int{}, occurrences: map[int][]int{}}
+			children := p.ChildIDs(id)
+			meta := &adderMeta{children: children, index: map[int]int{}, occurrences: map[int][]int{}}
 			allEmpty := true
-			for pos, ch := range g.Children {
-				e.parents[ch] = append(e.parents[ch], id)
-				meta.occurrences[ch] = append(meta.occurrences[ch], pos)
+			for pos, ch := range children {
+				meta.occurrences[int(ch)] = append(meta.occurrences[int(ch)], pos)
 				if !e.empty[ch] {
 					meta.index[pos] = len(meta.positions)
 					meta.positions = append(meta.positions, pos)
@@ -278,36 +272,33 @@ func build(c *circuit.Circuit, inputs func(key structure.WeightKey) Value, nonem
 			e.empty[id] = allEmpty
 		case circuit.KindMul:
 			anyEmpty := false
-			for _, ch := range g.Children {
-				e.parents[ch] = append(e.parents[ch], id)
+			for _, ch := range p.ChildIDs(id) {
 				if e.empty[ch] {
 					anyEmpty = true
 				}
 			}
 			e.empty[id] = anyEmpty
 		case circuit.KindPerm:
-			meta := &permGateMeta{rows: g.Rows, cols: g.Cols}
-			meta.entry = make([][]int, g.Cols)
+			rows, cols := p.PermShape(id)
+			meta := &permGateMeta{rows: rows, cols: cols}
+			meta.entry = make([][]int, cols)
 			for col := range meta.entry {
-				meta.entry[col] = make([]int, g.Rows)
+				meta.entry[col] = make([]int, rows)
 				for r := range meta.entry[col] {
 					meta.entry[col][r] = -1
 				}
 			}
-			for _, en := range g.Entries {
-				meta.entry[en.Col][en.Row] = en.Gate
-				e.parents[en.Gate] = append(e.parents[en.Gate], id)
-			}
-			meta.colType = make([]int, g.Cols)
-			meta.byType = make([][]int, 1<<uint(g.Rows))
-			meta.posInType = make([]int, g.Cols)
 			meta.colsOfChild = map[int][]int{}
-			for _, en := range g.Entries {
-				meta.colsOfChild[en.Gate] = append(meta.colsOfChild[en.Gate], en.Col)
-			}
-			for col := 0; col < g.Cols; col++ {
+			p.ForEachPermEntry(id, func(row, col, gate int) {
+				meta.entry[col][row] = gate
+				meta.colsOfChild[gate] = append(meta.colsOfChild[gate], col)
+			})
+			meta.colType = make([]int, cols)
+			meta.byType = make([][]int, 1<<uint(rows))
+			meta.posInType = make([]int, cols)
+			for col := 0; col < cols; col++ {
 				t := 0
-				for r := 0; r < g.Rows; r++ {
+				for r := 0; r < rows; r++ {
 					ch := meta.entry[col][r]
 					if ch >= 0 && !e.empty[ch] {
 						t |= 1 << uint(r)
@@ -322,39 +313,22 @@ func build(c *circuit.Circuit, inputs func(key structure.WeightKey) Value, nonem
 				// The boolean permanent already decided matchability.
 				e.empty[id] = !nonempty[id]
 			} else {
-				e.empty[id] = !meta.matchable((1<<uint(g.Rows))-1, nil)
+				e.empty[id] = !meta.matchable((1<<uint(rows))-1, nil)
 			}
 		}
-	}
-	// Deduplicate parent lists.
-	for ch := range e.parents {
-		e.parents[ch] = dedupSortedInts(e.parents[ch])
 	}
 	return e
 }
 
-func dedupSortedInts(xs []int) []int {
-	if len(xs) < 2 {
-		return xs
-	}
-	out := xs[:1]
-	for _, x := range xs[1:] {
-		if x != out[len(out)-1] {
-			out = append(out, x)
-		}
-	}
-	return out
-}
-
 // Empty reports whether the output gate has the zero value (no monomials).
-func (e *Enumerator) Empty() bool { return e.empty[e.c.Output] }
+func (e *Enumerator) Empty() bool { return e.empty[e.p.OutputGate()] }
 
 // GateEmpty reports emptiness of an arbitrary gate.
 func (e *Enumerator) GateEmpty(id int) bool { return e.empty[id] }
 
 // Cursor returns a fresh constant-delay cursor over the monomials of the
 // output gate.
-func (e *Enumerator) Cursor() Cursor { return e.gateCursor(e.c.Output) }
+func (e *Enumerator) Cursor() Cursor { return e.gateCursor(e.p.OutputGate()) }
 
 // CollectAll drains a fresh cursor into a slice, stopping after limit
 // monomials (limit ≤ 0 means no limit).  Intended for tests and examples.
@@ -401,7 +375,7 @@ func (e *Enumerator) SetInputs(assigns []InputAssignment) {
 // assign stores an input value and, when its emptiness flipped, seeds the
 // wave; it reports whether anything changed.
 func (e *Enumerator) assign(key structure.WeightKey, v Value) bool {
-	id := e.c.InputGate(key)
+	id := e.p.InputGate(key)
 	if id < 0 {
 		return false
 	}
@@ -423,11 +397,13 @@ func (e *Enumerator) assign(key structure.WeightKey, v Value) bool {
 // parents twice; refreshGate's per-child work is idempotent, so the
 // duplicate entries are harmless.
 func (e *Enumerator) seed(g int) {
-	for _, p := range e.parents[g] {
+	for _, p32 := range e.p.ParentIDs(g) {
+		p := int(p32)
 		e.changedCh[p] = append(e.changedCh[p], g)
 		if !e.queued[p] {
 			e.queued[p] = true
-			e.buckets[e.rank[p]] = append(e.buckets[e.rank[p]], p)
+			r := e.p.Rank(p)
+			e.buckets[r] = append(e.buckets[r], p)
 		}
 	}
 }
@@ -460,8 +436,7 @@ func (e *Enumerator) runWave() {
 // refreshGate recomputes the metadata of gate g given the children whose
 // emptiness flipped, and returns the gate's emptiness.
 func (e *Enumerator) refreshGate(g int, changedChildren []int) bool {
-	gate := e.c.Gates[g]
-	switch gate.Kind {
+	switch e.p.GateKind(g) {
 	case circuit.KindAdd:
 		meta := e.adders[g]
 		for _, ch := range changedChildren {
@@ -487,7 +462,7 @@ func (e *Enumerator) refreshGate(g int, changedChildren []int) bool {
 		}
 		return len(meta.positions) == 0
 	case circuit.KindMul:
-		for _, ch := range gate.Children {
+		for _, ch := range e.p.ChildIDs(g) {
 			if e.empty[ch] {
 				return true
 			}
@@ -539,20 +514,20 @@ func (e *Enumerator) gateCursor(id int) Cursor {
 	if e.empty[id] {
 		return &sliceCursor{}
 	}
-	gate := e.c.Gates[id]
-	switch gate.Kind {
+	kind := e.p.GateKind(id)
+	switch kind {
 	case circuit.KindInput:
 		return e.inputValue[id].Cursor()
 	case circuit.KindConst:
-		return &constCursor{remaining: new(big.Int).Set(gate.N)}
+		return &constCursor{remaining: e.p.ConstBig(id)}
 	case circuit.KindAdd:
 		return &concatCursor{e: e, meta: e.adders[id]}
 	case circuit.KindMul:
-		return newProductCursor(e, gate.Children)
+		return newProductCursor(e, e.p.ChildIDs(id))
 	case circuit.KindPerm:
 		return newPermCursor(e, e.perms[id])
 	default:
-		panic(fmt.Sprintf("enumerate: unsupported gate kind %v", gate.Kind))
+		panic(fmt.Sprintf("enumerate: unsupported gate kind %v", kind))
 	}
 }
 
@@ -585,7 +560,7 @@ func (c *concatCursor) Next() (provenance.Monomial, bool) {
 				return nil, false
 			}
 			child := c.meta.children[c.meta.positions[c.idx]]
-			c.current = c.e.gateCursor(child)
+			c.current = c.e.gateCursor(int(child))
 		}
 		if m, ok := c.current.Next(); ok {
 			return m, true
@@ -600,14 +575,14 @@ func (c *concatCursor) Next() (provenance.Monomial, bool) {
 // lexicographic cursor order.
 type productCursor struct {
 	e        *Enumerator
-	children []int
+	children []int32
 	cursors  []Cursor
 	current  []provenance.Monomial
 	started  bool
 	done     bool
 }
 
-func newProductCursor(e *Enumerator, children []int) *productCursor {
+func newProductCursor(e *Enumerator, children []int32) *productCursor {
 	return &productCursor{
 		e:        e,
 		children: children,
@@ -623,7 +598,7 @@ func (c *productCursor) Next() (provenance.Monomial, bool) {
 	if !c.started {
 		c.started = true
 		for i, ch := range c.children {
-			c.cursors[i] = c.e.gateCursor(ch)
+			c.cursors[i] = c.e.gateCursor(int(ch))
 			m, ok := c.cursors[i].Next()
 			if !ok {
 				c.done = true
@@ -643,7 +618,7 @@ func (c *productCursor) Next() (provenance.Monomial, bool) {
 			c.done = true
 			return nil, false
 		}
-		c.cursors[i] = c.e.gateCursor(c.children[i])
+		c.cursors[i] = c.e.gateCursor(int(c.children[i]))
 		m, ok := c.cursors[i].Next()
 		if !ok {
 			c.done = true

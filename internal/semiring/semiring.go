@@ -79,12 +79,25 @@ func Iverson[T any](s Semiring[T], b bool) T {
 }
 
 // ScalarMul returns n·a, the n-fold sum a + a + ... + a, computed with
-// O(log n) semiring additions (doubling).  n must be non-negative.
+// O(log n) semiring additions (doubling).  n must be non-negative.  Unlike
+// ScalarMulBig it performs no big.Int arithmetic, so it is allocation-free
+// for allocation-free semirings and safe on update hot paths.
 func ScalarMul[T any](s Semiring[T], n int64, a T) T {
 	if n < 0 {
 		panic("semiring: ScalarMul with negative multiplier")
 	}
-	return ScalarMulBig(s, big.NewInt(n), a)
+	result := s.Zero()
+	acc := a
+	for n > 0 {
+		if n&1 == 1 {
+			result = s.Add(result, acc)
+		}
+		n >>= 1
+		if n > 0 {
+			acc = s.Add(acc, acc)
+		}
+	}
+	return result
 }
 
 // ScalarMulBig returns n·a for an arbitrary-precision non-negative n.

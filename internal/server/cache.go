@@ -24,9 +24,18 @@ type cacheSlot struct {
 	// concurrent request for the same key start a duplicate compilation
 	// while the first is still running.
 	building bool
+	// bytes is the resident size of the slot's frozen Program (0 while
+	// building or when the value carries none); guarded by the cache mutex.
+	bytes int64
 	// value and err are written inside once and read only afterwards.
 	value any
 	err   error
+}
+
+// programSized is implemented by cache values backed by a frozen
+// circuit.Program; the cache uses it to report per-entry resident bytes.
+type programSized interface {
+	programBytes() int64
 }
 
 func newLRUCache(max int) *lruCache {
@@ -56,8 +65,13 @@ func (c *lruCache) getOrCreate(key string, build func() (any, error)) (any, bool
 
 	slot.once.Do(func() {
 		slot.value, slot.err = build()
+		var bytes int64
+		if sized, ok := slot.value.(programSized); ok && slot.err == nil {
+			bytes = sized.programBytes()
+		}
 		c.mu.Lock()
 		slot.building = false
+		slot.bytes = bytes
 		c.mu.Unlock()
 		if slot.err != nil {
 			c.remove(key, slot)
@@ -97,4 +111,18 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// entryBytes reports the resident Program size of every cached entry in
+// MRU-to-LRU order (0 for slots still building), plus the total.
+func (c *lruCache) entryBytes() (entries []int64, total int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries = make([]int64, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		b := el.Value.(*cacheSlot).bytes
+		entries = append(entries, b)
+		total += b
+	}
+	return entries, total
 }

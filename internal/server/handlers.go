@@ -424,6 +424,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.stats.snapshot()
 	snap.CachedQueries = s.cache.len()
+	snap.CacheEntryBytes, snap.CacheBytes = s.cache.entryBytes()
 	s.mu.RLock()
 	snap.Databases = len(s.dbs)
 	s.mu.RUnlock()

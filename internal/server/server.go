@@ -143,6 +143,10 @@ func (cq *compiledQuery) session() Session {
 	return cq.implicit
 }
 
+// programBytes reports the resident size of the entry's frozen Program — the
+// artefact every session and evaluation of this entry shares.
+func (cq *compiledQuery) programBytes() int64 { return cq.sh.Result().Program.Footprint() }
+
 func (s *Server) compileOptions(dynamic []string) compile.Options {
 	return compile.Options{DynamicRelations: dynamic, MaxVars: s.opts.MaxVars}
 }
@@ -206,6 +210,9 @@ type compiledEnum struct {
 	vars  []string
 	total int64
 }
+
+// programBytes reports the resident size of the enumerator's frozen Program.
+func (ce *compiledEnum) programBytes() int64 { return ce.ans.Result().Program.Footprint() }
 
 // compiledEnumerator resolves (database, formula, vars) through the cache.
 func (s *Server) compiledEnumerator(dbName, phiText string, vars []string) (*compiledEnum, bool, error) {

@@ -96,6 +96,59 @@ func TestCacheHitSkipsCompilation(t *testing.T) {
 	}
 }
 
+// TestStatsReportProgramBytes checks that /stats reports the per-entry and
+// total resident Program bytes of the compiled-artefact cache.
+func TestStatsReportProgramBytes(t *testing.T) {
+	_, ts, _ := newTestServer(t, 6)
+
+	getStats := func() StatsSnapshot {
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatalf("GET /stats: %v", err)
+		}
+		defer resp.Body.Close()
+		var snap StatsSnapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatalf("decoding stats: %v", err)
+		}
+		return snap
+	}
+
+	if snap := getStats(); snap.CacheBytes != 0 || len(snap.CacheEntryBytes) != 0 {
+		t.Fatalf("empty cache reports bytes %d entries %v", snap.CacheBytes, snap.CacheEntryBytes)
+	}
+
+	if _, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "natural"}); code != http.StatusOK {
+		t.Fatalf("query failed")
+	}
+	snap := getStats()
+	if len(snap.CacheEntryBytes) != 1 || snap.CacheEntryBytes[0] <= 0 {
+		t.Fatalf("after one query: cacheEntryBytes = %v, want one positive entry", snap.CacheEntryBytes)
+	}
+	if snap.CacheBytes != snap.CacheEntryBytes[0] {
+		t.Fatalf("cacheBytes %d does not equal the single entry %d", snap.CacheBytes, snap.CacheEntryBytes[0])
+	}
+
+	// A second distinct key adds a second entry and grows the total.
+	if _, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "minplus"}); code != http.StatusOK {
+		t.Fatalf("minplus query failed")
+	}
+	snap2 := getStats()
+	if len(snap2.CacheEntryBytes) != 2 || snap2.CacheBytes <= snap.CacheBytes {
+		t.Fatalf("after two queries: entries %v total %d (was %d)", snap2.CacheEntryBytes, snap2.CacheBytes, snap.CacheBytes)
+	}
+	var sum int64
+	for _, b := range snap2.CacheEntryBytes {
+		if b <= 0 {
+			t.Fatalf("non-positive entry in %v", snap2.CacheEntryBytes)
+		}
+		sum += b
+	}
+	if sum != snap2.CacheBytes {
+		t.Fatalf("cacheBytes %d != sum of entries %d", snap2.CacheBytes, sum)
+	}
+}
+
 // TestConcurrentPointsAndUpdates is acceptance criterion 2: ≥8 concurrent
 // clients mix /point and /update on one session, and the session's final
 // point values agree with a sequential re-evaluation under the final

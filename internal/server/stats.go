@@ -48,6 +48,14 @@ type StatsSnapshot struct {
 	CachedQueries  int     `json:"cachedQueries"`
 	Databases      int     `json:"databases"`
 	UptimeSeconds  float64 `json:"uptimeSeconds"`
+
+	// CacheBytes is the total resident size of the frozen Programs held by
+	// the compiled-artefact cache; CacheEntryBytes lists the per-entry sizes
+	// in MRU-to-LRU order (0 for entries still compiling).  One Program is
+	// shared by every session and evaluation of its entry, so this is the
+	// circuit-side memory footprint of the whole cache.
+	CacheBytes      int64   `json:"cacheBytes"`
+	CacheEntryBytes []int64 `json:"cacheEntryBytes"`
 }
 
 func (st *Stats) snapshot() StatsSnapshot {
