@@ -1,0 +1,78 @@
+package agg
+
+import (
+	"context"
+	"iter"
+)
+
+// Answer is one answer tuple of a formula query: one database element per
+// answer variable, in AnswerVars order.
+type Answer []int
+
+// AnswerVars returns the answer variables of a formula-mode query, in the
+// order Answer tuples are laid out (nil for expression-mode queries).
+func (p *Prepared) AnswerVars() []string {
+	if p.phi == nil {
+		return nil
+	}
+	return append([]string(nil), p.vars...)
+}
+
+// Enumerate streams the answer set of a formula query with constant delay
+// between answers (Theorem 24), as a range-over iterator:
+//
+//	for ans, err := range p.Enumerate(ctx) {
+//	    if err != nil { ... }        // at most one, always the last pair
+//	    use(ans)
+//	}
+//
+// The preprocessing was paid at Prepare; each Enumerate draws an independent
+// cursor over the shared enumeration structure, so any number of streams may
+// run concurrently.  When ctx is cancelled the stream stops between answers
+// and yields the context's error as its final pair.  Expression-mode queries
+// yield ErrNotEnumerable.
+func (p *Prepared) Enumerate(ctx context.Context) iter.Seq2[Answer, error] {
+	ctx = ensureCtx(ctx)
+	return func(yield func(Answer, error) bool) {
+		if p.phi == nil {
+			yield(nil, errorf(ErrNotEnumerable, p.text, "query is a weighted expression; Enumerate needs a first-order formula"))
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			yield(nil, err)
+			return
+		}
+		cur := p.enum.ans.Cursor()
+		done := ctx.Done()
+		for {
+			t, ok := cur.Next()
+			if !ok {
+				return
+			}
+			if !yield(Answer(t), nil) {
+				return
+			}
+			select {
+			case <-done:
+				yield(nil, ctx.Err())
+				return
+			default:
+			}
+		}
+	}
+}
+
+// AnswerCount returns the number of answers of a formula query, computed
+// from the circuit without enumerating them.  The enumeration state never
+// receives updates, so the total is a constant: the linear-time pass runs
+// at most once per Prepare and is memoised across In/Workers rebinds.
+func (p *Prepared) AnswerCount(ctx context.Context) (int64, error) {
+	if p.phi == nil {
+		return 0, errorf(ErrNotEnumerable, p.text, "query is a weighted expression; AnswerCount needs a first-order formula")
+	}
+	if err := ensureCtx(ctx).Err(); err != nil {
+		return 0, err
+	}
+	p.enum.countOnce.Do(func() { p.enum.count = p.enum.ans.Count() })
+	return p.enum.count, nil
+}

@@ -1,0 +1,379 @@
+package agg
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/compile"
+	"repro/internal/dynamicq"
+	"repro/internal/enumerate"
+	"repro/internal/expr"
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+// Prepared is a compiled query bound to one engine and one semiring: the
+// facade's analogue of a prepared statement.  A Prepared wraps one frozen
+// circuit program shared by every evaluation, session and enumeration drawn
+// from it, and is safe for concurrent use.
+//
+// A Prepared is in one of two modes, decided by what the query text parses
+// as:
+//
+//   - expression mode (a weighted expression): Eval computes the circuit
+//     value — closed queries take no arguments, queries with free variables
+//     take one element per free variable (a point query, Theorem 8) — and
+//     Session opens dynamic-update state.  Enumerate fails with
+//     ErrNotEnumerable.
+//   - formula mode (a first-order formula): Enumerate streams the answer
+//     set with constant delay and AnswerCount counts it (Theorem 24);
+//     Eval(args...) decides membership of one answer tuple, and Session
+//     tracks membership under updates.
+type Prepared struct {
+	eng       *Engine
+	text      string
+	canonical string
+	cfg       config
+	sem       Semiring
+
+	// Formula mode: phi and the answer variables; nil phi means expression
+	// mode.
+	phi  logic.Formula
+	vars []string
+
+	// Expression backend: the Theorem 8 compilation, converted weights and
+	// the lazily built implicit point-query session.  In formula mode the
+	// backend itself is built lazily from Guard(phi).
+	evalMu   sync.Mutex
+	ex       expr.Expr
+	sh       *dynamicq.Shared
+	cw       any
+	implicit erasedSession
+
+	// Enumeration backend (formula mode): built eagerly at Prepare, shared
+	// by all cursors and by every In/Workers rebind (it never receives
+	// updates).
+	enum *enumState
+}
+
+// enumState is the shared enumeration backend of a formula-mode query: the
+// constant-delay enumerator plus the memoised answer total (the enumerator
+// is static, so the total is a constant computed at most once).
+type enumState struct {
+	ans       *enumerate.Answers
+	countOnce sync.Once
+	count     int64
+}
+
+// Prepare parses and compiles a query over the engine's database.  The query
+// is either a weighted expression ("sum x, y . [E(x,y)] * w(x,y)") or a
+// first-order formula ("E(x,y) & S(x)"); see Prepared for how the two modes
+// behave.  Compilation — the expensive, linear-time preprocessing of the
+// paper — happens here, once; the context bounds it and cancels the
+// parallel preprocessing waves.
+func (e *Engine) Prepare(ctx context.Context, query string, opts ...Option) (*Prepared, error) {
+	ctx = ensureCtx(ctx)
+	cfg := config{semiring: "natural"}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	sem, err := LookupSemiring(cfg.semiring)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	p := &Prepared{eng: e, text: query, cfg: cfg, sem: sem}
+
+	// Decide the mode.  WithAnswerVars forces formula mode; otherwise a
+	// query that parses and validates as a weighted expression is one, and
+	// anything else is tried as a formula.
+	var ex expr.Expr
+	var exprParseErr, exprValidateErr error
+	if len(cfg.answerVars) == 0 {
+		ex, exprParseErr = parser.ParseExpr(query)
+		if exprParseErr == nil {
+			if verr := expr.Validate(ex, e.db.a.Sig); verr != nil {
+				ex, exprValidateErr = nil, verr
+			}
+		}
+	}
+
+	if ex != nil {
+		p.ex = ex
+		if err := p.compileEval(ctx); err != nil {
+			return nil, err
+		}
+		p.canonical = parser.FormatExpr(ex)
+		return p, nil
+	}
+
+	phi, ferr := parser.ParseFormula(query)
+	if ferr != nil {
+		if len(cfg.answerVars) > 0 {
+			return nil, newError(ErrParse, query, ferr)
+		}
+		if exprValidateErr != nil {
+			// The expression parsed but failed signature validation, and the
+			// formula parse failed outright: the validation error is the
+			// story.
+			return nil, newError(ErrCompile, query, exprValidateErr)
+		}
+		// Neither shape parsed; report whichever diagnosis got further.
+		return nil, newError(ErrParse, query, betterParseError(exprParseErr, ferr))
+	}
+	p.phi = phi
+	p.vars = cfg.answerVars
+	if len(p.vars) == 0 {
+		p.vars = logic.FreeVars(phi)
+	}
+	if len(p.vars) == 0 {
+		return nil, errorf(ErrArgument, query, "formula has no free variables to enumerate over; evaluate it as the expression [%s] instead", query)
+	}
+	ans, err := enumerate.EnumerateAnswersCtx(ctx, e.db.a, phi, p.vars, p.compileOptions(), cfg.workers)
+	if err != nil {
+		if ctxErr(err) != nil {
+			return nil, err
+		}
+		return nil, newError(ErrCompile, query, err)
+	}
+	p.enum = &enumState{ans: ans}
+	p.canonical = parser.FormatFormula(phi)
+	return p, nil
+}
+
+// betterParseError picks, of two parse failures for the same input, the one
+// whose parser got further before failing.
+func betterParseError(exprErr, formulaErr error) error {
+	var ep, fp *parser.Error
+	eOK := errors.As(exprErr, &ep)
+	fOK := errors.As(formulaErr, &fp)
+	switch {
+	case eOK && fOK:
+		if fp.Pos > ep.Pos {
+			return formulaErr
+		}
+		return exprErr
+	case fOK:
+		return formulaErr
+	default:
+		return exprErr
+	}
+}
+
+// ctxErr returns err when it is a context cancellation error, nil otherwise.
+func ctxErr(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+func (p *Prepared) compileOptions() compile.Options {
+	return compile.Options{DynamicRelations: p.cfg.dynamic, MaxVars: p.cfg.maxVars}
+}
+
+// compileEval builds the expression backend; the caller must not hold
+// p.evalMu (Prepare) or must hold it (lazy path) — it locks internally only
+// through evalBackend.
+func (p *Prepared) compileEval(ctx context.Context) error {
+	sh, err := dynamicq.CompileShared(p.eng.db.a, p.ex, p.compileOptions())
+	if err != nil {
+		if cerr := ctxErr(err); cerr != nil {
+			return cerr
+		}
+		return newError(ErrCompile, p.text, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.sh = sh
+	p.cw = p.sem.convert(p.eng.db.w)
+	return nil
+}
+
+// evalBackend returns the (lazily built) expression backend.
+func (p *Prepared) evalBackend(ctx context.Context) (*dynamicq.Shared, any, error) {
+	p.evalMu.Lock()
+	defer p.evalMu.Unlock()
+	if p.sh == nil {
+		// Formula mode: compile the membership query [phi] on demand.
+		p.ex = expr.Guard(p.phi)
+		if err := p.compileEval(ctx); err != nil {
+			p.ex = nil
+			return nil, nil, err
+		}
+	}
+	if p.cw == nil {
+		p.cw = p.sem.convert(p.eng.db.w)
+	}
+	return p.sh, p.cw, nil
+}
+
+// workers resolves the configured worker-pool size (0 = GOMAXPROCS).
+func (p *Prepared) workers() int { return p.cfg.workers }
+
+// Query returns the original query text.
+func (p *Prepared) Query() string { return p.text }
+
+// Canonical returns the canonical printed form of the query (the circuit
+// cache key used by aggserve).
+func (p *Prepared) Canonical() string { return p.canonical }
+
+// SemiringName returns the name of the semiring the query evaluates in.
+func (p *Prepared) SemiringName() string { return p.sem.Name() }
+
+// Enumerable reports whether the query was prepared in formula mode, i.e.
+// whether Enumerate and AnswerCount are available.
+func (p *Prepared) Enumerable() bool { return p.phi != nil }
+
+// FreeVars returns the query's free variables: the point-query parameters of
+// an expression, or the answer variables of a formula.
+func (p *Prepared) FreeVars() []string {
+	if p.phi != nil {
+		return append([]string(nil), p.vars...)
+	}
+	return p.sh.FreeVars()
+}
+
+// CircuitStats summarises the frozen circuit program behind a Prepared.
+type CircuitStats struct {
+	Gates       int
+	Edges       int
+	Depth       int
+	PermGates   int
+	MaxPermRows int
+	Inputs      int
+}
+
+// result returns the compilation backing this Prepared: the enumeration
+// compilation in formula mode, the expression compilation otherwise.
+func (p *Prepared) result() *compile.Result {
+	if p.enum != nil {
+		return p.enum.ans.Result()
+	}
+	return p.sh.Result()
+}
+
+// Stats returns the structural statistics of the compiled circuit.
+func (p *Prepared) Stats() CircuitStats {
+	st := p.result().Circuit.Statistics()
+	return CircuitStats{
+		Gates:       st.Gates,
+		Edges:       st.Edges,
+		Depth:       st.Depth,
+		PermGates:   st.PermGates,
+		MaxPermRows: st.MaxPermRows,
+		Inputs:      st.InputGates,
+	}
+}
+
+// Footprint returns the resident size in bytes of the frozen circuit
+// program — the artefact all evaluations, sessions and enumerations of this
+// Prepared share.
+func (p *Prepared) Footprint() int64 { return p.result().Program.Footprint() }
+
+// In returns a Prepared over the same compilation bound to another
+// registered semiring: the circuit is shared, only the weight embedding and
+// session state differ, so rebinding costs one weight conversion instead of
+// a recompilation.
+func (p *Prepared) In(name string) (*Prepared, error) {
+	sem, err := LookupSemiring(name)
+	if err != nil {
+		return nil, err
+	}
+	clone := &Prepared{
+		eng:       p.eng,
+		text:      p.text,
+		canonical: p.canonical,
+		cfg:       p.cfg,
+		sem:       sem,
+		phi:       p.phi,
+		vars:      p.vars,
+		enum:      p.enum,
+	}
+	clone.cfg.semiring = name
+	p.evalMu.Lock()
+	clone.ex, clone.sh = p.ex, p.sh
+	p.evalMu.Unlock()
+	// cw is rebuilt lazily in the new carrier.
+	return clone, nil
+}
+
+// Workers returns a view of this Prepared whose evaluations spread circuit
+// levels over an n-goroutine pool (≤ 0 selects GOMAXPROCS).  The
+// compilation, enumeration state and converted weights are shared with the
+// receiver; only the pool size differs.
+func (p *Prepared) Workers(n int) *Prepared {
+	if n == p.cfg.workers {
+		return p
+	}
+	clone := &Prepared{
+		eng:       p.eng,
+		text:      p.text,
+		canonical: p.canonical,
+		cfg:       p.cfg,
+		sem:       p.sem,
+		phi:       p.phi,
+		vars:      p.vars,
+		enum:      p.enum,
+	}
+	clone.cfg.workers = n
+	p.evalMu.Lock()
+	clone.ex, clone.sh, clone.cw = p.ex, p.sh, p.cw
+	p.evalMu.Unlock()
+	return clone
+}
+
+// Eval evaluates the prepared query under the context.  A closed query takes
+// no arguments and runs the level-parallel engine over the shared circuit; a
+// query with k free variables takes exactly k elements and answers the point
+// query f(args) in logarithmic time through the Prepared's internal session.
+// Cancelling the context stops a running parallel evaluation in bounded
+// time.
+func (p *Prepared) Eval(ctx context.Context, args ...int) (Value, error) {
+	ctx = ensureCtx(ctx)
+	sh, cw, err := p.evalBackend(ctx)
+	if err != nil {
+		return "", err
+	}
+	if len(args) == 0 {
+		if free := sh.FreeVars(); len(free) > 0 {
+			return "", errorf(ErrArgument, p.text, "query has free variables %v; pass one argument per variable", free)
+		}
+		out, err := p.sem.evaluate(ctx, sh.Result(), cw, p.workers())
+		if err != nil {
+			return "", err
+		}
+		return Value(out), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	p.evalMu.Lock()
+	defer p.evalMu.Unlock()
+	if p.implicit == nil {
+		p.implicit = p.sem.newSession(sh, p.eng.db.w)
+	}
+	out, err := p.implicit.Point(args)
+	if err != nil {
+		return "", newError(ErrArgument, p.text, err)
+	}
+	return Value(out), nil
+}
+
+// Session opens a dynamic-update session on the shared compilation: point
+// queries plus weight and tuple updates with logarithmic cost (Theorem 8).
+// Each call returns independent session state; the expensive compilation is
+// shared.  Sessions fail fast with ErrSessionBusy under concurrent use —
+// serialise externally to queue instead.
+func (p *Prepared) Session() (*Session, error) {
+	sh, _, err := p.evalBackend(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{p: p, sess: p.sem.newSession(sh, p.eng.db.w)}, nil
+}

@@ -1,0 +1,233 @@
+package agg
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/compile"
+	"repro/internal/dynamicq"
+	"repro/internal/provenance"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// Arithmetic is the contract a carrier type must satisfy to be registered as
+// a semiring: a commutative semiring (S, +, ·, 0, 1) with equality and a
+// formatter.  Implementations must be cheap to copy and free of side effects
+// on their arguments; all methods may be called from many goroutines at
+// once.
+type Arithmetic[T any] interface {
+	// Zero returns the additive identity.
+	Zero() T
+	// One returns the multiplicative identity.
+	One() T
+	// Add returns a + b.
+	Add(a, b T) T
+	// Mul returns a · b.
+	Mul(a, b T) T
+	// Equal reports whether two elements are equal.
+	Equal(a, b T) bool
+	// Format renders an element as the string surfaced by Eval.
+	Format(a T) string
+}
+
+// Semiring is one named carrier queries can be evaluated in.  Values are
+// opaque to callers: obtain instances from the registry (LookupSemiring) or
+// construct new ones with NewSemiring, and select them per query with
+// WithSemiring.  The interface is sealed; user-defined carriers plug in
+// through NewSemiring's Arithmetic and embedding function.
+type Semiring interface {
+	// Name returns the registry name of the carrier.
+	Name() string
+
+	// convert embeds the database's integer weights into the carrier once;
+	// the result is immutable and shared by any number of evaluations.
+	convert(w *structure.Weights[int64]) any
+	// evaluate runs the compiled circuit under previously converted weights
+	// across workers goroutines, honouring ctx, and formats the output.
+	evaluate(ctx context.Context, res *compile.Result, cw any, workers int) (string, error)
+	// newSession instantiates per-session dynamic state (Theorem 8) on a
+	// shared compilation, with a private copy of the weights.
+	newSession(sh *dynamicq.Shared, w *structure.Weights[int64]) erasedSession
+}
+
+// erasedSession is a dynamic-update session with the carrier type erased;
+// the public Session type wraps it with locking and lifecycle state.
+type erasedSession interface {
+	FreeVars() []string
+	Point(args []int) (string, error)
+	SetWeight(weight string, tuple []int, value int64) error
+	SetTuple(rel string, tuple []int, present bool) error
+	ApplyBatch(changes []Change) error
+}
+
+// NewSemiring builds a registrable semiring from an arithmetic and an
+// embedding that maps a database weight — identified by its weight symbol,
+// tuple, and serialised int64 value — into the carrier.  The embedding sees
+// the full key so carriers like the provenance semiring can mint a distinct
+// generator per tuple.
+func NewSemiring[T any](name string, ops Arithmetic[T], embed func(weight string, tuple []int, value int64) T) Semiring {
+	return &typedSemiring[T]{
+		name: name,
+		s:    semiring.Semiring[T](ops),
+		embed: func(k structure.WeightKey, v int64) T {
+			return embed(k.Weight, []int(structure.ParseTupleKey(k.Tuple)), v)
+		},
+	}
+}
+
+// typedSemiring adapts one semiring.Semiring[T] to the erased interface.
+type typedSemiring[T any] struct {
+	name  string
+	s     semiring.Semiring[T]
+	embed func(key structure.WeightKey, v int64) T
+}
+
+func (ts *typedSemiring[T]) Name() string { return ts.name }
+
+func (ts *typedSemiring[T]) convertTyped(w *structure.Weights[int64]) *structure.Weights[T] {
+	out := structure.NewWeights[T]()
+	if w == nil {
+		return out
+	}
+	w.ForEach(func(k structure.WeightKey, v int64) {
+		out.Set(k.Weight, structure.ParseTupleKey(k.Tuple), ts.embed(k, v))
+	})
+	return out
+}
+
+func (ts *typedSemiring[T]) convert(w *structure.Weights[int64]) any {
+	return ts.convertTyped(w)
+}
+
+func (ts *typedSemiring[T]) evaluate(ctx context.Context, res *compile.Result, cw any, workers int) (string, error) {
+	v, err := compile.EvaluateParallelCtx(ctx, res, ts.s, cw.(*structure.Weights[T]), workers)
+	if err != nil {
+		return "", err
+	}
+	return ts.s.Format(v), nil
+}
+
+func (ts *typedSemiring[T]) newSession(sh *dynamicq.Shared, w *structure.Weights[int64]) erasedSession {
+	return &typedSession[T]{ts: ts, q: dynamicq.NewQuery(ts.s, sh, ts.convertTyped(w))}
+}
+
+// typedSession adapts a dynamicq.Query to the erased session interface.
+type typedSession[T any] struct {
+	ts *typedSemiring[T]
+	q  *dynamicq.Query[T]
+}
+
+func (s *typedSession[T]) FreeVars() []string { return s.q.FreeVars() }
+
+func (s *typedSession[T]) Point(args []int) (string, error) {
+	v, err := s.q.Value(args...)
+	if err != nil {
+		return "", err
+	}
+	return s.ts.s.Format(v), nil
+}
+
+func (s *typedSession[T]) SetWeight(weight string, tuple []int, value int64) error {
+	t := structure.Tuple(tuple)
+	return s.q.SetWeight(weight, t, s.ts.embed(structure.MakeWeightKey(weight, t), value))
+}
+
+func (s *typedSession[T]) SetTuple(rel string, tuple []int, present bool) error {
+	return s.q.SetTuple(rel, structure.Tuple(tuple), present)
+}
+
+func (s *typedSession[T]) ApplyBatch(changes []Change) error {
+	typed := make([]dynamicq.Change[T], len(changes))
+	for i, ch := range changes {
+		t := structure.Tuple(ch.Tuple)
+		typed[i] = dynamicq.Change[T]{Rel: ch.Rel, Tuple: t, Present: ch.Present, Weight: ch.Weight}
+		if ch.Weight != "" {
+			typed[i].Value = s.ts.embed(structure.MakeWeightKey(ch.Weight, t), ch.Value)
+		}
+	}
+	return s.q.ApplyBatch(typed)
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Semiring
+}{m: map[string]Semiring{}}
+
+// Register adds a semiring to the process-wide registry, making it available
+// to WithSemiring and to frontends such as aggserve.  Registering an empty
+// name or a name that is already taken fails.
+func Register(s Semiring) error {
+	if s == nil || s.Name() == "" {
+		return errorf(ErrArgument, "", "agg: Register needs a named semiring")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[s.Name()]; dup {
+		return errorf(ErrArgument, "", "agg: semiring %q is already registered", s.Name())
+	}
+	registry.m[s.Name()] = s
+	return nil
+}
+
+// MustRegister is Register, panicking on error; intended for package init
+// blocks.
+func MustRegister(s Semiring) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// LookupSemiring resolves a registered semiring by name.  The empty name
+// selects "natural".
+func LookupSemiring(name string) (Semiring, error) {
+	if name == "" {
+		name = "natural"
+	}
+	registry.RLock()
+	s, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, errorf(ErrUnknownSemiring, "", "unknown semiring %q (available: %v)", name, SemiringNames())
+	}
+	return s, nil
+}
+
+// SemiringNames lists the registered semirings in sorted order.
+func SemiringNames() []string {
+	registry.RLock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	registry.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// The built-in carriers: counting, tropical shortest-path, boolean
+// satisfiability, and why-provenance.  The provenance entry maps every
+// non-zero weight to a fresh generator named after its tuple, so query
+// values come back as provenance polynomials.
+func init() {
+	MustRegister(NewSemiring[int64]("natural", semiring.Nat,
+		func(_ string, _ []int, v int64) int64 { return v }))
+	MustRegister(NewSemiring[semiring.Ext]("minplus", semiring.MinPlus,
+		func(_ string, _ []int, v int64) semiring.Ext { return semiring.Fin(v) }))
+	MustRegister(NewSemiring[bool]("boolean", semiring.Bool,
+		func(_ string, _ []int, v int64) bool { return v != 0 }))
+	MustRegister(NewSemiring[*provenance.Poly]("provenance", provenance.Free,
+		func(weight string, tuple []int, v int64) *provenance.Poly {
+			if v == 0 {
+				return provenance.NewPoly()
+			}
+			// Tuple.Key renders "0,1", keeping generator names identical to
+			// the ones minted everywhere else in the codebase.
+			return provenance.Var(provenance.Generator(weight + "(" + structure.Tuple(tuple).Key() + ")"))
+		}))
+}

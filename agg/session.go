@@ -1,0 +1,150 @@
+package agg
+
+import (
+	"context"
+	"sync"
+)
+
+// Session is a dynamic-update handle on a prepared query (Theorem 8): the
+// query value can be read at any point of its free variables, and both
+// weights and the tuples of relations declared with WithDynamic can be
+// updated, with logarithmic cost per update.
+//
+// A Session serialises its operations and fails fast: an operation attempted
+// while another one holds the session returns ErrSessionBusy instead of
+// queueing (frontends that want queueing, like aggserve, wrap sessions in
+// their own lock).  After Close every operation returns ErrSessionClosed.
+type Session struct {
+	p    *Prepared
+	mu   sync.Mutex
+	once sync.Once
+
+	closed bool
+	sess   erasedSession
+}
+
+// Change is one update of a Session: a weight update (Weight non-empty:
+// Weight(Tuple) takes Value) or a dynamic-relation update (Rel non-empty:
+// membership of Tuple becomes Present).  Exactly one of Weight and Rel must
+// be set.
+type Change struct {
+	Weight  string
+	Rel     string
+	Tuple   []int
+	Value   int64
+	Present bool
+}
+
+// SetWeight builds a weight update.
+func SetWeight(weight string, tuple []int, value int64) Change {
+	return Change{Weight: weight, Tuple: tuple, Value: value}
+}
+
+// SetTuple builds a dynamic-relation membership update.
+func SetTuple(rel string, tuple []int, present bool) Change {
+	return Change{Rel: rel, Tuple: tuple, Present: present}
+}
+
+// acquire takes the session for one operation, failing fast when it is busy
+// or closed.  The caller must release() on success.
+func (s *Session) acquire() error {
+	if !s.mu.TryLock() {
+		return errorf(ErrSessionBusy, s.p.text, "session is processing another operation")
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return errorf(ErrSessionClosed, s.p.text, "session was closed")
+	}
+	return nil
+}
+
+func (s *Session) release() { s.mu.Unlock() }
+
+// FreeVars returns the free variables of the underlying query, in the order
+// Eval expects its arguments.
+func (s *Session) FreeVars() []string { return s.p.FreeVars() }
+
+// Eval reads the query value under the updates applied so far: no arguments
+// for a closed query, one element per free variable for a point query.
+func (s *Session) Eval(ctx context.Context, args ...int) (Value, error) {
+	if err := ensureCtx(ctx).Err(); err != nil {
+		return "", err
+	}
+	if err := s.acquire(); err != nil {
+		return "", err
+	}
+	defer s.release()
+	out, err := s.sess.Point(args)
+	if err != nil {
+		return "", newError(ErrArgument, s.p.text, err)
+	}
+	return Value(out), nil
+}
+
+// Set applies one change: a weight update or a dynamic-relation membership
+// update.  Tuple insertions must preserve the Gaifman graph of the compiled
+// structure (Theorem 24's update model); violations fail with ErrUpdate and
+// leave the session untouched.
+func (s *Session) Set(change Change) error {
+	if err := s.acquire(); err != nil {
+		return err
+	}
+	defer s.release()
+	return s.apply(change)
+}
+
+// apply performs one change; the caller holds the session.
+func (s *Session) apply(change Change) error {
+	var err error
+	switch {
+	case change.Weight != "" && change.Rel != "":
+		return errorf(ErrUpdate, s.p.text, "change names both weight %q and relation %q", change.Weight, change.Rel)
+	case change.Weight != "":
+		err = s.sess.SetWeight(change.Weight, change.Tuple, change.Value)
+	case change.Rel != "":
+		err = s.sess.SetTuple(change.Rel, change.Tuple, change.Present)
+	default:
+		return errorf(ErrUpdate, s.p.text, "change names neither a weight nor a relation")
+	}
+	if err != nil {
+		return newError(ErrUpdate, s.p.text, err)
+	}
+	return nil
+}
+
+// ApplyBatch applies a mixed batch of changes atomically: every change is
+// validated before anything is applied (all-or-nothing), and the evaluator
+// then runs a single propagation wave for the whole batch, so gates shared
+// by several changes are recomputed once and repeated changes to one key
+// coalesce with the last value winning.
+func (s *Session) ApplyBatch(changes []Change) error {
+	if err := s.acquire(); err != nil {
+		return err
+	}
+	defer s.release()
+	for i, ch := range changes {
+		if ch.Weight != "" && ch.Rel != "" {
+			return errorf(ErrUpdate, s.p.text, "change %d names both a weight and a relation", i)
+		}
+		if ch.Weight == "" && ch.Rel == "" {
+			return errorf(ErrUpdate, s.p.text, "change %d names neither a weight nor a relation", i)
+		}
+	}
+	if err := s.sess.ApplyBatch(changes); err != nil {
+		return newError(ErrUpdate, s.p.text, err)
+	}
+	return nil
+}
+
+// Close releases the session's evaluator state; subsequent operations fail
+// with ErrSessionClosed.  Close blocks until an in-flight operation
+// finishes and is idempotent.
+func (s *Session) Close() error {
+	s.once.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.sess = nil
+		s.mu.Unlock()
+	})
+	return nil
+}

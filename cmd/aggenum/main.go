@@ -1,9 +1,10 @@
 // Command aggenum enumerates the answers of a first-order query on a sparse
-// database with constant delay (Theorem 24 of the paper).
+// database with constant delay (Theorem 24 of the paper), through the public
+// repro/agg facade.
 //
 // The database is generated on the fly (-kind/-n) or read from a file or
-// stdin in the internal/dbio text format; the query is a first-order formula
-// in the surface syntax of internal/parser.
+// stdin in the dbio text format; the query is a first-order formula in the
+// surface syntax.
 //
 // Usage:
 //
@@ -14,17 +15,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
-	"repro/internal/compile"
-	"repro/internal/dbio"
-	"repro/internal/enumerate"
-	"repro/internal/parser"
-	"repro/internal/structure"
+	"repro/agg"
 )
 
 func main() {
@@ -39,18 +37,12 @@ func main() {
 	countOnly := flag.Bool("count", false, "only report the number of answers and timing")
 	workers := flag.Int("workers", 1, "worker goroutines for the preprocessing emptiness pass (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	ctx := context.Background()
 
-	db, err := dbio.LoadSource(dbio.Source{Stdin: *stdin, Path: *file, Kind: *kind, N: *n, Seed: *seed})
+	eng, err := agg.OpenSource(agg.Source{Stdin: *stdin, Path: *file, Kind: *kind, N: *n, Seed: *seed})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggenum: %v\n", err)
 		os.Exit(1)
-	}
-	a := db.A
-
-	phi, err := parser.ParseFormula(*phiText)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "aggenum: %v\n", err)
-		os.Exit(2)
 	}
 	vars := splitVars(*varsText)
 	if len(vars) == 0 {
@@ -58,20 +50,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Prepare pays the linear-time preprocessing (compilation plus the
+	// emptiness wave); answers then stream with constant delay.
 	start := time.Now()
-	ans, err := enumerate.EnumerateAnswersParallel(a, phi, vars, compile.Options{}, *workers)
+	p, err := eng.Prepare(ctx, *phiText, agg.WithAnswerVars(vars...), agg.WithWorkers(*workers))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggenum: %v\n", err)
 		os.Exit(1)
 	}
 	preprocess := time.Since(start)
 
-	fmt.Printf("database: n=%d tuples=%d\n", a.N, a.TupleCount())
-	fmt.Printf("query:    %s   answers over (%s)\n", parser.FormatFormula(phi), strings.Join(vars, ", "))
+	db := eng.Database()
+	fmt.Printf("database: n=%d tuples=%d\n", db.Elements(), db.TupleCount())
+	fmt.Printf("query:    %s   answers over (%s)\n", p.Canonical(), strings.Join(p.AnswerVars(), ", "))
 	fmt.Printf("preprocessing: %v\n", preprocess)
 
 	start = time.Now()
-	count := ans.Count()
+	count, err := p.AnswerCount(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aggenum: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("answers: %d (counted in %v)\n", count, time.Since(start))
 
 	if *countOnly || *limit == 0 {
@@ -80,16 +79,17 @@ func main() {
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
-	cur := ans.Cursor()
 	printed := 0
 	start = time.Now()
-	for printed < *limit {
-		t, ok := cur.Next()
-		if !ok {
+	for ans, err := range p.Enumerate(ctx) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aggenum: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "  %v\n", []int(ans))
+		if printed++; printed >= *limit {
 			break
 		}
-		fmt.Fprintf(out, "  %v\n", []structure.Element(t))
-		printed++
 	}
 	elapsed := time.Since(start)
 	if printed > 0 {

@@ -1,6 +1,6 @@
 // Command agggen generates a synthetic sparse database and writes it to
-// stdout in the text format of internal/dbio (one line per declaration,
-// tuple and weight), so it can be stored in a file or piped into aggquery.
+// stdout in the dbio text format (one line per declaration, tuple and
+// weight), so it can be stored in a file or piped into aggquery.
 //
 // Usage:
 //
@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/dbio"
+	"repro/agg"
 )
 
 func main() {
@@ -23,13 +23,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	db, err := dbio.Source{Kind: *kind, N: *n, Degree: *degree, Seed: *seed}.Generate()
+	db, err := agg.Load(agg.Source{Kind: *kind, N: *n, Degree: *degree, Seed: *seed})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "agggen: %v\n", err)
 		os.Exit(2)
 	}
-
-	if err := dbio.Write(os.Stdout, db.A, db.Weights()); err != nil {
+	if err := db.Write(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "agggen: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,11 +1,12 @@
 // Command aggquery evaluates a weighted query on a sparse database and
 // reports the query value in several semirings together with statistics
-// about the compiled circuit (Theorem 6 of the paper).
+// about the compiled circuit (Theorem 6 of the paper), driving the public
+// repro/agg facade the same way an embedding program would.
 //
 // The database is either generated on the fly (-kind/-n) or read from a file
-// or stdin in the internal/dbio text format.  The query is either one of a
-// set of predefined queries (-query) or an arbitrary weighted expression in
-// the surface syntax of internal/parser (-expr).
+// or stdin in the dbio text format.  The query is either one of a set of
+// predefined queries (-query) or an arbitrary weighted expression in the
+// surface syntax (-expr).
 //
 // Usage:
 //
@@ -16,18 +17,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sync"
 
-	"repro/internal/compile"
-	"repro/internal/dbio"
-	"repro/internal/expr"
-	"repro/internal/logic"
-	"repro/internal/parser"
-	"repro/internal/semiring"
+	"repro/agg"
 )
+
+// queries maps the predefined query names to their surface syntax.
+var queries = map[string]string{
+	"triangles":   "sum x, y, z . [E(x,y) & E(y,z) & E(z,x)] * w(x,y) * w(y,z) * w(z,x)",
+	"paths":       "sum x, y, z . [E(x,y) & E(y,z) & !(x = z)] * u(x) * u(z)",
+	"edges":       "sum x, y . [E(x,y)] * w(x,y)",
+	"heavy-pairs": "sum x, y . [E(x,y) & S(x) & !S(y)] * u(x) * u(y)",
+}
 
 func main() {
 	query := flag.String("query", "triangles", "predefined query: triangles, paths, edges, heavy-pairs")
@@ -39,92 +44,67 @@ func main() {
 	file := flag.String("file", "", "read the database from this file (dbio format)")
 	workers := flag.Int("workers", 0, "worker goroutines per circuit evaluation (0 = GOMAXPROCS)")
 	flag.Parse()
+	ctx := context.Background()
 
-	db, err := dbio.LoadSource(dbio.Source{Stdin: *stdin, Path: *file, Kind: *kind, N: *n, Seed: *seed})
+	eng, err := agg.OpenSource(agg.Source{Stdin: *stdin, Path: *file, Kind: *kind, N: *n, Seed: *seed})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggquery: %v\n", err)
 		os.Exit(1)
 	}
-	a, weights := db.A, db.W
 
-	e, err := selectQuery(*exprText, *query)
+	text := *exprText
+	if text == "" {
+		var ok bool
+		if text, ok = queries[*query]; !ok {
+			fmt.Fprintf(os.Stderr, "aggquery: unknown query %q (available: triangles, paths, edges, heavy-pairs)\n", *query)
+			os.Exit(2)
+		}
+	}
+
+	// One Prepare pays the Theorem 6 compilation; In rebinds the shared
+	// circuit to further semirings without recompiling.
+	p, err := eng.Prepare(ctx, text, agg.WithWorkers(*workers))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggquery: %v\n", err)
-		os.Exit(2)
-	}
-	if err := expr.Validate(e, a.Sig); err != nil {
-		fmt.Fprintf(os.Stderr, "aggquery: query does not match the database signature: %v\n", err)
-		os.Exit(2)
-	}
-
-	res, err := compile.Compile(a, e, compile.Options{})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "aggquery: compile: %v\n", err)
 		os.Exit(1)
 	}
-	st := res.Circuit.Statistics()
-	fmt.Printf("database: n=%d tuples=%d\n", a.N, a.TupleCount())
-	fmt.Printf("query: %s\n", parser.FormatExpr(e))
+	db := eng.Database()
+	st := p.Stats()
+	fmt.Printf("database: n=%d tuples=%d\n", db.Elements(), db.TupleCount())
+	fmt.Printf("query: %s\n", p.Canonical())
 	fmt.Printf("circuit: gates=%d edges=%d depth=%d permGates=%d maxPermRows=%d\n",
 		st.Gates, st.Edges, st.Depth, st.PermGates, st.MaxPermRows)
 
 	// The three semirings are independent passes over the same circuit, so
 	// they run concurrently; each pass additionally spreads its gate levels
-	// over -workers goroutines (the schedule was precomputed by Compile).
-	var lines [3]string
+	// over -workers goroutines.
+	passes := []struct {
+		semiring string
+		label    string
+	}{
+		{"natural", "value in (N,+,·):            "},
+		{"minplus", "value in (N∪{∞},min,+):      "},
+		{"boolean", "value in (B,∨,∧):            "},
+	}
+	lines := make([]string, len(passes))
 	var wg sync.WaitGroup
-	wg.Add(3)
-	go func() {
-		defer wg.Done()
-		nat := compile.EvaluateParallel[int64](res, semiring.Nat, weights, *workers)
-		lines[0] = fmt.Sprintf("value in (N,+,·):            %d", nat)
-	}()
-	go func() {
-		defer wg.Done()
-		mp := compile.EvaluateParallel[semiring.Ext](res, semiring.MinPlus,
-			dbio.ConvertWeights(weights, func(v int64) semiring.Ext { return semiring.Fin(v) }), *workers)
-		lines[1] = fmt.Sprintf("value in (N∪{∞},min,+):      %s", semiring.MinPlus.Format(mp))
-	}()
-	go func() {
-		defer wg.Done()
-		bv := compile.EvaluateParallel[bool](res, semiring.Bool,
-			dbio.ConvertWeights(weights, func(v int64) bool { return v != 0 }), *workers)
-		lines[2] = fmt.Sprintf("value in (B,∨,∧):            %v", bv)
-	}()
+	for i, pass := range passes {
+		wg.Add(1)
+		go func(i int, semiring, label string) {
+			defer wg.Done()
+			q, err := p.In(semiring)
+			if err == nil {
+				var v agg.Value
+				if v, err = q.Eval(ctx); err == nil {
+					lines[i] = label + v.String()
+					return
+				}
+			}
+			lines[i] = fmt.Sprintf("%s<error: %v>", label, err)
+		}(i, pass.semiring, pass.label)
+	}
 	wg.Wait()
 	for _, l := range lines {
 		fmt.Println(l)
-	}
-}
-
-func selectQuery(exprText, name string) (expr.Expr, error) {
-	if exprText != "" {
-		return parser.ParseExpr(exprText)
-	}
-	qs := queries()
-	e, ok := qs[name]
-	if !ok {
-		return nil, fmt.Errorf("unknown query %q (available: triangles, paths, edges, heavy-pairs)", name)
-	}
-	return e, nil
-}
-
-func queries() map[string]expr.Expr {
-	return map[string]expr.Expr{
-		"triangles": expr.Agg([]string{"x", "y", "z"}, expr.Times(
-			expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.R("E", "z", "x"))),
-			expr.W("w", "x", "y"), expr.W("w", "y", "z"), expr.W("w", "z", "x"),
-		)),
-		"paths": expr.Agg([]string{"x", "y", "z"}, expr.Times(
-			expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.Neg(logic.Equal("x", "z")))),
-			expr.W("u", "x"), expr.W("u", "z"),
-		)),
-		"edges": expr.Agg([]string{"x", "y"}, expr.Times(
-			expr.Guard(logic.R("E", "x", "y")), expr.W("w", "x", "y"),
-		)),
-		"heavy-pairs": expr.Agg([]string{"x", "y"}, expr.Times(
-			expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("S", "x"), logic.Neg(logic.R("S", "y")))),
-			expr.W("u", "x"), expr.W("u", "y"),
-		)),
 	}
 }

@@ -1,9 +1,10 @@
 // Command aggserve is the long-lived query-serving daemon: it loads one or
-// more databases at startup, compiles weighted expressions on demand into an
-// LRU cache of compiled circuits, and serves concurrent clients over
-// HTTP/JSON — semiring evaluation, point queries, dynamic-update sessions
-// and constant-delay enumeration all amortise one compilation (Theorem 6)
-// across many requests.
+// more databases at startup, compiles queries on demand through the public
+// repro/agg facade into an LRU cache of compiled circuits, and serves
+// concurrent clients over HTTP/JSON — semiring evaluation, point queries,
+// dynamic-update sessions and constant-delay enumeration all amortise one
+// compilation (Theorem 6) across many requests.  Client disconnects cancel
+// the work they were waiting for.
 //
 // Usage:
 //
@@ -32,7 +33,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/dbio"
+	"repro/agg"
 	"repro/internal/server"
 )
 
@@ -72,22 +73,22 @@ func main() {
 	case len(dbs) > 0:
 		for _, spec := range dbs {
 			name, path, _ := strings.Cut(spec, "=")
-			db, err := dbio.LoadSource(dbio.Source{Path: path})
+			db, err := agg.ReadDatabaseFile(path)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "aggserve: loading %s: %v\n", spec, err)
 				os.Exit(1)
 			}
 			srv.MountDatabaseValue(name, db)
-			fmt.Printf("mounted %s: n=%d tuples=%d\n", name, db.A.N, db.A.TupleCount())
+			fmt.Printf("mounted %s: n=%d tuples=%d\n", name, db.Elements(), db.TupleCount())
 		}
 	default:
-		db, err := dbio.LoadSource(dbio.Source{Stdin: *stdin, Kind: *kind, N: *n, Seed: *seed})
+		db, err := agg.Load(agg.Source{Stdin: *stdin, Kind: *kind, N: *n, Seed: *seed})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aggserve: %v\n", err)
 			os.Exit(1)
 		}
 		srv.MountDatabaseValue("default", db)
-		fmt.Printf("mounted default: n=%d tuples=%d\n", db.A.N, db.A.TupleCount())
+		fmt.Printf("mounted default: n=%d tuples=%d\n", db.Elements(), db.TupleCount())
 	}
 
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
@@ -96,7 +97,7 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("aggserve listening on %s (semirings: %v)\n", *listen, server.SemiringNames())
+	fmt.Printf("aggserve listening on %s (semirings: %v)\n", *listen, agg.SemiringNames())
 
 	select {
 	case err := <-errCh:

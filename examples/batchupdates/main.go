@@ -1,89 +1,91 @@
-// Batch updates: maintain a compiled weighted query under a stream of
-// weight and tuple changes, applying them one at a time and in atomic
-// batches, and compare the two (identical results, one propagation wave per
-// batch instead of one per update).
+// Batch updates through the repro/agg facade: maintain a compiled weighted
+// query under a stream of weight and tuple changes, applying them one at a
+// time and in atomic batches, and compare the two (identical results, one
+// propagation wave per batch instead of one per update).
 //
 //	go run ./examples/batchupdates
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
-	"repro/internal/compile"
-	"repro/internal/dynamicq"
-	"repro/internal/expr"
-	"repro/internal/logic"
-	"repro/internal/semiring"
-	"repro/internal/structure"
-	"repro/internal/workload"
+	"repro/agg"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A preferential-attachment graph: a few high-degree hubs, many leaves —
 	// the shape under which hot-key update streams concentrate on vertices
 	// with large propagation cones.
-	db := workload.PreferentialAttachment(3000, 2, 7)
-	fmt.Printf("database: %d elements, %d tuples\n", db.A.N, db.A.TupleCount())
+	eng, err := agg.OpenSource(agg.Source{Kind: "pref-attach", N: 3000, Degree: 2, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	db := eng.Database()
+	fmt.Printf("database: %d elements, %d tuples\n", db.Elements(), db.TupleCount())
 
 	// Weighted 2-paths with distinct endpoints, with E declared dynamic so
 	// tuple updates are allowed too:
 	//   f = Σ_{x,y,z} [E(x,y) ∧ E(y,z) ∧ x≠z] · u(x) · u(z).
-	f := expr.Agg([]string{"x", "y", "z"}, expr.Times(
-		expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.Neg(logic.Equal("x", "z")))),
-		expr.W("u", "x"), expr.W("u", "z"),
-	))
-	opts := compile.Options{DynamicRelations: []string{"E"}}
-
-	// Two queries over one shared compilation (Theorem 6 is paid once).
-	sh, err := dynamicq.CompileShared(db.A, f, opts)
+	// One Prepare pays Theorem 6 once; both sessions below share it.
+	p, err := eng.Prepare(ctx,
+		"sum x, y, z . [E(x,y) & E(y,z) & !(x = z)] * u(x) * u(z)",
+		agg.WithDynamic("E"))
 	if err != nil {
 		panic(err)
 	}
-	perQ := dynamicq.NewQuery[int64](semiring.Nat, sh, db.Weights())
-	batchQ := dynamicq.NewQuery[int64](semiring.Nat, sh, db.Weights())
-	v0, _ := perQ.ValueClosed()
-	fmt.Printf("initial weighted 2-path count: %d\n\n", v0)
+	perS, err := p.Session()
+	if err != nil {
+		panic(err)
+	}
+	defer perS.Close()
+	batchS, err := p.Session()
+	if err != nil {
+		panic(err)
+	}
+	defer batchS.Close()
+	v0, err := perS.Eval(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("initial weighted 2-path count: %s\n\n", v0)
 
 	// A hot-key stream: weight updates concentrated on the 32 highest-degree
 	// vertices, plus occasional Gaifman-preserving edge toggles.
-	deg := make([]int, db.A.N)
-	edges := db.A.Tuples("E")
+	edges := db.Tuples("E")
+	deg := make([]int, db.Elements())
 	for _, e := range edges {
 		deg[e[0]]++
 		deg[e[1]]++
 	}
-	hubs := make([]structure.Element, 0, 32)
-	for v := 0; v < db.A.N && len(hubs) < 32; v++ {
+	hubs := make([]int, 0, 32)
+	for v := 0; v < db.Elements() && len(hubs) < 32; v++ {
 		if deg[v] >= 8 {
 			hubs = append(hubs, v)
 		}
 	}
 	r := rand.New(rand.NewSource(1))
 	const total = 20000
-	stream := make([]dynamicq.Change[int64], total)
+	stream := make([]agg.Change, total)
 	for i := range stream {
 		if i%50 == 49 {
 			// Toggling an existing edge preserves the Gaifman graph.
 			e := edges[r.Intn(len(edges))]
-			stream[i] = dynamicq.TupleChange[int64]("E", e, r.Intn(2) == 0)
+			stream[i] = agg.SetTuple("E", e, r.Intn(2) == 0)
 		} else {
 			hub := hubs[r.Intn(len(hubs))]
-			stream[i] = dynamicq.WeightChange("u", structure.Tuple{hub}, int64(r.Intn(9)+1))
+			stream[i] = agg.SetWeight("u", []int{hub}, int64(r.Intn(9)+1))
 		}
 	}
 
 	// One propagation wave per update...
 	start := time.Now()
 	for _, ch := range stream {
-		var err error
-		if ch.Weight != "" {
-			err = perQ.SetWeight(ch.Weight, ch.Tuple, ch.Value)
-		} else {
-			err = perQ.SetTuple(ch.Rel, ch.Tuple, ch.Present)
-		}
-		if err != nil {
+		if err := perS.Set(ch); err != nil {
 			panic(err)
 		}
 	}
@@ -95,21 +97,18 @@ func main() {
 	const batchSize = 1000
 	start = time.Now()
 	for lo := 0; lo < len(stream); lo += batchSize {
-		hi := lo + batchSize
-		if hi > len(stream) {
-			hi = len(stream)
-		}
-		if err := batchQ.ApplyBatch(stream[lo:hi]); err != nil {
+		hi := min(lo+batchSize, len(stream))
+		if err := batchS.ApplyBatch(stream[lo:hi]); err != nil {
 			panic(err)
 		}
 	}
 	batchDur := time.Since(start)
 
-	perVal, _ := perQ.ValueClosed()
-	batchVal, _ := batchQ.ValueClosed()
-	fmt.Printf("per-update loop: %d updates in %v (%.0f upd/s) → value %d\n",
+	perVal, _ := perS.Eval(ctx)
+	batchVal, _ := batchS.Eval(ctx)
+	fmt.Printf("per-update loop: %d updates in %v (%.0f upd/s) → value %s\n",
 		total, perDur.Round(time.Millisecond), float64(total)/perDur.Seconds(), perVal)
-	fmt.Printf("ApplyBatch(%d):  %d updates in %v (%.0f upd/s) → value %d\n",
+	fmt.Printf("ApplyBatch(%d):  %d updates in %v (%.0f upd/s) → value %s\n",
 		batchSize, total, batchDur.Round(time.Millisecond), float64(total)/batchDur.Seconds(), batchVal)
 	if perVal != batchVal {
 		panic("batched and per-update application disagree")
@@ -117,11 +116,11 @@ func main() {
 	fmt.Printf("speedup: %.1fx, identical values\n\n", float64(perDur)/float64(batchDur))
 
 	// Batches are all-or-nothing: one invalid change rejects the whole batch.
-	err = batchQ.ApplyBatch([]dynamicq.Change[int64]{
-		dynamicq.WeightChange("u", structure.Tuple{hubs[0]}, int64(99)),
-		dynamicq.WeightChange("nope", structure.Tuple{0}, int64(1)),
+	err = batchS.ApplyBatch([]agg.Change{
+		agg.SetWeight("u", []int{hubs[0]}, 99),
+		agg.SetWeight("nope", []int{0}, 1),
 	})
 	fmt.Printf("invalid batch rejected atomically: %v\n", err)
-	after, _ := batchQ.ValueClosed()
-	fmt.Printf("value unchanged by the rejected batch: %d\n", after)
+	after, _ := batchS.Eval(ctx)
+	fmt.Printf("value unchanged by the rejected batch: %s\n", after)
 }

@@ -1,55 +1,87 @@
-// Constant-delay enumeration (Theorem 24): preprocess a sparse database in
-// linear time, then stream the answers of a first-order query one by one,
-// and keep enumerating after Gaifman-preserving updates.
+// Constant-delay enumeration (Theorem 24) through the repro/agg facade:
+// preprocess a sparse database in linear time, stream the answers of a
+// first-order query one by one, and maintain the answer count under
+// Gaifman-preserving updates with a dynamic session.
 //
 //	go run ./examples/enumeration
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/compile"
-	"repro/internal/enumerate"
-	"repro/internal/logic"
-	"repro/internal/structure"
-	"repro/internal/workload"
+	"repro/agg"
 )
 
 func main() {
-	db := workload.Grid(60, 60, 5)
-	a := db.A
-	fmt.Printf("grid database: %d elements, %d tuples\n", a.N, a.TupleCount())
-
-	// ϕ(x,y,z) = E(x,y) ∧ E(y,z) ∧ x ≠ z: directed 2-paths with distinct
-	// endpoints, with the edge relation open to updates.
-	phi := logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.Neg(logic.Equal("x", "z")))
-	ans, err := enumerate.EnumerateAnswers(a, phi, []string{"x", "y", "z"},
-		compile.Options{DynamicRelations: []string{"E"}})
+	ctx := context.Background()
+	eng, err := agg.OpenSource(agg.Source{Kind: "grid", N: 3600, Seed: 5})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("answers: %d\n", ans.Count())
+	db := eng.Database()
+	fmt.Printf("grid database: %d elements, %d tuples\n", db.Elements(), db.TupleCount())
+
+	// ϕ(x,y,z) = E(x,y) ∧ E(y,z) ∧ x ≠ z: directed 2-paths with distinct
+	// endpoints.  A formula prepares in formula mode: the linear-time
+	// preprocessing is paid here, answers then stream with constant delay.
+	p, err := eng.Prepare(ctx, "E(x,y) & E(y,z) & !(x = z)")
+	if err != nil {
+		panic(err)
+	}
+	total, err := p.AnswerCount(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("answers over %v: %d\n", p.AnswerVars(), total)
 
 	fmt.Println("first 5 answers (streamed with constant delay):")
-	cur := ans.Cursor()
-	for i := 0; i < 5; i++ {
-		t, ok := cur.Next()
-		if !ok {
+	var first agg.Answer
+	printed := 0
+	for ans, err := range p.Enumerate(ctx) {
+		if err != nil {
+			panic(err)
+		}
+		if first == nil {
+			first = ans
+		}
+		fmt.Printf("  (%d, %d, %d)\n", ans[0], ans[1], ans[2])
+		if printed++; printed == 5 {
 			break
 		}
-		fmt.Printf("  (%d, %d, %d)\n", t[0], t[1], t[2])
 	}
 
-	// A Gaifman-preserving update: delete one edge of the first answer; the
-	// enumeration data structure is maintained in constant time.
-	first := ans.Collect(1)[0]
-	victim := structure.Tuple{first[0], first[1]}
-	if err := ans.SetTuple("E", victim, false); err != nil {
+	// Updates go through a session on the counting form of the same query,
+	// with E declared dynamic.  Deleting one edge of the first answer is a
+	// Gaifman-preserving update maintained in constant time per affected
+	// gate.
+	counter, err := eng.Prepare(ctx, "sum x, y, z . [E(x,y) & E(y,z) & !(x = z)]",
+		agg.WithDynamic("E"))
+	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nafter deleting the edge (%d,%d): answers = %d\n", victim[0], victim[1], ans.Count())
-	if err := ans.SetTuple("E", victim, true); err != nil {
+	s, err := counter.Session()
+	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("after re-inserting it:          answers = %d\n", ans.Count())
+	defer s.Close()
+
+	victim := []int{first[0], first[1]}
+	if err := s.Set(agg.SetTuple("E", victim, false)); err != nil {
+		panic(err)
+	}
+	after, err := s.Eval(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nafter deleting the edge (%d,%d): answers = %s\n", victim[0], victim[1], after)
+
+	if err := s.Set(agg.SetTuple("E", victim, true)); err != nil {
+		panic(err)
+	}
+	restored, err := s.Eval(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after re-inserting it:          answers = %s\n", restored)
 }

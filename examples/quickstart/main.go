@@ -1,64 +1,88 @@
-// Quickstart: compile one weighted query over a small sparse database and
-// evaluate the same circuit in several semirings.
+// Quickstart: open a small sparse database through the public repro/agg
+// facade, prepare one weighted query, and evaluate the same compiled circuit
+// in several semirings.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/compile"
-	"repro/internal/expr"
-	"repro/internal/logic"
-	"repro/internal/semiring"
-	"repro/internal/structure"
-	"repro/internal/workload"
+	"repro/agg"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A bounded-degree random directed graph with edge weights w and vertex
 	// weights u (a canonical bounded-expansion database).
-	db := workload.BoundedDegree(2000, 3, 1)
-	fmt.Printf("database: %d elements, %d tuples\n", db.A.N, db.A.TupleCount())
-
-	// The paper's running example: the weighted count of directed triangles,
-	//   f = Σ_{x,y,z} [E(x,y) ∧ E(y,z) ∧ E(z,x)] · w(x,y) · w(y,z) · w(z,x).
-	f := expr.Agg([]string{"x", "y", "z"}, expr.Times(
-		expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.R("E", "z", "x"))),
-		expr.W("w", "x", "y"), expr.W("w", "y", "z"), expr.W("w", "z", "x"),
-	))
-	fmt.Printf("query: %s\n\n", f)
-
-	// Compile once (Theorem 6): the circuit is independent of the semiring.
-	res, err := compile.Compile(db.A, f, compile.Options{})
+	eng, err := agg.OpenSource(agg.Source{Kind: "bounded-degree", N: 2000, Degree: 3, Seed: 1})
 	if err != nil {
 		panic(err)
 	}
-	st := res.Circuit.Statistics()
+	db := eng.Database()
+	fmt.Printf("database: %d elements, %d tuples\n", db.Elements(), db.TupleCount())
+
+	// The paper's running example: the weighted count of directed triangles,
+	//   f = Σ_{x,y,z} [E(x,y) ∧ E(y,z) ∧ E(z,x)] · w(x,y) · w(y,z) · w(z,x).
+	// Prepare compiles it once (Theorem 6); the circuit is independent of
+	// the semiring.
+	p, err := eng.Prepare(ctx,
+		"sum x, y, z . [E(x,y) & E(y,z) & E(z,x)] * w(x,y) * w(y,z) * w(z,x)")
+	if err != nil {
+		panic(err)
+	}
+	st := p.Stats()
+	fmt.Printf("query: %s\n\n", p.Canonical())
 	fmt.Printf("compiled circuit: %d gates, depth %d, %d permanent gates (≤%d rows)\n\n",
 		st.Gates, st.Depth, st.PermGates, st.MaxPermRows)
 
 	// Evaluate in (ℕ, +, ·): the bag-semantics triangle weight.  The circuit
 	// is shallow and wide, so evaluation spreads each topological level over
-	// all cores (the level schedule was precomputed by Compile; pass a
-	// positive worker count to pin the pool size).
-	count := compile.EvaluateParallel[int64](res, semiring.Nat, db.Weights(), 0)
-	fmt.Printf("Σ over triangles of w(x,y)·w(y,z)·w(z,x) in (N,+,·):  %d\n", count)
+	// all cores.
+	count, err := p.Eval(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Σ over triangles of w(x,y)·w(y,z)·w(z,x) in (N,+,·):  %s\n", count)
 
-	// Evaluate the SAME circuit in (ℕ∪{∞}, min, +): the cheapest triangle.
-	cheapest := compile.Evaluate[semiring.Ext](res, semiring.MinPlus, db.MinPlusWeights())
-	fmt.Printf("minimum triangle cost in (N∪{∞},min,+):              %s\n", semiring.MinPlus.Format(cheapest))
+	// Rebind the SAME circuit to (ℕ∪{∞}, min, +): the cheapest triangle.
+	// In shares the compilation; no recompilation happens.
+	mp, err := p.In("minplus")
+	if err != nil {
+		panic(err)
+	}
+	cheapest, err := mp.Eval(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("minimum triangle cost in (N∪{∞},min,+):              %s\n", cheapest)
 
 	// And in the boolean semiring: does any triangle exist at all?
-	boolW := workload.WeightsIn(db, func(v int64) bool { return v != 0 })
-	exists := compile.Evaluate[bool](res, semiring.Bool, boolW)
-	fmt.Printf("does a directed triangle exist (B,∨,∧)?               %v\n", exists)
+	bl, err := p.In("boolean")
+	if err != nil {
+		panic(err)
+	}
+	exists, err := bl.Eval(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("does a directed triangle exist (B,∨,∧)?               %s\n", exists)
 
-	// Point queries: the number of triangles through a given vertex, via a
-	// query with a free variable (Theorem 8).
-	g := expr.Agg([]string{"y", "z"}, expr.Guard(logic.Conj(
-		logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.R("E", "z", "x"))))
-	_ = g
-	_ = structure.Tuple{}
-	fmt.Println("\nsee examples/pagerank and examples/enumeration for dynamic queries and enumeration")
+	// Point queries (Theorem 8): the number of triangles through a given
+	// vertex, via a query with a free variable — one argument per free
+	// variable, logarithmic time per point.
+	g, err := eng.Prepare(ctx, "sum y, z . [E(x,y) & E(y,z) & E(z,x)]")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ntriangles through a vertex (free variable %v):\n", g.FreeVars())
+	for _, v := range []int{0, 1, 2, 3} {
+		at, err := g.Eval(ctx, v)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  vertex %d: %s\n", v, at)
+	}
 }

@@ -1,43 +1,66 @@
 // Textual queries on a database file: generate a sparse database, store it
-// in the dbio text format, read it back, and evaluate queries written in the
-// surface syntax of internal/parser — the same pipeline the cmd/agggen and
-// cmd/aggquery tools expose, driven as a library.
+// in the dbio text format, read it back through the repro/agg facade, and
+// evaluate queries written in the surface syntax — the same pipeline the
+// cmd/agggen and cmd/aggquery tools expose, driven as a library.
 //
-// The example also shows two of the "exotic" semirings: the counting
-// tropical semiring (cheapest answer and how many answers attain it) and the
-// k-best semiring (the costs of the k cheapest answers).
+// The example also registers two "exotic" carriers with the public semiring
+// registry: the counting tropical semiring (cheapest answer and how many
+// answers attain it) and the k-best semiring (the costs of the k cheapest
+// answers).  Once registered they are selectable with agg.WithSemiring and
+// would equally be available to every aggserve endpoint.
 //
 //	go run ./examples/textquery
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 
-	"repro/internal/compile"
-	"repro/internal/dbio"
-	"repro/internal/parser"
+	"repro/agg"
 	"repro/internal/semiring"
-	"repro/internal/workload"
 )
 
 func main() {
-	// 1. Generate and persist a database.
-	db := workload.Grid(60, 60, 9)
-	path := filepath.Join(os.TempDir(), "textquery-grid.db")
-	if err := dbio.WriteFile(path, db.A, db.Weights()); err != nil {
+	ctx := context.Background()
+
+	// Exotic carriers become first-class citizens through the registry: the
+	// Arithmetic contract plus an embedding of the serialised weights.
+	k3 := semiring.NewKBest(3)
+	if err := agg.Register(agg.NewSemiring[semiring.CostCount]("counting-tropical", semiring.CountingTropical,
+		func(_ string, _ []int, v int64) semiring.CostCount { return semiring.CC(v, 1) })); err != nil {
 		panic(err)
 	}
-	fmt.Printf("wrote %s (%d vertices, %d tuples)\n", path, db.A.N, db.A.TupleCount())
+	if err := agg.Register(agg.NewSemiring[[]int64]("3-best", k3,
+		func(_ string, _ []int, v int64) []int64 { return k3.Costs(v) })); err != nil {
+		panic(err)
+	}
 
-	// 2. Read it back.
-	loaded, err := dbio.ReadFile(path)
+	// 1. Generate and persist a database.
+	db, err := agg.Load(agg.Source{Kind: "grid", N: 3600, Seed: 9})
+	if err != nil {
+		panic(err)
+	}
+	path := filepath.Join(os.TempDir(), "textquery-grid.db")
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	if err := db.Write(f); err != nil {
+		panic(err)
+	}
+	f.Close()
+	fmt.Printf("wrote %s (%d vertices, %d tuples)\n", path, db.Elements(), db.TupleCount())
+
+	// 2. Read it back and open an engine over it.
+	eng, err := agg.OpenFile(path)
 	if err != nil {
 		panic(err)
 	}
 
-	// 3. Parse queries from text.
+	// 3. Prepare queries from text and evaluate each compilation in three
+	// carriers.
 	queries := map[string]string{
 		"weighted triangles": "sum x, y, z . [E(x,y) & E(y,z) & E(z,x)] * w(x,y) * w(y,z) * w(z,x)",
 		"marked out-degree":  "sum x, y . [E(x,y) & S(x)] * u(y)",
@@ -45,26 +68,34 @@ func main() {
 	}
 
 	for name, src := range queries {
-		e, err := parser.ParseExpr(src)
+		p, err := eng.Prepare(ctx, src)
 		if err != nil {
 			panic(err)
 		}
-		res, err := compile.Compile(loaded.A, e, compile.Options{})
+		nat, err := p.Eval(ctx)
 		if err != nil {
 			panic(err)
 		}
-		nat := compile.Evaluate[int64](res, semiring.Nat, loaded.W)
+		cc, err := p.In("counting-tropical")
+		if err != nil {
+			panic(err)
+		}
+		ccVal, err := cc.Eval(ctx)
+		if err != nil {
+			panic(err)
+		}
+		best, err := p.In("3-best")
+		if err != nil {
+			panic(err)
+		}
+		bestVal, err := best.Eval(ctx)
+		if err != nil {
+			panic(err)
+		}
 
-		cc := compile.Evaluate[semiring.CostCount](res, semiring.CountingTropical,
-			dbio.ConvertWeights(loaded.W, func(v int64) semiring.CostCount { return semiring.CC(v, 1) }))
-
-		k3 := semiring.NewKBest(3)
-		best3 := compile.Evaluate[[]int64](res, k3,
-			dbio.ConvertWeights(loaded.W, func(v int64) []int64 { return k3.Costs(v) }))
-
-		fmt.Printf("\nquery %q\n  %s\n", name, parser.FormatExpr(e))
-		fmt.Printf("  value in (N,+,·):          %d\n", nat)
-		fmt.Printf("  cheapest answer (min,+):   %s\n", semiring.CountingTropical.Format(cc))
-		fmt.Printf("  3 cheapest answer costs:   %s\n", k3.Format(best3))
+		fmt.Printf("\nquery %q\n  %s\n", name, p.Canonical())
+		fmt.Printf("  value in (N,+,·):          %s\n", nat)
+		fmt.Printf("  cheapest answer (min,+):   %s\n", ccVal)
+		fmt.Printf("  3 cheapest answer costs:   %s\n", bestVal)
 	}
 }

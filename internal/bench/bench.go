@@ -763,6 +763,7 @@ func Registry(quick bool) []Experiment {
 		{"E12", func() *Table { return E12ServingThroughput(small, 8) }},
 		{"E13", func() *Table { return E13BatchedUpdates(small, 10000, 1024, 64) }},
 		{"E14", func() *Table { return E14ProgramLayout(quick) }},
+		{"E15", func() *Table { return E15FacadeOverhead(small, 10) }},
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 	"net/http/httptest"
 	"sync"
 
-	"repro/internal/dbio"
+	"repro/agg"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -33,7 +33,7 @@ func E12ServingThroughput(sizes []int, clients int) *Table {
 	for _, n := range sizes {
 		db := workload.BoundedDegree(n, 3, 7)
 		srv := server.New(server.Options{})
-		srv.MountDatabaseValue("default", &dbio.Database{A: db.A, W: db.Weights()})
+		srv.MountDatabaseValue("default", agg.FromStructure(db.A, db.Weights()))
 		ts := httptest.NewServer(srv.Handler())
 
 		post := func() error {

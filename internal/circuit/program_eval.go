@@ -5,6 +5,7 @@
 package circuit
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -142,20 +143,79 @@ func evaluateProgramPerm[T any](p *Program, s semiring.Semiring[T], id int, vals
 // the semiring s are called from multiple goroutines concurrently; both must
 // be safe for concurrent use.
 func ParallelEvaluateAllProgram[T any](p *Program, s semiring.Semiring[T], v Valuation[T], workers int) []T {
+	vals, _ := parallelEvaluateAllProgram(nil, p, s, v, workers)
+	return vals
+}
+
+// ParallelEvaluateAllProgramCtx evaluates like ParallelEvaluateAllProgram but
+// honours cancellation: when ctx is cancelled the evaluation stops in bounded
+// time (workers re-check the context every cancelCheckStride gates and at
+// every level barrier) and the call returns ctx.Err() with a nil slice.
+func ParallelEvaluateAllProgramCtx[T any](ctx context.Context, p *Program, s semiring.Semiring[T], v Valuation[T], workers int) ([]T, error) {
+	if ctx == nil || ctx.Done() == nil {
+		// No cancellation signal to watch; take the unchecked fast path.
+		return parallelEvaluateAllProgram(nil, p, s, v, workers)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	vals, err := parallelEvaluateAllProgram(ctx.Done(), p, s, v, workers)
+	if err != nil {
+		// Report the context's own cause (Canceled vs DeadlineExceeded).
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+	return vals, nil
+}
+
+// cancelCheckStride is the number of gates evaluated between cancellation
+// checks; it bounds the latency of a cancelled evaluation to the cost of a
+// stride of gates (plus the gate in flight) per worker.
+const cancelCheckStride = 256
+
+// cancelled does a non-blocking poll of a done channel (nil never fires).
+func cancelled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// parallelEvaluateAllProgram is the shared engine behind the parallel
+// evaluators; a nil done channel disables the cancellation checks entirely.
+func parallelEvaluateAllProgram[T any](done <-chan struct{}, p *Program, s semiring.Semiring[T], v Valuation[T], workers int) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	vals := make([]T, p.numGates)
-	if workers == 1 {
+	if workers == 1 && done == nil {
 		var sc permScratch[T]
 		for id := 0; id < p.numGates; id++ {
 			evaluateProgramGate(p, s, v, id, vals, &sc)
 		}
-		return vals
+		return vals, nil
+	}
+	if workers == 1 {
+		var sc permScratch[T]
+		for id := 0; id < p.numGates; id++ {
+			if id%cancelCheckStride == 0 && cancelled(done) {
+				return nil, context.Canceled
+			}
+			evaluateProgramGate(p, s, v, id, vals, &sc)
+		}
+		return vals, nil
 	}
 	var wg sync.WaitGroup
 	var sc permScratch[T] // scratch for levels run on the calling goroutine
+	sinceCheck := 0
 	for d := 0; d <= p.maxRank; d++ {
+		if done != nil && cancelled(done) {
+			return nil, context.Canceled
+		}
 		level := p.LevelGates(d)
 		n := len(level)
 		chunks := workers
@@ -164,6 +224,14 @@ func ParallelEvaluateAllProgram[T any](p *Program, s semiring.Semiring[T], v Val
 		}
 		if chunks <= 1 {
 			for _, id := range level {
+				if done != nil {
+					if sinceCheck++; sinceCheck >= cancelCheckStride {
+						sinceCheck = 0
+						if cancelled(done) {
+							return nil, context.Canceled
+						}
+					}
+				}
 				evaluateProgramGate(p, s, v, int(id), vals, &sc)
 			}
 			continue
@@ -181,12 +249,18 @@ func ParallelEvaluateAllProgram[T any](p *Program, s semiring.Semiring[T], v Val
 			go func(ids []int32) {
 				defer wg.Done()
 				var sc permScratch[T] // one scratch per worker goroutine
-				for _, id := range ids {
+				for i, id := range ids {
+					if done != nil && i%cancelCheckStride == 0 && cancelled(done) {
+						return // abandon the chunk; the barrier notices below
+					}
 					evaluateProgramGate(p, s, v, int(id), vals, &sc)
 				}
 			}(level[lo:hi])
 		}
 		wg.Wait()
+		if done != nil && cancelled(done) {
+			return nil, context.Canceled
+		}
 	}
-	return vals
+	return vals, nil
 }

@@ -1,6 +1,7 @@
 package compile
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -579,6 +580,18 @@ func Evaluate[T any](res *Result, s semiring.Semiring[T], w *structure.Weights[T
 func EvaluateParallel[T any](res *Result, s semiring.Semiring[T], w *structure.Weights[T], workers int) T {
 	vals := circuit.ParallelEvaluateAllProgram(res.Program, s, NewValuation(res, s, w), workers)
 	return vals[res.Program.OutputGate()]
+}
+
+// EvaluateParallelCtx evaluates like EvaluateParallel but honours
+// cancellation: when ctx is cancelled mid-evaluation the level-parallel
+// engine stops in bounded time and the context's error is returned.
+func EvaluateParallelCtx[T any](ctx context.Context, res *Result, s semiring.Semiring[T], w *structure.Weights[T], workers int) (T, error) {
+	vals, err := circuit.ParallelEvaluateAllProgramCtx(ctx, res.Program, s, NewValuation(res, s, w), workers)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return vals[res.Program.OutputGate()], nil
 }
 
 // BigCoefficient is a helper exposing big.Int construction to callers

@@ -1,6 +1,7 @@
 package enumerate
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -38,7 +39,7 @@ type Answers struct {
 // may later be updated through SetTuple, provided the updates preserve the
 // Gaifman graph.
 func EnumerateAnswers(a *structure.Structure, phi logic.Formula, vars []string, opts compile.Options) (*Answers, error) {
-	return enumerateAnswers(a, phi, vars, opts, 1)
+	return enumerateAnswers(nil, a, phi, vars, opts, 1)
 }
 
 // EnumerateAnswersParallel preprocesses like EnumerateAnswers but computes
@@ -47,10 +48,18 @@ func EnumerateAnswers(a *structure.Structure, phi logic.Formula, vars []string, 
 // the compiler; workers ≤ 0 selects GOMAXPROCS and workers == 1 falls back
 // to the sequential pass.
 func EnumerateAnswersParallel(a *structure.Structure, phi logic.Formula, vars []string, opts compile.Options, workers int) (*Answers, error) {
-	return enumerateAnswers(a, phi, vars, opts, workers)
+	return enumerateAnswers(nil, a, phi, vars, opts, workers)
 }
 
-func enumerateAnswers(a *structure.Structure, phi logic.Formula, vars []string, opts compile.Options, workers int) (*Answers, error) {
+// EnumerateAnswersCtx preprocesses like EnumerateAnswersParallel but honours
+// cancellation: the context is checked between preprocessing stages and
+// inside the level-parallel emptiness wave, so a cancelled preprocessing run
+// stops in bounded time and returns the context's error.
+func EnumerateAnswersCtx(ctx context.Context, a *structure.Structure, phi logic.Formula, vars []string, opts compile.Options, workers int) (*Answers, error) {
+	return enumerateAnswers(ctx, a, phi, vars, opts, workers)
+}
+
+func enumerateAnswers(ctx context.Context, a *structure.Structure, phi logic.Formula, vars []string, opts compile.Options, workers int) (*Answers, error) {
 	for _, v := range logic.FreeVars(phi) {
 		found := false
 		for _, u := range vars {
@@ -87,9 +96,19 @@ func enumerateAnswers(a *structure.Structure, phi logic.Formula, vars []string, 
 	if len(vars) > 0 {
 		f = expr.Agg(vars, expr.Times(factors...))
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	res, err := compile.Compile(base, f, opts)
 	if err != nil {
 		return nil, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	ans := &Answers{res: res, vars: vars, relState: map[string]map[string]bool{}}
 	for rel := range res.DynamicRelations {
@@ -99,7 +118,13 @@ func enumerateAnswers(a *structure.Structure, phi logic.Formula, vars []string, 
 		}
 		ans.relState[rel] = state
 	}
-	if workers == 1 {
+	if ctx != nil {
+		enum, err := NewProgramParallelCtx(ctx, res.Program, ans.inputValue, workers)
+		if err != nil {
+			return nil, err
+		}
+		ans.enum = enum
+	} else if workers == 1 {
 		ans.enum = NewProgram(res.Program, ans.inputValue)
 	} else {
 		ans.enum = NewProgramParallel(res.Program, ans.inputValue, workers)

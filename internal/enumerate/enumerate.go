@@ -13,6 +13,7 @@
 package enumerate
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -211,15 +212,33 @@ func NewParallel(c *circuit.Circuit, inputs func(key structure.WeightKey) Value,
 // initial per-gate emptiness with the level-parallel program engine on
 // workers goroutines (≤ 0 selects GOMAXPROCS).
 func NewProgramParallel(p *circuit.Program, inputs func(key structure.WeightKey) Value, workers int) *Enumerator {
-	val := func(key structure.WeightKey) (bool, bool) {
+	nonempty := circuit.ParallelEvaluateAllProgram[bool](p, semiring.Bool, emptinessValuation(inputs), workers)
+	return build(p, inputs, nonempty)
+}
+
+// NewProgramParallelCtx builds the enumerator like NewProgramParallel but
+// honours cancellation during the initial emptiness wave: when ctx is
+// cancelled the preprocessing stops in bounded time and ctx's error is
+// returned.
+func NewProgramParallelCtx(ctx context.Context, p *circuit.Program, inputs func(key structure.WeightKey) Value, workers int) (*Enumerator, error) {
+	nonempty, err := circuit.ParallelEvaluateAllProgramCtx[bool](ctx, p, semiring.Bool, emptinessValuation(inputs), workers)
+	if err != nil {
+		return nil, err
+	}
+	return build(p, inputs, nonempty), nil
+}
+
+// emptinessValuation maps every circuit input to the truth of "this input is
+// non-empty", the valuation under which the boolean circuit value of a gate
+// is exactly its free-semiring non-emptiness.
+func emptinessValuation(inputs func(key structure.WeightKey) Value) circuit.Valuation[bool] {
+	return func(key structure.WeightKey) (bool, bool) {
 		if inputs == nil {
 			return false, true
 		}
 		v := inputs(key)
 		return v != nil && !v.Empty(), true
 	}
-	nonempty := circuit.ParallelEvaluateAllProgram[bool](p, semiring.Bool, val, workers)
-	return build(p, inputs, nonempty)
 }
 
 // build constructs the enumerator; when nonempty is non-nil it carries the

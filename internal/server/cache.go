@@ -32,10 +32,11 @@ type cacheSlot struct {
 	err   error
 }
 
-// programSized is implemented by cache values backed by a frozen
-// circuit.Program; the cache uses it to report per-entry resident bytes.
-type programSized interface {
-	programBytes() int64
+// footprinter is implemented by cache values backed by a frozen circuit
+// program (agg.Prepared); the cache uses it to report per-entry resident
+// bytes.
+type footprinter interface {
+	Footprint() int64
 }
 
 func newLRUCache(max int) *lruCache {
@@ -66,8 +67,8 @@ func (c *lruCache) getOrCreate(key string, build func() (any, error)) (any, bool
 	slot.once.Do(func() {
 		slot.value, slot.err = build()
 		var bytes int64
-		if sized, ok := slot.value.(programSized); ok && slot.err == nil {
-			bytes = sized.programBytes()
+		if sized, ok := slot.value.(footprinter); ok && slot.err == nil {
+			bytes = sized.Footprint()
 		}
 		c.mu.Lock()
 		slot.building = false

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,11 +10,8 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/structure"
+	"repro/agg"
 )
-
-// errConflict marks errors that should surface as 409 rather than 400.
-var errConflict = errors.New("conflict")
 
 // Handler returns the HTTP handler serving the aggserve API:
 //
@@ -25,6 +23,11 @@ var errConflict = errors.New("conflict")
 //	GET  /enumerate  stream query answers as NDJSON with constant delay
 //	GET  /stats      serving counters
 //	GET  /healthz    liveness probe
+//
+// Request contexts are honoured: a disconnected client cancels the
+// evaluation or enumeration stream it was waiting for (counted in the
+// "canceled" stat).  Errors carry a machine-readable "code" field drawn
+// from the repro/agg error taxonomy.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.wrap(s.handleQuery))
@@ -56,20 +59,49 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+// errorBody is the JSON shape of every error response: a human-readable
+// message plus a stable machine-readable code from the agg taxonomy.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// statusOf maps the typed error taxonomy to HTTP status codes — no string
+// matching involved.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, agg.ErrUnknownDatabase), errors.Is(err, agg.ErrUnknownSession):
+		return http.StatusNotFound
+	case errors.Is(err, agg.ErrSessionExists), errors.Is(err, agg.ErrSessionBusy):
+		return http.StatusConflict
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// 499 Client Closed Request (nginx convention): the response will
+		// not be read, but logs and stats stay truthful.
+		return 499
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.stats.Errors.Add(1)
-	status := http.StatusBadRequest
-	if errors.Is(err, errConflict) {
-		status = http.StatusConflict
-	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(statusOf(err))
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: agg.ErrorCode(err)})
+}
+
+// canceled records and reports a request abandoned by its client.
+func (s *Server) canceled(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.stats.Canceled.Add(1)
+		return true
+	}
+	return false
 }
 
 func decode(r *http.Request, v any) error {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		return fmt.Errorf("decoding request body: %w", err)
+		return fmt.Errorf("decoding request body: %w: %v", agg.ErrArgument, err)
 	}
 	return nil
 }
@@ -110,24 +142,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	cq, hit, err := s.compiled(req.DB, req.Expr, req.Semiring, req.Dynamic)
+	p, hit, err := s.compiled(req.DB, req.Expr, req.Semiring, req.Dynamic)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	if free := cq.sh.FreeVars(); len(free) > 0 {
-		s.writeError(w, fmt.Errorf("expression has free variables %v; use /point for point queries", free))
+	if free := p.FreeVars(); len(free) > 0 {
+		s.writeError(w, fmt.Errorf("expression has free variables %v; use /point for point queries: %w", free, agg.ErrArgument))
 		return
 	}
-	var value string
+	var value agg.Value
 	d := timed(&s.stats.EvalNanos, func() {
-		value = cq.sem.Evaluate(cq.sh.Result(), cq.cw, s.workers(req.Workers))
+		value, err = p.Workers(s.workers(req.Workers)).Eval(r.Context())
 	})
+	if err != nil {
+		if s.canceled(err) {
+			return // the client is gone; nothing to write
+		}
+		s.writeError(w, err)
+		return
+	}
 	s.stats.Queries.Add(1)
-	st := cq.sh.Result().Circuit.Statistics()
+	st := p.Stats()
 	s.writeJSON(w, queryResponse{
-		Semiring:   cq.sem.Name(),
-		Value:      value,
+		Semiring:   p.SemiringName(),
+		Value:      value.String(),
 		Cached:     hit,
 		EvalMillis: float64(d.Nanoseconds()) / 1e6,
 		Circuit:    circuitInfo{Gates: st.Gates, Edges: st.Edges, Depth: st.Depth},
@@ -163,7 +202,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, sessionResponse{Session: h.name, FreeVars: h.sess.FreeVars(), Cached: hit})
+	s.writeJSON(w, sessionResponse{Session: h.Name(), FreeVars: h.FreeVars(), Cached: hit})
 }
 
 // handleDeleteSession serves DELETE /session?name=...; without it, a
@@ -173,7 +212,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
-		s.writeError(w, fmt.Errorf("missing session name"))
+		s.writeError(w, fmt.Errorf("missing session name: %w", agg.ErrArgument))
 		return
 	}
 	if err := s.DeleteSession(name); err != nil {
@@ -189,12 +228,12 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 
 type pointRequest struct {
 	// Session targets a named session; alternatively db/expr/semiring use
-	// the compiled-query cache's implicit session.
-	Session  string              `json:"session"`
-	DB       string              `json:"db"`
-	Expr     string              `json:"expr"`
-	Semiring string              `json:"semiring"`
-	Args     []structure.Element `json:"args"`
+	// the compiled query's implicit session.
+	Session  string `json:"session"`
+	DB       string `json:"db"`
+	Expr     string `json:"expr"`
+	Semiring string `json:"semiring"`
+	Args     []int  `json:"args"`
 }
 
 type pointResponse struct {
@@ -207,36 +246,38 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	var value string
+	var value agg.Value
 	if req.Session != "" {
-		h, err := s.session(req.Session)
+		h, err := s.Session(req.Session)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
-		h.mu.Lock()
-		value, err = h.sess.Point(req.Args)
-		h.mu.Unlock()
+		value, err = h.Eval(r.Context(), req.Args...)
 		if err != nil {
+			if s.canceled(err) {
+				return
+			}
 			s.writeError(w, err)
 			return
 		}
 	} else {
-		cq, _, err := s.compiled(req.DB, req.Expr, req.Semiring, nil)
+		p, _, err := s.compiled(req.DB, req.Expr, req.Semiring, nil)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
-		cq.mu.Lock()
-		value, err = cq.session().Point(req.Args)
-		cq.mu.Unlock()
+		value, err = p.Eval(r.Context(), req.Args...)
 		if err != nil {
+			if s.canceled(err) {
+				return
+			}
 			s.writeError(w, err)
 			return
 		}
 	}
 	s.stats.Points.Add(1)
-	s.writeJSON(w, pointResponse{Value: value})
+	s.writeJSON(w, pointResponse{Value: value.String()})
 }
 
 // ---------------------------------------------------------------------------
@@ -247,11 +288,21 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 // Value; a tuple update sets Rel/Tuple and optionally Present (default
 // true, i.e. insert).
 type updateSpec struct {
-	Weight  string          `json:"weight"`
-	Rel     string          `json:"rel"`
-	Tuple   structure.Tuple `json:"tuple"`
-	Value   int64           `json:"value"`
-	Present *bool           `json:"present"`
+	Weight  string `json:"weight"`
+	Rel     string `json:"rel"`
+	Tuple   []int  `json:"tuple"`
+	Value   int64  `json:"value"`
+	Present *bool  `json:"present"`
+}
+
+func (u updateSpec) change() agg.Change {
+	return agg.Change{
+		Weight:  u.Weight,
+		Rel:     u.Rel,
+		Tuple:   u.Tuple,
+		Value:   u.Value,
+		Present: u.Present == nil || *u.Present,
+	}
 }
 
 type updateRequest struct {
@@ -269,32 +320,16 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	h, err := s.session(req.Session)
+	h, err := s.Session(req.Session)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	applied := 0
-	h.mu.Lock()
+	changes := make([]agg.Change, len(req.Updates))
 	for i, u := range req.Updates {
-		switch {
-		case u.Weight != "" && u.Rel != "":
-			err = fmt.Errorf("update %d names both a weight and a relation", i)
-		case u.Weight != "":
-			err = h.sess.SetWeight(u.Weight, u.Tuple, u.Value)
-		case u.Rel != "":
-			present := u.Present == nil || *u.Present
-			err = h.sess.SetTuple(u.Rel, u.Tuple, present)
-		default:
-			err = fmt.Errorf("update %d names neither a weight nor a relation", i)
-		}
-		if err != nil {
-			err = fmt.Errorf("update %d: %v (%d of %d applied)", i, err, applied, len(req.Updates))
-			break
-		}
-		applied++
+		changes[i] = u.change()
 	}
-	h.mu.Unlock()
+	applied, err := h.SetAll(changes)
 	s.stats.Updates.Add(int64(applied))
 	s.stats.UpdateBatches.Add(1)
 	if err != nil {
@@ -324,33 +359,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	changes := make([]SessionChange, len(req.Updates))
+	changes := make([]agg.Change, len(req.Updates))
 	for i, u := range req.Updates {
-		if u.Weight != "" && u.Rel != "" {
-			s.writeError(w, fmt.Errorf("update %d names both a weight and a relation", i))
-			return
-		}
-		if u.Weight == "" && u.Rel == "" {
-			s.writeError(w, fmt.Errorf("update %d names neither a weight nor a relation", i))
-			return
-		}
-		changes[i] = SessionChange{
-			Weight:  u.Weight,
-			Rel:     u.Rel,
-			Tuple:   u.Tuple,
-			Value:   u.Value,
-			Present: u.Present == nil || *u.Present,
-		}
+		changes[i] = u.change()
 	}
-	h, err := s.session(req.Session)
+	h, err := s.Session(req.Session)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	h.mu.Lock()
-	err = h.sess.ApplyBatch(changes)
-	h.mu.Unlock()
-	if err != nil {
+	if err := h.ApplyBatch(changes); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -366,11 +384,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // enumerateLine is one NDJSON line of the /enumerate stream: every answer
 // tuple on its own line, then a final summary line with Done set.
 type enumerateLine struct {
-	Answer   structure.Tuple `json:"answer,omitempty"`
-	Done     bool            `json:"done,omitempty"`
-	Streamed int             `json:"streamed,omitempty"`
-	Total    int64           `json:"total,omitempty"`
-	Cached   bool            `json:"cached,omitempty"`
+	Answer   []int `json:"answer,omitempty"`
+	Done     bool  `json:"done,omitempty"`
+	Streamed int   `json:"streamed,omitempty"`
+	Total    int64 `json:"total,omitempty"`
+	Cached   bool  `json:"cached,omitempty"`
 }
 
 func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
@@ -380,13 +398,21 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil {
-			s.writeError(w, fmt.Errorf("invalid limit %q", raw))
+			s.writeError(w, fmt.Errorf("invalid limit %q: %w", raw, agg.ErrArgument))
 			return
 		}
 		limit = n
 	}
-	ce, hit, err := s.compiledEnumerator(q.Get("db"), q.Get("phi"), vars)
+	p, hit, err := s.compiledEnumerator(q.Get("db"), q.Get("phi"), vars)
 	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	total, err := p.AnswerCount(r.Context())
+	if err != nil {
+		if s.canceled(err) {
+			return
+		}
 		s.writeError(w, err)
 		return
 	}
@@ -396,16 +422,21 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	enc.SetEscapeHTML(false)
 	flusher, _ := w.(http.Flusher)
 
-	// Cached enumerators never receive updates, so concurrent cursors are
-	// independent and safe; each request drives its own.
-	cur := ce.ans.Cursor()
+	// The cached Prepared never receives updates, so concurrent requests
+	// each drive an independent cursor; the stream follows r.Context(), so a
+	// client that disconnects aborts the enumeration instead of burning the
+	// rest of the wave into a dead socket.
 	streamed := 0
-	for limit <= 0 || streamed < limit {
-		t, ok := cur.Next()
-		if !ok {
+	for ans, err := range p.Enumerate(r.Context()) {
+		if err != nil {
+			s.canceled(err)
+			return // disconnected (or failed) mid-stream: no summary line
+		}
+		if limit > 0 && streamed >= limit {
 			break
 		}
-		if err := enc.Encode(enumerateLine{Answer: t}); err != nil {
+		if err := enc.Encode(enumerateLine{Answer: ans}); err != nil {
+			s.stats.Canceled.Add(1)
 			return // client went away
 		}
 		streamed++
@@ -413,7 +444,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	_ = enc.Encode(enumerateLine{Done: true, Streamed: streamed, Total: ce.total, Cached: hit})
+	_ = enc.Encode(enumerateLine{Done: true, Streamed: streamed, Total: total, Cached: hit})
 	s.stats.Enumerations.Add(1)
 }
 

@@ -1,18 +1,21 @@
 // Package server implements aggserve, the long-lived query-serving
-// subsystem: databases are loaded once at startup, weighted expressions are
-// compiled on demand through the Theorem 6 compiler and kept in an LRU cache
-// of compiled circuits, and many concurrent clients then share each
+// subsystem: databases are loaded once at startup, queries are prepared on
+// demand through the public repro/agg facade and kept in an LRU cache of
+// compiled circuits, and many concurrent clients then share each
 // compilation — linear-time semiring evaluation over the level-parallel
 // engine (/query), logarithmic-time point queries and weight/tuple updates
 // on named dynamic sessions (/point, /update, Theorem 8), and constant-delay
 // enumeration streamed as NDJSON (/enumerate, Theorem 24).
 //
-// The cache is keyed by (database, canonical expression, semiring, options),
-// so repeated queries skip compilation entirely; concurrent cold requests
-// for the same key share a single compile.
+// The cache is keyed by (database, canonical query, semiring, options), so
+// repeated queries skip compilation entirely; concurrent cold requests for
+// the same key share a single compile.  Request contexts are honoured end to
+// end: a client that disconnects mid-evaluation or mid-stream stops the
+// work it was waiting for.
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -20,11 +23,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/compile"
-	"repro/internal/dbio"
-	"repro/internal/dynamicq"
-	"repro/internal/enumerate"
-	"repro/internal/parser"
+	"repro/agg"
 )
 
 // Options configures a Server.
@@ -35,13 +34,12 @@ type Options struct {
 	// Workers is the default worker-pool size per circuit evaluation and
 	// enumeration preprocessing pass (≤ 0 selects GOMAXPROCS).
 	Workers int
-	// MaxVars is forwarded to compile.Options (0 keeps the compiler
-	// default).
+	// MaxVars is forwarded to the compiler (0 keeps the compiler default).
 	MaxVars int
 }
 
-// Server serves compiled weighted queries over one or more mounted
-// databases.  All methods and the HTTP handler are safe for concurrent use.
+// Server serves compiled queries over one or more mounted databases.  All
+// methods and the HTTP handler are safe for concurrent use.
 type Server struct {
 	opts  Options
 	cache *lruCache
@@ -49,8 +47,8 @@ type Server struct {
 	start time.Time
 
 	mu       sync.RWMutex
-	dbs      map[string]*dbio.Database
-	sessions map[string]*sessionHandle
+	dbs      map[string]*agg.Engine
+	sessions map[string]*SessionHandle
 }
 
 // New creates a server with no databases mounted.
@@ -59,8 +57,8 @@ func New(opts Options) *Server {
 		opts:     opts,
 		cache:    newLRUCache(opts.CacheSize),
 		start:    time.Now(),
-		dbs:      map[string]*dbio.Database{},
-		sessions: map[string]*sessionHandle{},
+		dbs:      map[string]*agg.Engine{},
+		sessions: map[string]*SessionHandle{},
 	}
 }
 
@@ -71,7 +69,7 @@ func (s *Server) Stats() *Stats { return &s.stats }
 // MountDatabase parses a database from r in the dbio text format and mounts
 // it under the given name.
 func (s *Server) MountDatabase(name string, r io.Reader) error {
-	db, err := dbio.Read(r)
+	db, err := agg.ReadDatabase(r)
 	if err != nil {
 		return err
 	}
@@ -82,32 +80,32 @@ func (s *Server) MountDatabase(name string, r io.Reader) error {
 // MountDatabaseValue mounts an already-loaded database.  Remounting an
 // existing name replaces it for new compilations; cached circuits and live
 // sessions keep serving the snapshot they were compiled against.
-func (s *Server) MountDatabaseValue(name string, db *dbio.Database) {
+func (s *Server) MountDatabaseValue(name string, db *agg.Database) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.dbs[name] = db
+	s.dbs[name] = agg.Open(db)
 }
 
-// database resolves a database by name; an empty name selects "default" or,
+// engine resolves a database by name; an empty name selects "default" or,
 // failing that, the only mounted database.
-func (s *Server) database(name string) (string, *dbio.Database, error) {
+func (s *Server) engine(name string) (string, *agg.Engine, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if name == "" {
-		if db, ok := s.dbs["default"]; ok {
-			return "default", db, nil
+		if eng, ok := s.dbs["default"]; ok {
+			return "default", eng, nil
 		}
 		if len(s.dbs) == 1 {
-			for n, db := range s.dbs {
-				return n, db, nil
+			for n, eng := range s.dbs {
+				return n, eng, nil
 			}
 		}
-		return "", nil, fmt.Errorf("no database named in the request and no unambiguous default among %v", s.databaseNames())
+		return "", nil, fmt.Errorf("no database named in the request and no unambiguous default among %v: %w", s.databaseNames(), agg.ErrUnknownDatabase)
 	}
-	if db, ok := s.dbs[name]; ok {
-		return name, db, nil
+	if eng, ok := s.dbs[name]; ok {
+		return name, eng, nil
 	}
-	return "", nil, fmt.Errorf("unknown database %q (mounted: %v)", name, s.databaseNames())
+	return "", nil, fmt.Errorf("unknown database %q (mounted: %v): %w", name, s.databaseNames(), agg.ErrUnknownDatabase)
 }
 
 // databaseNames must be called with s.mu held.
@@ -120,37 +118,6 @@ func (s *Server) databaseNames() []string {
 	return names
 }
 
-// compiledQuery is one cache entry: a semiring-agnostic shared compilation,
-// the database weights converted once into the entry's carrier (shared by
-// every read-only /query evaluation), and, lazily, the implicit session used
-// by session-less /point requests.
-type compiledQuery struct {
-	sh  *dynamicq.Shared
-	sem Semiring
-	db  *dbio.Database
-	cw  ConvertedWeights
-
-	mu       sync.Mutex // guards implicit
-	implicit Session
-}
-
-// session returns the entry's implicit session, building it on first use.
-// The caller must hold cq.mu while using the returned session.
-func (cq *compiledQuery) session() Session {
-	if cq.implicit == nil {
-		cq.implicit = cq.sem.NewSession(cq.sh, cq.db.W)
-	}
-	return cq.implicit
-}
-
-// programBytes reports the resident size of the entry's frozen Program — the
-// artefact every session and evaluation of this entry shares.
-func (cq *compiledQuery) programBytes() int64 { return cq.sh.Result().Program.Footprint() }
-
-func (s *Server) compileOptions(dynamic []string) compile.Options {
-	return compile.Options{DynamicRelations: dynamic, MaxVars: s.opts.MaxVars}
-}
-
 // optionsKey canonically encodes the compile options that are part of the
 // cache key.
 func (s *Server) optionsKey(dynamic []string) string {
@@ -159,37 +126,48 @@ func (s *Server) optionsKey(dynamic []string) string {
 	return fmt.Sprintf("dyn=%s;maxvars=%d", strings.Join(dyn, ","), s.opts.MaxVars)
 }
 
-// compiled resolves (database, expression, semiring, options) through the
-// LRU cache, compiling at most once per key.  The bool reports a cache hit.
-func (s *Server) compiled(dbName, exprText, semName string, dynamic []string) (*compiledQuery, bool, error) {
-	dbName, db, err := s.database(dbName)
-	if err != nil {
-		return nil, false, err
+// prepareOptions assembles the facade options shared by every compilation.
+func (s *Server) prepareOptions(semName string, dynamic []string) []agg.Option {
+	return []agg.Option{
+		agg.WithSemiring(semName),
+		agg.WithDynamic(dynamic...),
+		agg.WithWorkers(s.opts.Workers),
+		agg.WithMaxVars(s.opts.MaxVars),
 	}
-	sem, err := lookupSemiring(semName)
+}
+
+// compiled resolves (database, expression, semiring, options) through the
+// LRU cache, preparing at most once per key.  The bool reports a cache hit.
+// Compilation runs under the background context: it is a shared artefact
+// that outlives the request that happened to trigger it.
+func (s *Server) compiled(dbName, exprText, semName string, dynamic []string) (*agg.Prepared, bool, error) {
+	dbName, eng, err := s.engine(dbName)
 	if err != nil {
 		return nil, false, err
 	}
 	if strings.TrimSpace(exprText) == "" {
-		return nil, false, fmt.Errorf("missing expression")
+		return nil, false, fmt.Errorf("missing expression: %w", agg.ErrArgument)
 	}
-	e, err := parser.ParseExpr(exprText)
+	canonical, err := agg.Canonicalize(exprText)
 	if err != nil {
-		return nil, false, fmt.Errorf("parsing expression: %w", err)
+		return nil, false, err
 	}
-	key := strings.Join([]string{"query", dbName, parser.FormatExpr(e), sem.Name(), s.optionsKey(dynamic)}, "\x00")
+	if semName == "" {
+		semName = "natural"
+	}
+	key := strings.Join([]string{"query", dbName, canonical, semName, s.optionsKey(dynamic)}, "\x00")
 
 	v, hit, err := s.cache.getOrCreate(key, func() (any, error) {
 		s.stats.Compiles.Add(1)
-		var sh *dynamicq.Shared
+		var p *agg.Prepared
 		var cerr error
 		timed(&s.stats.CompileNanos, func() {
-			sh, cerr = dynamicq.CompileShared(db.A, e, s.compileOptions(dynamic))
+			p, cerr = eng.Prepare(context.Background(), exprText, s.prepareOptions(semName, dynamic)...)
 		})
 		if cerr != nil {
 			return nil, cerr
 		}
-		return &compiledQuery{sh: sh, sem: sem, db: db, cw: sem.Convert(db.W)}, nil
+		return p, nil
 	})
 	if err != nil {
 		return nil, false, err
@@ -199,50 +177,42 @@ func (s *Server) compiled(dbName, exprText, semName string, dynamic []string) (*
 	} else {
 		s.stats.CacheMisses.Add(1)
 	}
-	return v.(*compiledQuery), hit, nil
+	return v.(*agg.Prepared), hit, nil
 }
 
-// compiledEnum is a cached constant-delay enumerator.  Entries never receive
-// updates, so cursors may be drawn and driven concurrently and the answer
-// total is a constant computed once at build time.
-type compiledEnum struct {
-	ans   *enumerate.Answers
-	vars  []string
-	total int64
-}
-
-// programBytes reports the resident size of the enumerator's frozen Program.
-func (ce *compiledEnum) programBytes() int64 { return ce.ans.Result().Program.Footprint() }
-
-// compiledEnumerator resolves (database, formula, vars) through the cache.
-func (s *Server) compiledEnumerator(dbName, phiText string, vars []string) (*compiledEnum, bool, error) {
-	dbName, db, err := s.database(dbName)
+// compiledEnumerator resolves (database, formula, vars) through the cache to
+// a formula-mode Prepared whose enumeration preprocessing has been paid.
+func (s *Server) compiledEnumerator(dbName, phiText string, vars []string) (*agg.Prepared, bool, error) {
+	dbName, eng, err := s.engine(dbName)
 	if err != nil {
 		return nil, false, err
 	}
 	if strings.TrimSpace(phiText) == "" {
-		return nil, false, fmt.Errorf("missing formula")
+		return nil, false, fmt.Errorf("missing formula: %w", agg.ErrArgument)
 	}
 	if len(vars) == 0 {
-		return nil, false, fmt.Errorf("missing answer variables")
+		return nil, false, fmt.Errorf("missing answer variables: %w", agg.ErrArgument)
 	}
-	phi, err := parser.ParseFormula(phiText)
+	canonical, err := agg.CanonicalizeFormula(phiText)
 	if err != nil {
-		return nil, false, fmt.Errorf("parsing formula: %w", err)
+		return nil, false, err
 	}
-	key := strings.Join([]string{"enum", dbName, parser.FormatFormula(phi), strings.Join(vars, ","), s.optionsKey(nil)}, "\x00")
+	key := strings.Join([]string{"enum", dbName, canonical, strings.Join(vars, ","), s.optionsKey(nil)}, "\x00")
 
 	v, hit, err := s.cache.getOrCreate(key, func() (any, error) {
 		s.stats.Compiles.Add(1)
-		var ans *enumerate.Answers
+		var p *agg.Prepared
 		var cerr error
 		timed(&s.stats.CompileNanos, func() {
-			ans, cerr = enumerate.EnumerateAnswersParallel(db.A, phi, vars, s.compileOptions(nil), s.workers(0))
+			p, cerr = eng.Prepare(context.Background(), phiText,
+				agg.WithAnswerVars(vars...),
+				agg.WithWorkers(s.opts.Workers),
+				agg.WithMaxVars(s.opts.MaxVars))
 		})
 		if cerr != nil {
 			return nil, cerr
 		}
-		return &compiledEnum{ans: ans, vars: vars, total: ans.Count()}, nil
+		return p, nil
 	})
 	if err != nil {
 		return nil, false, err
@@ -252,38 +222,98 @@ func (s *Server) compiledEnumerator(dbName, phiText string, vars []string) (*com
 	} else {
 		s.stats.CacheMisses.Add(1)
 	}
-	return v.(*compiledEnum), hit, nil
+	return v.(*agg.Prepared), hit, nil
 }
 
-// sessionHandle is a named session with its own lock: point queries and
-// update batches on one session serialise, while distinct sessions proceed
-// in parallel.
-type sessionHandle struct {
+// SessionHandle is a named dynamic-update session registered with the
+// server.  The handle serialises its operations with its own lock, so point
+// queries and update batches on one session queue while distinct sessions
+// proceed in parallel; the underlying agg.Session therefore never reports
+// busy through this path.
+type SessionHandle struct {
 	name     string
 	db       string
 	expr     string
 	semiring string
 
 	mu   sync.Mutex
-	sess Session
+	sess *agg.Session
+}
+
+// Name returns the session's registered name.
+func (h *SessionHandle) Name() string { return h.name }
+
+// Database returns the name of the database the session was compiled over.
+func (h *SessionHandle) Database() string { return h.db }
+
+// Query returns the session's query text.
+func (h *SessionHandle) Query() string { return h.expr }
+
+// Semiring returns the name of the session's semiring.
+func (h *SessionHandle) Semiring() string { return h.semiring }
+
+// FreeVars returns the free variables of the session's query.
+func (h *SessionHandle) FreeVars() []string { return h.sess.FreeVars() }
+
+// Eval reads the session's query value at a tuple of its free variables
+// (no arguments for a closed query), queueing behind other operations on
+// the same handle.
+func (h *SessionHandle) Eval(ctx context.Context, args ...int) (agg.Value, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sess.Eval(ctx, args...)
+}
+
+// Set applies one update, queueing behind other operations.
+func (h *SessionHandle) Set(change agg.Change) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sess.Set(change)
+}
+
+// SetAll applies the changes one at a time under a single hold of the
+// handle, stopping at the first failure (unlike ApplyBatch it is not
+// all-or-nothing).  Holding the lock across the loop keeps the whole batch
+// serialised against concurrent points and updates on the same session, so
+// no other request observes a half-applied prefix.
+func (h *SessionHandle) SetAll(changes []agg.Change) (applied int, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, ch := range changes {
+		if err := h.sess.Set(ch); err != nil {
+			return applied, fmt.Errorf("update %d: %w (%d of %d applied)", i, err, applied, len(changes))
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// ApplyBatch applies a batch atomically, queueing behind other operations.
+func (h *SessionHandle) ApplyBatch(changes []agg.Change) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sess.ApplyBatch(changes)
 }
 
 // CreateSession compiles (through the cache) and registers a named session.
-func (s *Server) CreateSession(name, dbName, exprText, semName string, dynamic []string) (*sessionHandle, bool, error) {
+func (s *Server) CreateSession(name, dbName, exprText, semName string, dynamic []string) (*SessionHandle, bool, error) {
 	if name == "" {
-		return nil, false, fmt.Errorf("missing session name")
+		return nil, false, fmt.Errorf("missing session name: %w", agg.ErrArgument)
 	}
-	cq, hit, err := s.compiled(dbName, exprText, semName, dynamic)
+	p, hit, err := s.compiled(dbName, exprText, semName, dynamic)
 	if err != nil {
 		return nil, hit, err
 	}
-	h := &sessionHandle{name: name, db: dbName, expr: exprText, semiring: semName}
-	h.sess = cq.sem.NewSession(cq.sh, cq.db.W)
+	sess, err := p.Session()
+	if err != nil {
+		return nil, hit, err
+	}
+	h := &SessionHandle{name: name, db: dbName, expr: exprText, semiring: p.SemiringName(), sess: sess}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.sessions[name]; exists {
-		return nil, hit, fmt.Errorf("session %q already exists: %w", name, errConflict)
+		return nil, hit, fmt.Errorf("session %q: %w", name, agg.ErrSessionExists)
 	}
 	s.sessions[name] = h
 	s.stats.Sessions.Add(1)
@@ -297,19 +327,20 @@ func (s *Server) DeleteSession(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.sessions[name]; !ok {
-		return fmt.Errorf("unknown session %q", name)
+		return fmt.Errorf("session %q: %w", name, agg.ErrUnknownSession)
 	}
 	delete(s.sessions, name)
 	return nil
 }
 
-func (s *Server) session(name string) (*sessionHandle, error) {
+// Session resolves a registered session handle by name.
+func (s *Server) Session(name string) (*SessionHandle, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if h, ok := s.sessions[name]; ok {
 		return h, nil
 	}
-	return nil, fmt.Errorf("unknown session %q", name)
+	return nil, fmt.Errorf("session %q: %w", name, agg.ErrUnknownSession)
 }
 
 // workers resolves a per-request worker count against the server default.

@@ -3,22 +3,20 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
-	"repro/internal/compile"
-	"repro/internal/dbio"
-	"repro/internal/dynamicq"
-	"repro/internal/parser"
-	"repro/internal/semiring"
-	"repro/internal/structure"
+	"repro/agg"
 	"repro/internal/workload"
 )
 
@@ -28,7 +26,7 @@ func newTestServer(t *testing.T, n int) (*Server, *httptest.Server, *workload.Da
 	t.Helper()
 	db := workload.Grid(n, n, 7)
 	srv := New(Options{CacheSize: 32, Workers: 2})
-	srv.MountDatabaseValue("default", &dbio.Database{A: db.A, W: db.Weights()})
+	srv.MountDatabaseValue("default", agg.FromStructure(db.A, db.Weights()))
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts, db
@@ -225,13 +223,12 @@ func TestConcurrentPointsAndUpdates(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Sequential oracle: a fresh compilation under the final weights.
+	// Sequential oracle: a fresh facade compilation under the final weights.
 	finalW := db.Weights()
 	for i, e := range edges {
 		finalW.Set("w", e, finalValue(i))
 	}
-	oracle, err := dynamicq.CompileQuery[int64](semiring.Nat, db.A, finalW,
-		parser.MustParseExpr(sessionExpr), compile.Options{})
+	oracle, err := agg.Open(agg.FromStructure(db.A, finalW)).Prepare(context.Background(), sessionExpr)
 	if err != nil {
 		t.Fatalf("compiling oracle: %v", err)
 	}
@@ -240,16 +237,17 @@ func TestConcurrentPointsAndUpdates(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("final point %d: %v", x, got)
 		}
-		want, err := oracle.Value(x)
+		want, err := oracle.Eval(context.Background(), x)
 		if err != nil {
 			t.Fatalf("oracle value at %d: %v", x, err)
 		}
-		if got["value"] != fmt.Sprint(want) {
-			t.Fatalf("point %d = %v after concurrent updates, sequential oracle says %d", x, got["value"], want)
+		if got["value"] != string(want) {
+			t.Fatalf("point %d = %v after concurrent updates, sequential oracle says %s", x, got["value"], want)
 		}
 	}
 
-	// The session and every point went through one compilation.
+	// The session and every point went through one compilation (the oracle
+	// compiled outside the server).
 	if got := srv.Stats().Compiles.Load(); got != 1 {
 		t.Errorf("session workload compiled %d times, want 1", got)
 	}
@@ -262,7 +260,7 @@ func TestEnumerateStreamsCorrectPrefix(t *testing.T) {
 	_, ts, db := newTestServer(t, 8)
 	const phi = "E(x,y) & E(y,z) & !(x = z)"
 
-	stream := func(limit int) (answers []structure.Tuple, total int64) {
+	stream := func(limit int) (answers [][]int, total int64) {
 		t.Helper()
 		params := url.Values{"phi": {phi}, "vars": {"x,y,z"}, "limit": {fmt.Sprint(limit)}}
 		resp, err := http.Get(ts.URL + "/enumerate?" + params.Encode())
@@ -277,9 +275,9 @@ func TestEnumerateStreamsCorrectPrefix(t *testing.T) {
 		done := false
 		for sc.Scan() {
 			var line struct {
-				Answer structure.Tuple `json:"answer"`
-				Done   bool            `json:"done"`
-				Total  int64           `json:"total"`
+				Answer []int `json:"answer"`
+				Done   bool  `json:"done"`
+				Total  int64 `json:"total"`
 			}
 			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
@@ -310,10 +308,10 @@ func TestEnumerateStreamsCorrectPrefix(t *testing.T) {
 		if !db.A.HasTuple("E", x, y) || !db.A.HasTuple("E", y, z) || x == z {
 			t.Errorf("streamed tuple %v does not satisfy %s", a, phi)
 		}
-		if seen[a.Key()] {
+		if seen[fmt.Sprint(a)] {
 			t.Errorf("answer %v streamed twice", a)
 		}
-		seen[a.Key()] = true
+		seen[fmt.Sprint(a)] = true
 	}
 
 	// The same cached enumerator must yield the same prefix under a larger
@@ -323,7 +321,7 @@ func TestEnumerateStreamsCorrectPrefix(t *testing.T) {
 		t.Errorf("total changed between requests: %d vs %d", total, total2)
 	}
 	for i := range prefix {
-		if !prefix[i].Equal(longer[i]) {
+		if !slices.Equal(prefix[i], longer[i]) {
 			t.Errorf("limit=%d stream is not a prefix: position %d is %v vs %v", limit, i, prefix[i], longer[i])
 		}
 	}
@@ -370,8 +368,7 @@ func TestBatchEndpoint(t *testing.T) {
 	for i, e := range edges {
 		finalW.Set("w", e, finalValue(i))
 	}
-	oracle, err := dynamicq.CompileQuery[int64](semiring.Nat, db.A, finalW,
-		parser.MustParseExpr(sessionExpr), compile.Options{})
+	oracle, err := agg.Open(agg.FromStructure(db.A, finalW)).Prepare(context.Background(), sessionExpr)
 	if err != nil {
 		t.Fatalf("compiling oracle: %v", err)
 	}
@@ -380,12 +377,12 @@ func TestBatchEndpoint(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("point %d: %v", x, got)
 		}
-		want, err := oracle.Value(x)
+		want, err := oracle.Eval(context.Background(), x)
 		if err != nil {
 			t.Fatalf("oracle at %d: %v", x, err)
 		}
-		if got["value"] != fmt.Sprint(want) {
-			t.Fatalf("point %d = %v after /batch, oracle says %d", x, got["value"], want)
+		if got["value"] != string(want) {
+			t.Fatalf("point %d = %v after /batch, oracle says %s", x, got["value"], want)
 		}
 	}
 
@@ -410,37 +407,64 @@ func TestBatchEndpoint(t *testing.T) {
 		t.Errorf("failed batches were counted: batches = %d, want 1", got)
 	}
 
-	// Unknown sessions are rejected.
-	if resp, code := postJSON(t, ts.URL+"/batch", map[string]any{"session": "ghost", "updates": updates[:1]}); code != http.StatusBadRequest {
+	// Unknown sessions are 404s under the typed taxonomy.
+	if resp, code := postJSON(t, ts.URL+"/batch", map[string]any{"session": "ghost", "updates": updates[:1]}); code != http.StatusNotFound {
 		t.Errorf("unknown session: status %d (%v)", code, resp)
 	}
 }
 
-// TestErrorPaths covers the 4xx surface.
+// TestErrorPaths covers the 4xx surface: statuses come from the typed agg
+// taxonomy and every error body carries its machine-readable code.
 func TestErrorPaths(t *testing.T) {
 	_, ts, _ := newTestServer(t, 4)
 
-	if resp, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "nope"}); code != http.StatusBadRequest {
+	check := func(resp map[string]any, wantCode string) {
+		t.Helper()
+		if resp["code"] != wantCode {
+			t.Errorf("error code = %v, want %q (%v)", resp["code"], wantCode, resp["error"])
+		}
+	}
+
+	resp, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "nope"})
+	if code != http.StatusBadRequest {
 		t.Errorf("unknown semiring: status %d (%v)", code, resp)
 	}
-	if resp, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": "sum y . [E(x,y)] * w(x,y)", "semiring": "natural"}); code != http.StatusBadRequest || !strings.Contains(resp["error"].(string), "free variables") {
+	check(resp, "unknown_semiring")
+
+	resp, code = postJSON(t, ts.URL+"/query", map[string]any{"expr": "sum x , . [E(x,y)]", "semiring": "natural"})
+	if code != http.StatusBadRequest {
+		t.Errorf("unparsable query: status %d (%v)", code, resp)
+	}
+	check(resp, "parse")
+
+	resp, code = postJSON(t, ts.URL+"/query", map[string]any{"expr": "sum y . [E(x,y)] * w(x,y)", "semiring": "natural"})
+	if code != http.StatusBadRequest || !strings.Contains(resp["error"].(string), "free variables") {
 		t.Errorf("free-variable /query: status %d (%v)", code, resp)
 	}
-	if resp, code := postJSON(t, ts.URL+"/point", map[string]any{"session": "ghost", "args": []int{0}}); code != http.StatusBadRequest {
+	check(resp, "invalid_argument")
+
+	resp, code = postJSON(t, ts.URL+"/point", map[string]any{"session": "ghost", "args": []int{0}})
+	if code != http.StatusNotFound {
 		t.Errorf("unknown session: status %d (%v)", code, resp)
 	}
-	if resp, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "natural", "db": "nope"}); code != http.StatusBadRequest {
+	check(resp, "unknown_session")
+
+	resp, code = postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "natural", "db": "nope"})
+	if code != http.StatusNotFound {
 		t.Errorf("unknown database: status %d (%v)", code, resp)
 	}
+	check(resp, "unknown_database")
 
 	if _, code := postJSON(t, ts.URL+"/session", map[string]any{"name": "dup", "expr": edgeSum, "semiring": "natural"}); code != http.StatusOK {
 		t.Fatalf("creating session failed")
 	}
-	if resp, code := postJSON(t, ts.URL+"/session", map[string]any{"name": "dup", "expr": edgeSum, "semiring": "natural"}); code != http.StatusConflict {
+	resp, code = postJSON(t, ts.URL+"/session", map[string]any{"name": "dup", "expr": edgeSum, "semiring": "natural"})
+	if code != http.StatusConflict {
 		t.Errorf("duplicate session: status %d (%v)", code, resp)
 	}
+	check(resp, "session_exists")
 
-	// Deleting frees the name; deleting twice fails.
+	// Deleting frees the name; deleting twice is an unknown session.
 	del := func() int {
 		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/session?name=dup", nil)
 		resp, err := http.DefaultClient.Do(req)
@@ -454,19 +478,106 @@ func TestErrorPaths(t *testing.T) {
 	if code := del(); code != http.StatusOK {
 		t.Errorf("DELETE /session: status %d, want 200", code)
 	}
-	if code := del(); code != http.StatusBadRequest {
-		t.Errorf("second DELETE /session: status %d, want 400", code)
+	if code := del(); code != http.StatusNotFound {
+		t.Errorf("second DELETE /session: status %d, want 404", code)
 	}
 	if _, code := postJSON(t, ts.URL+"/session", map[string]any{"name": "dup", "expr": edgeSum, "semiring": "natural"}); code != http.StatusOK {
 		t.Errorf("recreating a deleted session should succeed")
 	}
 
 	// A failed compile must not poison the cache with a broken entry.
-	if _, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": "sum x . [Nope(x)] * u(x)", "semiring": "natural"}); code != http.StatusBadRequest {
+	resp, code = postJSON(t, ts.URL+"/query", map[string]any{"expr": "sum x . [Nope(x)] * u(x)", "semiring": "natural"})
+	if code != http.StatusBadRequest {
 		t.Errorf("unknown relation should 400")
 	}
+	check(resp, "compile")
 	if _, code := postJSON(t, ts.URL+"/query", map[string]any{"expr": edgeSum, "semiring": "natural"}); code != http.StatusOK {
 		t.Errorf("valid query after failed compile should succeed")
+	}
+
+	// Update taxonomy: a bad update on a live session is invalid_update.
+	resp, code = postJSON(t, ts.URL+"/update", map[string]any{
+		"session": "dup",
+		"updates": []map[string]any{{"weight": "nope", "tuple": []int{0}, "value": 1}},
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown weight update: status %d (%v)", code, resp)
+	}
+	check(resp, "invalid_update")
+}
+
+// TestErrorTaxonomyRoundTrip checks errors.Is/As survive the HTTP layer as
+// machine-readable JSON codes: the code served to the client is exactly
+// agg.ErrorCode of the error the facade produced for the same request.
+func TestErrorTaxonomyRoundTrip(t *testing.T) {
+	_, ts, db := newTestServer(t, 4)
+	eng := agg.Open(agg.FromStructure(db.A, db.Weights()))
+
+	cases := []struct {
+		name string
+		expr string
+		sem  string
+	}{
+		{"parse", "sum x , . [E(x,y)]", "natural"},
+		{"compile", "sum x . [Nope(x)] * u(x)", "natural"},
+		{"unknown semiring", edgeSum, "nope"},
+	}
+	for _, tc := range cases {
+		_, facadeErr := eng.Prepare(context.Background(), tc.expr, agg.WithSemiring(tc.sem))
+		if facadeErr == nil {
+			t.Fatalf("%s: facade accepted %q", tc.name, tc.expr)
+		}
+		resp, _ := postJSON(t, ts.URL+"/query", map[string]any{"expr": tc.expr, "semiring": tc.sem})
+		if want := agg.ErrorCode(facadeErr); resp["code"] != want {
+			t.Errorf("%s: HTTP code %v, facade taxonomy says %q", tc.name, resp["code"], want)
+		}
+	}
+}
+
+// TestEnumerateClientDisconnect is the disconnect satellite: a client that
+// walks away mid-stream aborts the enumeration (no summary line is
+// produced) and increments the canceled counter.
+func TestEnumerateClientDisconnect(t *testing.T) {
+	db := workload.Grid(50, 50, 7)
+	srv := New(Options{CacheSize: 8, Workers: 2})
+	srv.MountDatabaseValue("default", agg.FromStructure(db.A, db.Weights()))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	params := url.Values{"phi": {"E(x,y) & E(y,z) & !(x = z)"}, "vars": {"x,y,z"}, "limit": {"0"}}
+	resp, err := http.Get(ts.URL + "/enumerate?" + params.Encode())
+	if err != nil {
+		t.Fatalf("GET /enumerate: %v", err)
+	}
+	// Read a few lines, then hang up mid-stream.
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 3 && sc.Scan(); i++ {
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Canceled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled counter never incremented after client disconnect (enumerations=%d)",
+				srv.Stats().Enumerations.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := srv.Stats().Enumerations.Load(); got != 0 {
+		t.Errorf("aborted stream still counted as a completed enumeration (%d)", got)
+	}
+
+	// The server is healthy afterwards and the same (cached) enumeration
+	// completes for a patient client.
+	params.Set("limit", "5")
+	resp2, err := http.Get(ts.URL + "/enumerate?" + params.Encode())
+	if err != nil {
+		t.Fatalf("second GET /enumerate: %v", err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if !bytes.Contains(body, []byte(`"done":true`)) {
+		t.Errorf("follow-up stream missing summary line: %s", body)
 	}
 }
 

@@ -26,6 +26,7 @@ type Stats struct {
 
 	InFlight atomic.Int64 // requests currently being served
 	Errors   atomic.Int64 // requests answered with a non-2xx status
+	Canceled atomic.Int64 // requests abandoned by their client mid-work
 }
 
 // StatsSnapshot is the JSON shape served by GET /stats.
@@ -45,6 +46,7 @@ type StatsSnapshot struct {
 	EvalMillis     float64 `json:"evalMillis"`
 	InFlight       int64   `json:"inFlight"`
 	Errors         int64   `json:"errors"`
+	Canceled       int64   `json:"canceled"`
 	CachedQueries  int     `json:"cachedQueries"`
 	Databases      int     `json:"databases"`
 	UptimeSeconds  float64 `json:"uptimeSeconds"`
@@ -75,6 +77,7 @@ func (st *Stats) snapshot() StatsSnapshot {
 		EvalMillis:     float64(st.EvalNanos.Load()) / 1e6,
 		InFlight:       st.InFlight.Load(),
 		Errors:         st.Errors.Load(),
+		Canceled:       st.Canceled.Load(),
 	}
 }
 
