@@ -88,6 +88,7 @@ type config struct {
 	workers    int
 	maxVars    int
 	answerVars []string
+	nested     *Nested
 }
 
 // WithSemiring selects the registered semiring queries are evaluated in
@@ -123,6 +124,16 @@ func WithMaxVars(n int) Option {
 // enumerates over its free variables in sorted order.
 func WithAnswerVars(vars ...string) Option {
 	return func(c *config) { c.answerVars = append(c.answerVars, vars...) }
+}
+
+// WithNested prepares a nested (FOG[C], Section 7) query instead of parsing
+// the query text: the formula is the one built with the N* constructors, and
+// the text argument of Prepare serves only as the display label in errors
+// and diagnostics.  The Prepare semiring (WithSemiring) is the carrier of
+// the formula's weight atoms, constants and brackets; guarded connectives
+// move between carriers.  See Nested for the builder surface.
+func WithNested(n *Nested) Option {
+	return func(c *config) { c.nested = n }
 }
 
 // Canonicalize parses a query — weighted expression or first-order formula —

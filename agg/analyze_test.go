@@ -1,0 +1,108 @@
+package agg
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+)
+
+func TestAnalyzeExpression(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+
+	p, err := eng.Prepare(ctx, edgeSum)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	report, err := Analyze(p)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	st := p.Stats()
+	if report.Gates != st.Gates || report.Wires != st.Edges || report.Depth != st.Depth {
+		t.Errorf("report sizes %d/%d/%d disagree with Stats %d/%d/%d",
+			report.Gates, report.Wires, report.Depth, st.Gates, st.Edges, st.Depth)
+	}
+	if !report.Decomposable {
+		t.Errorf("edge sum not decomposable: %v", report.DecomposabilityViolations)
+	}
+	if !report.DeterminismChecked {
+		t.Errorf("tiny program skipped the determinism check")
+	}
+	if !report.Deterministic {
+		t.Errorf("edge sum not deterministic: %v", report.DeterminismViolations)
+	}
+	// 4 edge weights feed the sum.
+	if report.Variables != 4 {
+		t.Errorf("Variables = %d, want 4", report.Variables)
+	}
+	if report.ModelCount != "" || report.Factorization != nil {
+		t.Errorf("expression-mode report has answer-set fields: %+v", report)
+	}
+	if report.FootprintBytes <= 0 {
+		t.Errorf("FootprintBytes = %d, want > 0", report.FootprintBytes)
+	}
+}
+
+func TestAnalyzeFormulaCountsModels(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+
+	p, err := eng.Prepare(ctx, "E(x,y) & S(x)")
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	report, err := Analyze(p)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	want, err := p.AnswerCount(ctx)
+	if err != nil {
+		t.Fatalf("AnswerCount: %v", err)
+	}
+	if report.ModelCount != strconv.FormatInt(want, 10) {
+		t.Errorf("ModelCount = %q, AnswerCount = %d", report.ModelCount, want)
+	}
+	if report.Factorization == nil {
+		t.Fatal("formula-mode report has no factorization")
+	}
+	if report.Factorization.Arity != 2 {
+		t.Errorf("Factorization.Arity = %d, want 2", report.Factorization.Arity)
+	}
+	if report.Factorization.FlatCells != strconv.FormatInt(2*want, 10) {
+		t.Errorf("FlatCells = %q, want %d", report.Factorization.FlatCells, 2*want)
+	}
+}
+
+func TestAnalyzeNested(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+
+	// Boolean nested queries with free variables have an enumeration program
+	// to analyse.
+	q := NGuard("S", []string{"x"}, ConnGreaterThan, outWeight(), NConst(3))
+	p, err := eng.Prepare(ctx, "heavy marked", WithNested(q))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	report, err := Analyze(p)
+	if err != nil {
+		t.Fatalf("Analyze enumerable nested: %v", err)
+	}
+	if report.ModelCount != "1" {
+		t.Errorf("nested ModelCount = %q, want 1", report.ModelCount)
+	}
+
+	// Semiring-valued nested queries evaluate in stages; there is no single
+	// program, and Analyze says so.
+	sumQ := NSum([]string{"x", "y"},
+		NTimes(NBracket(NAtom("E", "x", "y")), NWeight("w", "x", "y")))
+	p2, err := eng.Prepare(ctx, "nested edge sum", WithNested(sumQ))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if _, err := Analyze(p2); !errors.Is(err, ErrArgument) {
+		t.Errorf("Analyze of staged nested query = %v, want ErrArgument", err)
+	}
+}

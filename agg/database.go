@@ -30,7 +30,8 @@ type Source struct {
 	Path string
 
 	// Kind selects a generated workload (bounded-degree, grid, forest,
-	// pref-attach, road) when no reader, stdin or path is given.
+	// pref-attach, road, nested, search) when no reader, stdin or path is
+	// given.
 	Kind string
 	// N is the approximate number of elements of the generated database.
 	N int

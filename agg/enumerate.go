@@ -9,10 +9,10 @@ import (
 // answer variable, in AnswerVars order.
 type Answer []int
 
-// AnswerVars returns the answer variables of a formula-mode query, in the
-// order Answer tuples are laid out (nil for expression-mode queries).
+// AnswerVars returns the answer variables of an enumerable query, in the
+// order Answer tuples are laid out (nil for non-enumerable queries).
 func (p *Prepared) AnswerVars() []string {
-	if p.phi == nil {
+	if p.enum == nil {
 		return nil
 	}
 	return append([]string(nil), p.vars...)
@@ -34,8 +34,8 @@ func (p *Prepared) AnswerVars() []string {
 func (p *Prepared) Enumerate(ctx context.Context) iter.Seq2[Answer, error] {
 	ctx = ensureCtx(ctx)
 	return func(yield func(Answer, error) bool) {
-		if p.phi == nil {
-			yield(nil, errorf(ErrNotEnumerable, p.text, "query is a weighted expression; Enumerate needs a first-order formula"))
+		if p.enum == nil {
+			yield(nil, errorf(ErrNotEnumerable, p.text, "Enumerate needs a first-order formula or a boolean nested query with free variables"))
 			return
 		}
 		if err := ctx.Err(); err != nil {
@@ -67,8 +67,8 @@ func (p *Prepared) Enumerate(ctx context.Context) iter.Seq2[Answer, error] {
 // receives updates, so the total is a constant: the linear-time pass runs
 // at most once per Prepare and is memoised across In/Workers rebinds.
 func (p *Prepared) AnswerCount(ctx context.Context) (int64, error) {
-	if p.phi == nil {
-		return 0, errorf(ErrNotEnumerable, p.text, "query is a weighted expression; AnswerCount needs a first-order formula")
+	if p.enum == nil {
+		return 0, errorf(ErrNotEnumerable, p.text, "AnswerCount needs a first-order formula or a boolean nested query with free variables")
 	}
 	if err := ensureCtx(ctx).Err(); err != nil {
 		return 0, err

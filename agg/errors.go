@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/parser"
+	"repro/internal/qe"
 )
 
 // The error taxonomy of the facade.  Every error returned by this package
@@ -98,14 +99,51 @@ func (e *Error) Unwrap() []error {
 }
 
 // newError wraps err under the given taxonomy kind, extracting the byte
-// offset when the cause is a parser error.
+// offset when the cause is a parser error or a quantifier-elimination
+// fragment rejection (whose position is the offending quantifier).
 func newError(kind error, query string, err error) *Error {
 	pos := -1
 	var perr *parser.Error
-	if errors.As(err, &perr) {
+	var qerr *qe.Error
+	switch {
+	case errors.As(err, &perr):
 		pos = perr.Pos
+	case errors.As(err, &qerr):
+		pos = quantifierPos(query, qerr.Var)
 	}
 	return &Error{Kind: kind, Query: query, Pos: pos, Err: err}
+}
+
+// quantifierPos locates the surface-syntax quantifier binding v in the query
+// text, so fragment rejections from quantifier elimination point at the
+// quantifier they refer to; -1 when it cannot be located.
+func quantifierPos(query, v string) int {
+	if v == "" {
+		return -1
+	}
+	for _, kw := range []string{"exists", "forall"} {
+		from := 0
+		for {
+			i := strings.Index(query[from:], kw)
+			if i < 0 {
+				break
+			}
+			i += from
+			rest := query[i+len(kw):]
+			if dot := strings.IndexByte(rest, '.'); dot >= 0 {
+				binders := strings.FieldsFunc(rest[:dot], func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t' || r == '\n'
+				})
+				for _, b := range binders {
+					if b == v {
+						return i
+					}
+				}
+			}
+			from = i + len(kw)
+		}
+	}
+	return -1
 }
 
 // errorf wraps a freshly formatted cause under the given kind.

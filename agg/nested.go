@@ -1,0 +1,426 @@
+package agg
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/compile"
+	"repro/internal/nested"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// Nested is a nested (FOG[C], Section 7 of the paper) formula under
+// construction: a syntax tree that may aggregate in several semirings and
+// move between them through guarded connectives.  Build one with the N*
+// constructors and pass it to Prepare through WithNested; semiring names are
+// resolved against the registry and the tree is validated when the query is
+// prepared, so the constructors themselves never fail.
+//
+// Boolean relations of the database appear through NAtom, its weight symbols
+// through NWeight (valued in the Prepare semiring), and the connectives of
+// NGuard change carriers under a guard relation.  A boolean-valued Nested
+// with free variables supports Enumerate/AnswerCount like a flat formula; any
+// Nested supports Eval (closed or at a point) and Session.
+type Nested struct {
+	kind nkind
+	rel  string
+	args []string
+	val  int64
+	b    bool
+	conn NestedConnective
+	vars []string
+	kids []*Nested
+}
+
+type nkind int
+
+const (
+	nAtom nkind = iota + 1
+	nWeight
+	nConstVal
+	nConstBool
+	nNot
+	nPlus
+	nTimes
+	nSum
+	nBracket
+	nGuard
+)
+
+// NestedConnective names one of the guarded connectives available to NGuard.
+type NestedConnective int
+
+const (
+	// ConnGreaterThan compares two values of one ordered semiring: boolean
+	// a > b.
+	ConnGreaterThan NestedConnective = iota + 1
+	// ConnAtLeast compares two values of one ordered semiring: boolean a ≥ b.
+	ConnAtLeast
+	// ConnToMaxPlus embeds a natural number into the max-plus semiring, so
+	// maxima can be taken over aggregates.
+	ConnToMaxPlus
+	// ConnRatio computes the integer ratio ⌊a/b⌋ of two naturals (0 when
+	// b = 0).
+	ConnRatio
+)
+
+func (c NestedConnective) String() string {
+	switch c {
+	case ConnGreaterThan:
+		return ">"
+	case ConnAtLeast:
+		return "≥"
+	case ConnToMaxPlus:
+		return "toMaxPlus"
+	case ConnRatio:
+		return "ratio"
+	}
+	return fmt.Sprintf("NestedConnective(%d)", int(c))
+}
+
+// NAtom builds a boolean relation atom R(vars...).
+func NAtom(rel string, vars ...string) *Nested {
+	return &Nested{kind: nAtom, rel: rel, args: vars}
+}
+
+// NWeight builds an atom of a database weight symbol, valued in the Prepare
+// semiring.
+func NWeight(weight string, vars ...string) *Nested {
+	return &Nested{kind: nWeight, rel: weight, args: vars}
+}
+
+// NConst builds a constant of the Prepare semiring, embedded from an int64
+// exactly like a database weight.
+func NConst(v int64) *Nested { return &Nested{kind: nConstVal, val: v} }
+
+// NBool builds a boolean constant.
+func NBool(b bool) *Nested { return &Nested{kind: nConstBool, b: b} }
+
+// NNot negates a boolean formula.
+func NNot(f *Nested) *Nested { return &Nested{kind: nNot, kids: []*Nested{f}} }
+
+// NPlus adds two formulas of the same semiring (disjunction on booleans).
+func NPlus(l, r *Nested) *Nested { return &Nested{kind: nPlus, kids: []*Nested{l, r}} }
+
+// NTimes multiplies two formulas of the same semiring (conjunction on
+// booleans).
+func NTimes(l, r *Nested) *Nested { return &Nested{kind: nTimes, kids: []*Nested{l, r}} }
+
+// NSum aggregates over variables in the formula's semiring (existential
+// quantification on booleans).
+func NSum(vars []string, f *Nested) *Nested {
+	return &Nested{kind: nSum, vars: vars, kids: []*Nested{f}}
+}
+
+// NExists is boolean existential quantification (an alias of NSum).
+func NExists(vars []string, f *Nested) *Nested { return NSum(vars, f) }
+
+// NBracket converts a boolean formula into 0/1 of the Prepare semiring (the
+// Iverson bracket).
+func NBracket(f *Nested) *Nested { return &Nested{kind: nBracket, kids: []*Nested{f}} }
+
+// NGuard applies a connective under a boolean guard relation:
+// [rel(vars...)]·conn(args...).  Every free variable of the arguments must be
+// among the guard variables (the FOG[C] restriction, checked at Prepare).
+func NGuard(rel string, vars []string, conn NestedConnective, args ...*Nested) *Nested {
+	return &Nested{kind: nGuard, rel: rel, vars: vars, conn: conn, kids: args}
+}
+
+// resolve turns the builder tree into a checked nested.Formula, with weight
+// atoms, constants and brackets valued in sem's carrier.
+func (n *Nested) resolve(sem Semiring) (nested.Formula, error) {
+	if n == nil {
+		return nil, fmt.Errorf("nested query is nil")
+	}
+	kids := make([]nested.Formula, len(n.kids))
+	for i, k := range n.kids {
+		f, err := k.resolve(sem)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = f
+	}
+	switch n.kind {
+	case nAtom:
+		return nested.B(n.rel, n.args...), nil
+	case nWeight:
+		return nested.S(sem.boxed(), n.rel, n.args...), nil
+	case nConstVal:
+		return nested.Val(sem.boxed(), sem.embedAny(structure.MakeWeightKey("", nil), n.val)), nil
+	case nConstBool:
+		return nested.Val(nested.BoolSemiring, n.b), nil
+	case nNot:
+		return nested.Neg(kids[0]), nil
+	case nPlus:
+		return nested.Plus(kids[0], kids[1]), nil
+	case nTimes:
+		return nested.Times(kids[0], kids[1]), nil
+	case nSum:
+		return nested.Sum(n.vars, kids[0]), nil
+	case nBracket:
+		return nested.Bracket(sem.boxed(), kids[0]), nil
+	case nGuard:
+		conn, err := n.conn.resolve(kids)
+		if err != nil {
+			return nil, err
+		}
+		return nested.Guard(n.rel, n.vars, conn, kids...), nil
+	}
+	return nil, fmt.Errorf("unknown nested node kind %d", n.kind)
+}
+
+// resolve binds a connective name to the semirings of its resolved
+// arguments.
+func (c NestedConnective) resolve(args []nested.Formula) (nested.Connective, error) {
+	natArg := func(i int) error {
+		if _, ok := args[i].Out().Zero().(int64); !ok {
+			return fmt.Errorf("connective %s needs integer-valued arguments, got %s-valued", c, args[i].Out().Name())
+		}
+		return nil
+	}
+	switch c {
+	case ConnGreaterThan, ConnAtLeast:
+		if len(args) != 2 {
+			return nested.Connective{}, fmt.Errorf("connective %s needs two arguments, got %d", c, len(args))
+		}
+		s := args[0].Out()
+		if s.Name() != args[1].Out().Name() {
+			return nested.Connective{}, fmt.Errorf("connective %s compares values of one semiring, got %s and %s", c, s.Name(), args[1].Out().Name())
+		}
+		if _, ok := s.Less(s.Zero(), s.Zero()); !ok {
+			return nested.Connective{}, fmt.Errorf("connective %s needs an ordered semiring, %s is not", c, s.Name())
+		}
+		if c == ConnGreaterThan {
+			return nested.GreaterThan(s), nil
+		}
+		return nested.AtLeast(s), nil
+	case ConnToMaxPlus:
+		if len(args) != 1 {
+			return nested.Connective{}, fmt.Errorf("connective %s needs one argument, got %d", c, len(args))
+		}
+		if err := natArg(0); err != nil {
+			return nested.Connective{}, err
+		}
+		// The output box carries the registry name, so the result composes
+		// with atoms prepared under WithSemiring("maxplus").
+		return nested.Connective{
+			Name: "toMaxPlus",
+			Out:  nested.Box[semiring.Ext]("maxplus", semiring.MaxPlus),
+			Apply: func(args []any) any {
+				return semiring.Fin(args[0].(int64))
+			},
+		}, nil
+	case ConnRatio:
+		if len(args) != 2 {
+			return nested.Connective{}, fmt.Errorf("connective %s needs two arguments, got %d", c, len(args))
+		}
+		for i := range args {
+			if err := natArg(i); err != nil {
+				return nested.Connective{}, err
+			}
+		}
+		// The ratio stays in the arguments' carrier, so it composes with
+		// further atoms of the same semiring.
+		return nested.Connective{
+			Name: "ratio",
+			Out:  args[0].Out(),
+			Apply: func(args []any) any {
+				a, b := args[0].(int64), args[1].(int64)
+				if b == 0 {
+					return int64(0)
+				}
+				return a / b
+			},
+		}, nil
+	}
+	return nested.Connective{}, fmt.Errorf("unknown connective %s", c)
+}
+
+// nestedState is the backend of a nested-mode Prepared: the resolved formula
+// over a multi-semiring view of the engine's database.  Evaluators are built
+// per read (each materialisation run extends a private working structure);
+// the enumeration state, when the formula is boolean with free variables, is
+// built once at Prepare and shared.
+type nestedState struct {
+	db   *nested.Database
+	f    nested.Formula
+	out  nested.Semiring
+	vars []string
+
+	mu sync.Mutex
+}
+
+// prepareNested resolves and validates a WithNested query and, for boolean
+// formulas with free variables, builds the constant-delay enumeration state.
+func (e *Engine) prepareNested(ctx context.Context, p *Prepared) (*Prepared, error) {
+	f, err := p.cfg.nested.resolve(p.sem)
+	if err != nil {
+		return nil, newError(ErrCompile, p.text, err)
+	}
+	ndb, err := e.nestedDatabase(p.sem)
+	if err != nil {
+		return nil, newError(ErrCompile, p.text, err)
+	}
+	st := &nestedState{db: ndb, f: f, out: f.Out(), vars: nested.FreeVars(f)}
+	// Validate eagerly (Prepare reports compile errors, reads don't).
+	if err := ndb.Check(f); err != nil {
+		return nil, newError(ErrCompile, p.text, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p.nst = st
+	p.canonical = f.String()
+	if st.out.Name() == nested.BoolSemiring.Name() && len(st.vars) > 0 {
+		vars := p.cfg.answerVars
+		if len(vars) == 0 {
+			vars = st.vars
+		}
+		ev := nested.NewEvaluator(ndb, p.compileOptions())
+		ans, err := ev.EnumerateBool(f, vars)
+		if err != nil {
+			return nil, newError(ErrCompile, p.text, err)
+		}
+		p.enum = &enumState{ans: ans}
+		p.vars = vars
+	}
+	return p, nil
+}
+
+// nestedDatabase builds the multi-semiring view of the engine's database: the
+// boolean relations on a weight-free signature, plus one S-relation per
+// weight symbol, valued in sem's carrier.
+func (e *Engine) nestedDatabase(sem Semiring) (*nested.Database, error) {
+	sig, err := structure.NewSignature(e.db.a.Sig.Relations, nil)
+	if err != nil {
+		return nil, err
+	}
+	base := structure.NewStructure(sig, e.db.a.N)
+	for _, r := range e.db.a.Sig.Relations {
+		for _, t := range e.db.a.Tuples(r.Name) {
+			base.MustAddTuple(r.Name, t...)
+		}
+	}
+	ndb := nested.NewDatabase(base)
+	box := sem.boxed()
+	for _, ws := range e.db.a.Sig.Weights {
+		if err := ndb.DeclareSRelation(ws.Name, box, ws.Arity); err != nil {
+			return nil, err
+		}
+	}
+	var werr error
+	if e.db.w != nil {
+		e.db.w.ForEach(func(k structure.WeightKey, v int64) {
+			if werr != nil {
+				return
+			}
+			if err := ndb.SetValue(k.Weight, structure.ParseTupleKey(k.Tuple), sem.embedAny(k, v)); err != nil {
+				werr = err
+			}
+		})
+	}
+	if werr != nil {
+		return nil, werr
+	}
+	return ndb, nil
+}
+
+// eval answers Eval for a nested-mode Prepared: closed formulas take no
+// arguments, formulas with k free variables take exactly k elements.  Each
+// call runs a fresh Theorem 26 evaluation over the shared database snapshot.
+func (st *nestedState) eval(ctx context.Context, p *Prepared, args ...int) (Value, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v, err := nestedEvalAt(st.db, st.f, st.vars, args, p.compileOptions())
+	if err != nil {
+		return "", newError(ErrArgument, p.text, err)
+	}
+	return Value(st.out.Format(v)), nil
+}
+
+// newSession opens a recompute session: updates mutate a private copy of the
+// nested database and the next read re-runs the staged evaluation over it.
+// Unlike flat sessions there is no incremental maintenance — every relation
+// and weight is updatable, at re-evaluation cost per read.
+func (st *nestedState) newSession(p *Prepared) erasedSession {
+	return &nestedSession{p: p, st: st, db: st.db.Clone()}
+}
+
+// nestedEvalAt evaluates f at one assignment of vars (or closed when vars is
+// empty) with a fresh evaluator, so repeated calls never accumulate derived
+// state.
+func nestedEvalAt(db *nested.Database, f nested.Formula, vars []string, args []int, opts compile.Options) (any, error) {
+	ev := nested.NewEvaluator(db, opts)
+	if len(vars) == 0 {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("closed nested query takes no arguments, got %d", len(args))
+		}
+		return ev.EvalClosed(f)
+	}
+	if len(args) != len(vars) {
+		return nil, fmt.Errorf("nested query has free variables %v; pass one argument per variable", vars)
+	}
+	t := make(structure.Tuple, len(args))
+	for i, a := range args {
+		t[i] = a
+	}
+	vals, err := ev.EvalAt(f, vars, []structure.Tuple{t})
+	if err != nil {
+		return nil, err
+	}
+	return vals[0], nil
+}
+
+// nestedSession adapts a private nested database to the erased session
+// interface used by Session.
+type nestedSession struct {
+	p  *Prepared
+	st *nestedState
+	db *nested.Database
+}
+
+func (s *nestedSession) FreeVars() []string { return append([]string(nil), s.st.vars...) }
+
+func (s *nestedSession) Point(args []int) (string, error) {
+	v, err := nestedEvalAt(s.db, s.st.f, s.st.vars, args, s.p.compileOptions())
+	if err != nil {
+		return "", err
+	}
+	return s.st.out.Format(v), nil
+}
+
+func (s *nestedSession) SetWeight(weight string, tuple []int, value int64) error {
+	if _, _, ok := s.db.SRelation(weight); !ok {
+		return fmt.Errorf("unknown weight %q", weight)
+	}
+	return s.db.SetValue(weight, structure.Tuple(tuple), s.p.sem.embedAny(structure.MakeWeightKey(weight, structure.Tuple(tuple)), value))
+}
+
+func (s *nestedSession) SetTuple(rel string, tuple []int, present bool) error {
+	return s.db.SetTuple(rel, structure.Tuple(tuple), present)
+}
+
+func (s *nestedSession) ApplyBatch(changes []Change) error {
+	// Changes apply in order (so a batch may insert a tuple and then weight
+	// it, as in flat sessions); a failing change rolls the whole batch back,
+	// and the next read re-materialises once over the final state.
+	snapshot := s.db.Clone()
+	for i, ch := range changes {
+		var err error
+		if ch.Weight != "" {
+			err = s.SetWeight(ch.Weight, ch.Tuple, ch.Value)
+		} else {
+			err = s.SetTuple(ch.Rel, ch.Tuple, ch.Present)
+		}
+		if err != nil {
+			s.db = snapshot
+			return fmt.Errorf("change %d: %w", i, err)
+		}
+	}
+	return nil
+}

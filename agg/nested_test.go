@@ -1,0 +1,224 @@
+package agg
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// outWeight is Σ_y [E(x,y)]·w(x,y): the outgoing edge weight of x.
+func outWeight() *Nested {
+	return NSum([]string{"y"}, NTimes(NBracket(NAtom("E", "x", "y")), NWeight("w", "x", "y")))
+}
+
+func TestNestedEvalClosed(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+
+	// Σ_{x,y} [E(x,y)]·w(x,y) — same aggregate as the flat edgeSum query.
+	q := NSum([]string{"x", "y"},
+		NTimes(NBracket(NAtom("E", "x", "y")), NWeight("w", "x", "y")))
+	p, err := eng.Prepare(ctx, "nested edge sum", WithNested(q))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if got, err := p.Eval(ctx); err != nil || got != "11" {
+		t.Fatalf("nested edge sum = %q, %v; want 11", got, err)
+	}
+	if p.Enumerable() {
+		t.Error("semiring-valued nested query reports Enumerable")
+	}
+	if fv := p.FreeVars(); len(fv) != 0 {
+		t.Errorf("closed query FreeVars = %v", fv)
+	}
+
+	// Flat and nested agree.
+	flat, err := eng.Prepare(ctx, edgeSum)
+	if err != nil {
+		t.Fatalf("Prepare flat: %v", err)
+	}
+	fv, err := flat.Eval(ctx)
+	if err != nil {
+		t.Fatalf("flat Eval: %v", err)
+	}
+	nv, err := p.Eval(ctx)
+	if err != nil {
+		t.Fatalf("nested Eval: %v", err)
+	}
+	if fv != nv {
+		t.Errorf("flat %q != nested %q", fv, nv)
+	}
+}
+
+func TestNestedEvalFreeVars(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+
+	p, err := eng.Prepare(ctx, "out-weight", WithNested(outWeight()))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if fv := p.FreeVars(); len(fv) != 1 || fv[0] != "x" {
+		t.Fatalf("FreeVars = %v; want [x]", fv)
+	}
+	// Out-weights on the test graph: 0→1:2, 1→2:3, 2→{0,3}:5+1=6, 3:0.
+	for x, want := range map[int]string{0: "2", 1: "3", 2: "6", 3: "0"} {
+		if got, err := p.Eval(ctx, x); err != nil || string(got) != want {
+			t.Errorf("outWeight(%d) = %q, %v; want %s", x, got, err, want)
+		}
+	}
+	// Arity mismatch surfaces as ErrArgument.
+	if _, err := p.Eval(ctx); !errors.Is(err, ErrArgument) {
+		t.Errorf("Eval() error = %v; want ErrArgument", err)
+	}
+}
+
+func TestNestedBooleanEnumerate(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+
+	// [S(x)]·(outWeight(x) > 3): marked vertices of out-weight above 3.
+	q := NGuard("S", []string{"x"}, ConnGreaterThan, outWeight(), NConst(3))
+	p, err := eng.Prepare(ctx, "heavy marked", WithNested(q))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if !p.Enumerable() {
+		t.Fatal("boolean nested query with a free variable is not Enumerable")
+	}
+	n, err := p.AnswerCount(ctx)
+	if err != nil {
+		t.Fatalf("AnswerCount: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("AnswerCount = %d; want 1", n)
+	}
+	var got []int
+	for ans, err := range p.Enumerate(ctx) {
+		if err != nil {
+			t.Fatalf("Enumerate: %v", err)
+		}
+		if len(ans) != 1 {
+			t.Fatalf("answer arity %d; want 1", len(ans))
+		}
+		got = append(got, ans[0])
+	}
+	// S = {0, 2}; outWeight(0)=2, outWeight(2)=6 — only 2 qualifies.
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("answers = %v; want [2]", got)
+	}
+	// Point evaluation agrees with the answer set.
+	for x, want := range map[int]string{0: "false", 2: "true", 3: "false"} {
+		if got, err := p.Eval(ctx, x); err != nil || string(got) != want {
+			t.Errorf("heavy(%d) = %q, %v; want %s", x, got, err, want)
+		}
+	}
+}
+
+func TestNestedSession(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+
+	q := NSum([]string{"x", "y"},
+		NTimes(NBracket(NAtom("E", "x", "y")), NWeight("w", "x", "y")))
+	p, err := eng.Prepare(ctx, "nested edge sum", WithNested(q))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	s, err := p.Session()
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	defer s.Close()
+
+	// w(0,1): 2 → 7 lifts the total from 11 to 16.
+	if err := s.Set(Change{Weight: "w", Tuple: []int{0, 1}, Value: 7}); err != nil {
+		t.Fatalf("Set weight: %v", err)
+	}
+	if got, err := s.Eval(ctx); err != nil || got != "16" {
+		t.Fatalf("after weight update = %q, %v; want 16", got, err)
+	}
+	// Dropping edge (2,3) removes its weight-1 contribution.
+	if err := s.Set(Change{Rel: "E", Tuple: []int{2, 3}, Present: false}); err != nil {
+		t.Fatalf("Set tuple: %v", err)
+	}
+	if got, err := s.Eval(ctx); err != nil || got != "15" {
+		t.Fatalf("after edge removal = %q, %v; want 15", got, err)
+	}
+	// Inserting a fresh edge counts its (zero-defaulted, then set) weight.
+	if err := s.ApplyBatch([]Change{
+		{Rel: "E", Tuple: []int{3, 0}, Present: true},
+		{Weight: "w", Tuple: []int{3, 0}, Value: 4},
+	}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got, err := s.Eval(ctx); err != nil || got != "19" {
+		t.Fatalf("after batch = %q, %v; want 19", got, err)
+	}
+	// A bad change in a batch rejects the whole batch.
+	if err := s.ApplyBatch([]Change{
+		{Rel: "E", Tuple: []int{0, 3}, Present: true},
+		{Rel: "Nope", Tuple: []int{0}, Present: true},
+	}); !errors.Is(err, ErrUpdate) {
+		t.Fatalf("bad batch error = %v; want ErrUpdate", err)
+	}
+	if got, err := s.Eval(ctx); err != nil || got != "19" {
+		t.Fatalf("after rejected batch = %q, %v; want 19 (unchanged)", got, err)
+	}
+
+	// The prepared query itself is unaffected by session mutations.
+	if got, err := p.Eval(ctx); err != nil || got != "11" {
+		t.Fatalf("base query after session updates = %q, %v; want 11", got, err)
+	}
+}
+
+func TestNestedConnectiveErrors(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+
+	// GreaterThan needs two arguments.
+	if _, err := eng.Prepare(ctx, "bad arity",
+		WithNested(NGuard("S", []string{"x"}, ConnGreaterThan, outWeight()))); !errors.Is(err, ErrCompile) {
+		t.Errorf("one-argument > error = %v; want ErrCompile", err)
+	}
+	// Free variables of connective arguments must be guard variables.
+	if _, err := eng.Prepare(ctx, "unbound",
+		WithNested(NGuard("S", []string{"z"}, ConnGreaterThan, outWeight(), NConst(3)))); !errors.Is(err, ErrCompile) {
+		t.Errorf("unbound-variable error = %v; want ErrCompile", err)
+	}
+	// Provenance polynomials are unordered; comparisons must be rejected.
+	if _, err := eng.Prepare(ctx, "unordered", WithSemiring("provenance"),
+		WithNested(NGuard("S", []string{"x"}, ConnGreaterThan, outWeight(), NConst(3)))); !errors.Is(err, ErrCompile) {
+		t.Errorf("unordered-semiring error = %v; want ErrCompile", err)
+	}
+	// Nested mode fixes its carrier at Prepare: In() refuses to rebind.
+	p, err := eng.Prepare(ctx, "edge sum", WithNested(NSum([]string{"x", "y"},
+		NTimes(NBracket(NAtom("E", "x", "y")), NWeight("w", "x", "y")))))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if _, err := p.In("minplus"); !errors.Is(err, ErrArgument) {
+		t.Errorf("In on nested query error = %v; want ErrArgument", err)
+	}
+}
+
+func TestNestedMaxPlusRatio(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+
+	// max over marked x of ⌊outWeight(x)/u(x)⌋, through toMaxPlus:
+	// x=0: ⌊2/1⌋ = 2;  x=2: ⌊6/3⌋ = 2 → max = 2.
+	ratio := NGuard("S", []string{"x"}, ConnRatio, outWeight(), NWeight("u", "x"))
+	q := NSum([]string{"x"}, NGuard("S", []string{"x"}, ConnToMaxPlus, ratio))
+	p, err := eng.Prepare(ctx, "max ratio", WithNested(q))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	got, err := p.Eval(ctx)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if got != "2" {
+		t.Errorf("max ratio = %q; want 2", got)
+	}
+}

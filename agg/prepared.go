@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 
+	"repro/internal/circuit"
 	"repro/internal/compile"
 	"repro/internal/dynamicq"
 	"repro/internal/enumerate"
@@ -51,10 +52,14 @@ type Prepared struct {
 	cw       any
 	implicit erasedSession
 
-	// Enumeration backend (formula mode): built eagerly at Prepare, shared
-	// by all cursors and by every In/Workers rebind (it never receives
-	// updates).
+	// Enumeration backend (formula and boolean nested mode): built eagerly
+	// at Prepare, shared by all cursors and by every Workers rebind (it
+	// never receives updates).
 	enum *enumState
+
+	// Nested mode (WithNested): the resolved FOG[C] formula and its
+	// multi-semiring database view; nil otherwise.
+	nst *nestedState
 }
 
 // enumState is the shared enumeration backend of a formula-mode query: the
@@ -87,6 +92,11 @@ func (e *Engine) Prepare(ctx context.Context, query string, opts ...Option) (*Pr
 	}
 
 	p := &Prepared{eng: e, text: query, cfg: cfg, sem: sem}
+
+	// Nested mode: the formula is the WithNested tree, not the query text.
+	if cfg.nested != nil {
+		return e.prepareNested(ctx, p)
+	}
 
 	// Decide the mode.  WithAnswerVars forces formula mode; otherwise a
 	// query that parses and validates as a weighted expression is one, and
@@ -226,14 +236,18 @@ func (p *Prepared) Canonical() string { return p.canonical }
 // SemiringName returns the name of the semiring the query evaluates in.
 func (p *Prepared) SemiringName() string { return p.sem.Name() }
 
-// Enumerable reports whether the query was prepared in formula mode, i.e.
-// whether Enumerate and AnswerCount are available.
-func (p *Prepared) Enumerable() bool { return p.phi != nil }
+// Enumerable reports whether Enumerate and AnswerCount are available: the
+// query was prepared in formula mode, or as a boolean nested formula with
+// free variables.
+func (p *Prepared) Enumerable() bool { return p.enum != nil }
 
 // FreeVars returns the query's free variables: the point-query parameters of
-// an expression, or the answer variables of a formula.
+// an expression or nested formula, or the answer variables of a formula.
 func (p *Prepared) FreeVars() []string {
-	if p.phi != nil {
+	switch {
+	case p.nst != nil:
+		return append([]string(nil), p.nst.vars...)
+	case p.phi != nil:
 		return append([]string(nil), p.vars...)
 	}
 	return p.sh.FreeVars()
@@ -250,37 +264,64 @@ type CircuitStats struct {
 }
 
 // result returns the compilation backing this Prepared: the enumeration
-// compilation in formula mode, the expression compilation otherwise.
+// compilation in formula (or boolean nested) mode, the expression
+// compilation otherwise, or nil for a nested query whose stages are compiled
+// per evaluation.
 func (p *Prepared) result() *compile.Result {
 	if p.enum != nil {
 		return p.enum.ans.Result()
 	}
-	return p.sh.Result()
+	if p.sh != nil {
+		return p.sh.Result()
+	}
+	return nil
 }
 
-// Stats returns the structural statistics of the compiled circuit.
+// Stats returns the structural statistics of the frozen circuit program,
+// computed from its CSR arrays (zero for nested queries without enumeration
+// state, whose stages are compiled per evaluation).
 func (p *Prepared) Stats() CircuitStats {
-	st := p.result().Circuit.Statistics()
-	return CircuitStats{
-		Gates:       st.Gates,
-		Edges:       st.Edges,
-		Depth:       st.Depth,
-		PermGates:   st.PermGates,
-		MaxPermRows: st.MaxPermRows,
-		Inputs:      st.InputGates,
+	res := p.result()
+	if res == nil {
+		return CircuitStats{}
 	}
+	prog := res.Program
+	st := CircuitStats{
+		Gates:  prog.NumGates(),
+		Depth:  prog.Depth(),
+		Inputs: prog.NumInputs(),
+	}
+	for id := 0; id < prog.NumGates(); id++ {
+		st.Edges += len(prog.ChildIDs(id))
+		if prog.GateKind(id) == circuit.KindPerm {
+			st.PermGates++
+			if rows, _ := prog.PermShape(id); rows > st.MaxPermRows {
+				st.MaxPermRows = rows
+			}
+		}
+	}
+	return st
 }
 
 // Footprint returns the resident size in bytes of the frozen circuit
 // program — the artefact all evaluations, sessions and enumerations of this
-// Prepared share.
-func (p *Prepared) Footprint() int64 { return p.result().Program.Footprint() }
+// Prepared share (zero for nested queries without enumeration state).
+func (p *Prepared) Footprint() int64 {
+	res := p.result()
+	if res == nil {
+		return 0
+	}
+	return res.Program.Footprint()
+}
 
 // In returns a Prepared over the same compilation bound to another
 // registered semiring: the circuit is shared, only the weight embedding and
 // session state differ, so rebinding costs one weight conversion instead of
 // a recompilation.
 func (p *Prepared) In(name string) (*Prepared, error) {
+	if p.nst != nil {
+		return nil, errorf(ErrArgument, p.text, "nested queries fix their carriers at Prepare; prepare again with WithSemiring(%q)", name)
+	}
 	sem, err := LookupSemiring(name)
 	if err != nil {
 		return nil, err
@@ -320,6 +361,7 @@ func (p *Prepared) Workers(n int) *Prepared {
 		phi:       p.phi,
 		vars:      p.vars,
 		enum:      p.enum,
+		nst:       p.nst,
 	}
 	clone.cfg.workers = n
 	p.evalMu.Lock()
@@ -336,6 +378,9 @@ func (p *Prepared) Workers(n int) *Prepared {
 // time.
 func (p *Prepared) Eval(ctx context.Context, args ...int) (Value, error) {
 	ctx = ensureCtx(ctx)
+	if p.nst != nil {
+		return p.nst.eval(ctx, p, args...)
+	}
 	sh, cw, err := p.evalBackend(ctx)
 	if err != nil {
 		return "", err
@@ -371,6 +416,9 @@ func (p *Prepared) Eval(ctx context.Context, args ...int) (Value, error) {
 // shared.  Sessions fail fast with ErrSessionBusy under concurrent use —
 // serialise externally to queue instead.
 func (p *Prepared) Session() (*Session, error) {
+	if p.nst != nil {
+		return &Session{p: p, sess: p.nst.newSession(p)}, nil
+	}
 	sh, _, err := p.evalBackend(context.Background())
 	if err != nil {
 		return nil, err

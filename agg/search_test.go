@@ -1,0 +1,168 @@
+package agg
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// searchDB is an undirected path 0–1–2–3–4 with empty dynamic predicates S
+// (selected) and B (blocked).
+const searchDB = `
+domain 5
+rel E 2
+rel S 1
+rel B 1
+E 0 1
+E 1 0
+E 1 2
+E 2 1
+E 2 3
+E 3 2
+E 3 4
+E 4 3
+`
+
+var searchNeighbors = map[int][]int{0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2, 4}, 4: {3}}
+
+// prepareMIS prepares the maximal-independent-set improvement query: a vertex
+// that is neither selected nor blocked can be added.
+func prepareMIS(t *testing.T) *Prepared {
+	t.Helper()
+	eng, err := OpenReader(strings.NewReader(searchDB))
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	p, err := eng.Prepare(context.Background(), "!S(x) & !B(x)", WithDynamic("S", "B"))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	return p
+}
+
+// misStep selects the improvement vertex and blocks its neighbourhood.
+func misStep(ans Answer) []Change {
+	v := ans[0]
+	changes := []Change{
+		{Rel: "S", Tuple: []int{v}, Present: true},
+		{Rel: "B", Tuple: []int{v}, Present: true},
+	}
+	for _, u := range searchNeighbors[v] {
+		changes = append(changes, Change{Rel: "B", Tuple: []int{u}, Present: true})
+	}
+	return changes
+}
+
+func TestSearchMaximalIndependentSet(t *testing.T) {
+	p := prepareMIS(t)
+	ctx := context.Background()
+
+	s, err := p.Search()
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	var solution []int
+	rounds, err := s.Run(ctx, func(ans Answer) []Change {
+		solution = append(solution, ans[0])
+		return misStep(ans)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rounds != len(solution) || rounds != s.Rounds() {
+		t.Errorf("rounds = %d, solution = %v, Rounds() = %d", rounds, solution, s.Rounds())
+	}
+	if s.Remaining() != 0 {
+		t.Errorf("Remaining = %d after local optimum", s.Remaining())
+	}
+	// The solution is an independent set ...
+	in := map[int]bool{}
+	for _, v := range solution {
+		in[v] = true
+	}
+	for v, ns := range searchNeighbors {
+		for _, u := range ns {
+			if in[v] && in[u] {
+				t.Errorf("solution %v contains edge (%d,%d)", solution, v, u)
+			}
+		}
+	}
+	// ... and maximal: every unselected vertex has a selected neighbour.
+	for v, ns := range searchNeighbors {
+		if in[v] {
+			continue
+		}
+		blocked := false
+		for _, u := range ns {
+			blocked = blocked || in[u]
+		}
+		if !blocked {
+			t.Errorf("solution %v is not maximal: vertex %d is free", solution, v)
+		}
+	}
+
+	// The Prepared itself never received the updates.
+	if n, err := p.AnswerCount(ctx); err != nil || n != 5 {
+		t.Errorf("base AnswerCount = %d, %v; want 5", n, err)
+	}
+}
+
+func TestSearchersAreIndependent(t *testing.T) {
+	p := prepareMIS(t)
+	ctx := context.Background()
+
+	s1, err := p.Search()
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	s2, err := p.Search()
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if _, err := s1.Run(ctx, misStep); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s1.Remaining() != 0 {
+		t.Errorf("finished searcher has %d improvements left", s1.Remaining())
+	}
+	// The sibling searcher still sees the pristine solution.
+	if s2.Remaining() != 5 {
+		t.Errorf("fresh searcher Remaining = %d; want 5", s2.Remaining())
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+
+	// Expression queries have no answer set to search.
+	p, err := eng.Prepare(ctx, edgeSum)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if _, err := p.Search(); !errors.Is(err, ErrNotEnumerable) {
+		t.Errorf("Search on expression = %v; want ErrNotEnumerable", err)
+	}
+	// Formula queries without WithDynamic have nothing to update.
+	q, err := eng.Prepare(ctx, "E(x,y) & S(x)")
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if _, err := q.Search(); !errors.Is(err, ErrArgument) {
+		t.Errorf("Search without dynamic relations = %v; want ErrArgument", err)
+	}
+
+	// Weight changes are rejected by Apply.
+	s, err := prepareMIS(t).Search()
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if err := s.Apply(Change{Weight: "w", Tuple: []int{0}, Value: 1}); !errors.Is(err, ErrUpdate) {
+		t.Errorf("weight change error = %v; want ErrUpdate", err)
+	}
+	// Non-dynamic relations are rejected by the enumerator.
+	if err := s.Apply(Change{Rel: "E", Tuple: []int{0, 4}, Present: true}); !errors.Is(err, ErrUpdate) {
+		t.Errorf("static relation change error = %v; want ErrUpdate", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/compile"
 	"repro/internal/dynamicq"
+	"repro/internal/nested"
 	"repro/internal/provenance"
 	"repro/internal/semiring"
 	"repro/internal/structure"
@@ -50,6 +51,13 @@ type Semiring interface {
 	// newSession instantiates per-session dynamic state (Theorem 8) on a
 	// shared compilation, with a private copy of the weights.
 	newSession(sh *dynamicq.Shared, w *structure.Weights[int64]) erasedSession
+	// boxed returns the dynamically typed view of the carrier used by nested
+	// (FOG[C]) formulas; bool carriers map onto the canonical boolean box so
+	// nested's boolean positions recognise them.
+	boxed() nested.Semiring
+	// embedAny embeds one int64 database weight into the carrier, with the
+	// type erased for nested S-relation stores.
+	embedAny(key structure.WeightKey, v int64) any
 }
 
 // erasedSession is a dynamic-update session with the carrier type erased;
@@ -111,6 +119,17 @@ func (ts *typedSemiring[T]) evaluate(ctx context.Context, res *compile.Result, c
 
 func (ts *typedSemiring[T]) newSession(sh *dynamicq.Shared, w *structure.Weights[int64]) erasedSession {
 	return &typedSession[T]{ts: ts, q: dynamicq.NewQuery(ts.s, sh, ts.convertTyped(w))}
+}
+
+func (ts *typedSemiring[T]) boxed() nested.Semiring {
+	if _, ok := any(ts.s).(semiring.Semiring[bool]); ok {
+		return nested.BoolSemiring
+	}
+	return nested.Box(ts.name, ts.s)
+}
+
+func (ts *typedSemiring[T]) embedAny(key structure.WeightKey, v int64) any {
+	return ts.embed(key, v)
 }
 
 // typedSession adapts a dynamicq.Query to the erased session interface.
@@ -218,6 +237,8 @@ func init() {
 	MustRegister(NewSemiring[int64]("natural", semiring.Nat,
 		func(_ string, _ []int, v int64) int64 { return v }))
 	MustRegister(NewSemiring[semiring.Ext]("minplus", semiring.MinPlus,
+		func(_ string, _ []int, v int64) semiring.Ext { return semiring.Fin(v) }))
+	MustRegister(NewSemiring[semiring.Ext]("maxplus", semiring.MaxPlus,
 		func(_ string, _ []int, v int64) semiring.Ext { return semiring.Fin(v) }))
 	MustRegister(NewSemiring[bool]("boolean", semiring.Bool,
 		func(_ string, _ []int, v int64) bool { return v != 0 }))

@@ -24,10 +24,18 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty runs all")
 	workers := flag.Int("workers", 1, "experiments run concurrently on this many goroutines (0 = GOMAXPROCS; >1 skews timings)")
 	e14check := flag.Bool("e14check", false, "run the E14 program-vs-legacy layout comparison as a pass/fail smoke check and exit")
+	e16check := flag.Bool("e16check", false, "run the E16 re-platformed nested/localsearch comparison as a pass/fail smoke check and exit")
 	flag.Parse()
 
 	if *e14check {
 		if err := bench.E14Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *e16check {
+		if err := bench.E16Check(); err != nil {
 			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "bounded-degree", "workload kind: bounded-degree, grid, forest, pref-attach, road")
+	kind := flag.String("kind", "bounded-degree", "workload kind: bounded-degree, grid, forest, pref-attach, road, nested, search")
 	n := flag.Int("n", 1000, "approximate number of database elements")
 	degree := flag.Int("degree", 3, "degree / branching / attachment parameter")
 	seed := flag.Int64("seed", 1, "random seed")

@@ -43,6 +43,7 @@ func main() {
 	stdin := flag.Bool("stdin", false, "read the database from stdin (dbio format)")
 	file := flag.String("file", "", "read the database from this file (dbio format)")
 	workers := flag.Int("workers", 0, "worker goroutines per circuit evaluation (0 = GOMAXPROCS)")
+	analyze := flag.Bool("analyze", false, "print the knowledge-compilation report of the compiled circuit")
 	flag.Parse()
 	ctx := context.Background()
 
@@ -74,6 +75,28 @@ func main() {
 	fmt.Printf("query: %s\n", p.Canonical())
 	fmt.Printf("circuit: gates=%d edges=%d depth=%d permGates=%d maxPermRows=%d\n",
 		st.Gates, st.Edges, st.Depth, st.PermGates, st.MaxPermRows)
+
+	if *analyze {
+		report, err := agg.Analyze(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aggquery: analyze: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("analysis: variables=%d footprint=%dB decomposable=%v",
+			report.Variables, report.FootprintBytes, report.Decomposable)
+		if report.DeterminismChecked {
+			fmt.Printf(" deterministic=%v", report.Deterministic)
+		} else {
+			fmt.Printf(" deterministic=unchecked(>%d gates)", agg.DeterminismGateLimit)
+		}
+		fmt.Println()
+		for _, v := range report.DecomposabilityViolations {
+			fmt.Printf("analysis: violation: %s\n", v)
+		}
+		for _, v := range report.DeterminismViolations {
+			fmt.Printf("analysis: violation: %s\n", v)
+		}
+	}
 
 	// The three semirings are independent passes over the same circuit, so
 	// they run concurrently; each pass additionally spreads its gate levels

@@ -2,70 +2,76 @@
 // Theorem 6 are decomposable (products combine disjoint inputs) and — for
 // the enumeration construction of Theorem 24 — deterministic (no answer is
 // produced twice), which is why counting and constant-delay enumeration
-// work.  This example compiles a query, verifies both properties with
-// internal/kc, counts its answers, reports how much smaller the factorized
-// (circuit) representation is than the flat answer table, and prints a
-// Graphviz rendering of a small circuit.
+// work.  This example prepares a query through the public facade, fetches
+// its knowledge-compilation report with agg.Analyze (the same report
+// aggserve serves at GET /analyze), and prints a Graphviz rendering of a
+// small circuit.
 //
 //	go run ./examples/knowledge
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/compile"
-	"repro/internal/expr"
-	"repro/internal/kc"
-	"repro/internal/logic"
-	"repro/internal/workload"
+	"repro/agg"
 )
 
 func main() {
-	db := workload.BoundedDegree(2000, 3, 21)
-	fmt.Printf("database: %d vertices, %d tuples\n", db.A.N, db.A.TupleCount())
-
-	// Σ_{x,y,z} [E(x,y) ∧ E(y,z) ∧ x≠z] · u(x) · w(y,z): one monomial per
-	// directed path of length two.
-	paths := expr.Agg([]string{"x", "y", "z"}, expr.Times(
-		expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.Neg(logic.Equal("x", "z")))),
-		expr.W("u", "x"), expr.W("w", "y", "z"),
-	))
-	res, err := compile.Compile(db.A, paths, compile.Options{})
+	ctx := context.Background()
+	db, err := agg.Generate("bounded-degree", 250, 21)
 	if err != nil {
 		panic(err)
 	}
+	eng := agg.Open(db)
+	fmt.Printf("database: %d vertices, %d tuples\n", db.Elements(), db.TupleCount())
 
-	analysis := kc.Analyze(res.Circuit)
-	fmt.Printf("circuit: %d gates over %d weight inputs\n",
-		res.Circuit.NumGates(), len(analysis.Variables()))
+	// One answer per directed path of length two.
+	p, err := eng.Prepare(ctx, "E(x,y) & E(y,z) & !(x = z)",
+		agg.WithAnswerVars("x", "y", "z"))
+	if err != nil {
+		panic(err)
+	}
+	report, err := agg.Analyze(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("circuit: %d gates over %d weight inputs\n", report.Gates, report.Variables)
 
-	if v := analysis.CheckDecomposable(); len(v) == 0 {
+	if report.Decomposable {
 		fmt.Println("decomposable: yes (products combine disjoint inputs)")
 	} else {
-		fmt.Printf("decomposable: NO — %s\n", v[0])
+		fmt.Printf("decomposable: NO — %s\n", report.DecomposabilityViolations[0])
 	}
-	if v := analysis.CheckDeterministic(); len(v) == 0 {
-		fmt.Println("deterministic: yes (no monomial is produced twice)")
-	} else {
-		fmt.Printf("deterministic: NO — %s\n", v[0])
+	switch {
+	case !report.DeterminismChecked:
+		fmt.Println("deterministic: unchecked (circuit too large)")
+	case report.Deterministic:
+		fmt.Println("deterministic: yes (no answer is produced twice)")
+	default:
+		fmt.Printf("deterministic: NO — %s\n", report.DeterminismViolations[0])
 	}
 
-	report := kc.Factorization(res.Circuit, 3)
-	fmt.Printf("answers (model count):     %s\n", report.Answers)
-	fmt.Printf("flat table cells:          %s\n", report.FlatCells)
-	fmt.Printf("circuit size (gates+edges): %d\n", report.CircuitSize)
-	fmt.Printf("compression ratio:          %.1f×\n", report.CompressionRatio)
+	f := report.Factorization
+	fmt.Printf("answers (model count):     %s\n", report.ModelCount)
+	fmt.Printf("flat table cells:          %s\n", f.FlatCells)
+	fmt.Printf("circuit size (gates+edges): %d\n", f.CircuitSize)
+	fmt.Printf("compression ratio:          %.1f×\n", f.CompressionRatio)
 
 	// Render a small circuit so the DOT output stays readable.
-	tiny := workload.BoundedDegree(12, 2, 3)
-	tinyRes, err := compile.Compile(tiny.A, expr.Agg([]string{"x", "y"}, expr.Times(
-		expr.Guard(logic.R("E", "x", "y")), expr.W("u", "x"), expr.W("u", "y"),
-	)), compile.Options{})
+	tiny, err := agg.Generate("bounded-degree", 12, 3)
 	if err != nil {
 		panic(err)
 	}
-	dot := kc.DOT(tinyRes.Circuit)
-	fmt.Printf("\nGraphviz rendering of a small edge-query circuit (%d gates):\n", tinyRes.Circuit.NumGates())
+	tp, err := agg.Open(tiny).Prepare(ctx, "sum x, y . [E(x,y)] * u(x) * u(y)")
+	if err != nil {
+		panic(err)
+	}
+	dot, err := agg.DOT(tp)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nGraphviz rendering of a small edge-query circuit (%d gates):\n", tp.Stats().Gates)
 	if len(dot) > 1200 {
 		fmt.Println(dot[:1200] + "  ... (truncated)")
 	} else {

@@ -1,58 +1,118 @@
-// Local search via dynamic enumeration (Example 25 of the paper): build a
-// maximal independent set and a minimal dominating set on a planar grid by
-// repeatedly asking the dynamic constant-delay enumerator for a local
-// improvement and updating the unary predicates describing the current
-// solution.  Each round costs constant time, so the whole search is linear.
+// Local search via dynamic enumeration (Example 25 of the paper), driven
+// entirely through the public facade: prepare an improvement query with
+// dynamic solution predicates, then repeatedly ask Prepared.Search for a
+// local improvement and commit each round's updates as one batched wave.
+// Each round costs constant time, so the whole search is linear.
 //
 //	go run ./examples/localsearch
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
-	"repro/internal/graph"
-	"repro/internal/localsearch"
-	"repro/internal/workload"
+	"repro/agg"
 )
 
 func main() {
-	db := workload.Grid(80, 80, 3)
-	g := graph.New(db.A.N)
-	for _, t := range db.A.Tuples("E") {
-		if !g.HasEdge(t[0], t[1]) {
-			g.AddEdge(t[0], t[1])
-		}
-	}
-	fmt.Printf("grid: %d vertices, %d edges\n", g.N(), g.M())
+	ctx := context.Background()
+	// The "search" workload is an undirected bounded-degree graph with the
+	// initially-empty solution predicates S (selected), B (blocked) and D
+	// (dominated).
+	db, err := agg.Generate("search", 6400, 3)
+	must(err)
+	eng := agg.Open(db)
 
-	mis, err := localsearch.MaximalIndependentSet(g)
-	if err != nil {
-		panic(err)
+	// Undirected adjacency for the update steps.
+	neighbors := map[int][]int{}
+	edges := 0
+	for _, e := range db.Tuples("E") {
+		neighbors[e[0]] = append(neighbors[e[0]], e[1])
+		edges++
 	}
-	if !localsearch.IsMaximalIndependentSet(g, mis.Solution) {
-		panic("solution is not a maximal independent set")
-	}
-	report("maximal independent set", g, mis)
+	fmt.Printf("graph: %d vertices, %d edges\n", db.Elements(), edges/2)
 
-	mds, err := localsearch.MinimalDominatingSet(g)
-	if err != nil {
-		panic(err)
-	}
-	if !localsearch.IsMinimalDominatingSet(g, mds.Solution) {
-		panic("solution is not a minimal dominating set")
-	}
-	report("minimal dominating set", g, mds)
+	// Maximal independent set: a vertex that is neither selected nor blocked
+	// can be added; adding it blocks its whole neighbourhood.
+	runSearch(ctx, eng, "maximal independent set", "!S(x) & !B(x)",
+		[]string{"S", "B"}, func(v int) []agg.Change {
+			changes := []agg.Change{
+				{Rel: "S", Tuple: []int{v}, Present: true},
+				{Rel: "B", Tuple: []int{v}, Present: true},
+			}
+			for _, u := range neighbors[v] {
+				changes = append(changes, agg.Change{Rel: "B", Tuple: []int{u}, Present: true})
+			}
+			return changes
+		}, func(solution map[int]bool) {
+			for v, in := range solution {
+				for _, u := range neighbors[v] {
+					if in && solution[u] {
+						panic("not an independent set")
+					}
+				}
+			}
+		})
+
+	// Dominating set: an undominated vertex joins the solution and dominates
+	// its closed neighbourhood.
+	runSearch(ctx, eng, "dominating set", "!D(x)",
+		[]string{"S", "D"}, func(v int) []agg.Change {
+			changes := []agg.Change{
+				{Rel: "S", Tuple: []int{v}, Present: true},
+				{Rel: "D", Tuple: []int{v}, Present: true},
+			}
+			for _, u := range neighbors[v] {
+				changes = append(changes, agg.Change{Rel: "D", Tuple: []int{u}, Present: true})
+			}
+			return changes
+		}, func(solution map[int]bool) {
+			for v := range neighbors {
+				dominated := solution[v]
+				for _, u := range neighbors[v] {
+					dominated = dominated || solution[u]
+				}
+				if !dominated {
+					panic("not a dominating set")
+				}
+			}
+		})
 }
 
-func report(name string, g *graph.Graph, res *localsearch.Result) {
+// runSearch prepares the improvement query, loops it to a local optimum with
+// one batched update wave per round, verifies the solution and reports cost.
+func runSearch(ctx context.Context, eng *agg.Engine, name, phi string,
+	dynamic []string, step func(v int) []agg.Change, verify func(map[int]bool)) {
+	start := time.Now()
+	p, err := eng.Prepare(ctx, phi, agg.WithDynamic(dynamic...))
+	must(err)
+	preprocess := time.Since(start)
+
+	s, err := p.Search()
+	must(err)
+	solution := map[int]bool{}
+	start = time.Now()
+	rounds, err := s.Run(ctx, func(ans agg.Answer) []agg.Change {
+		solution[ans[0]] = true
+		return step(ans[0])
+	})
+	must(err)
+	search := time.Since(start)
+	verify(solution)
+
 	perRound := 0.0
-	if res.Stats.Rounds > 0 {
-		perRound = float64(res.Stats.Search.Microseconds()) / float64(res.Stats.Rounds)
+	if rounds > 0 {
+		perRound = float64(search.Microseconds()) / float64(rounds)
 	}
 	fmt.Printf("%s:\n", name)
-	fmt.Printf("  preprocessing: %v\n", res.Stats.Preprocess)
-	fmt.Printf("  search:        %v for %d rounds (%.1fµs per round)\n",
-		res.Stats.Search, res.Stats.Rounds, perRound)
-	fmt.Printf("  solution size: %d (%.1f%% of the grid)\n",
-		len(res.Solution), 100*float64(len(res.Solution))/float64(g.N()))
+	fmt.Printf("  preprocessing: %v\n", preprocess)
+	fmt.Printf("  search:        %v for %d rounds (%.1fµs per round)\n", search, rounds, perRound)
+	fmt.Printf("  solution size: %d (remaining improvements: %d)\n", len(solution), s.Remaining())
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

@@ -1,76 +1,65 @@
 // Nested weighted queries (Section 7 of the paper): the introduction's two
 // FOG[C] examples — the maximum average neighbour weight, and the vertices
-// that have a "heavy" neighbour — evaluated with the Theorem 26 machinery,
+// that have a "heavy" neighbour — built with the facade's N* constructors,
+// prepared with agg.WithNested, and evaluated with the Theorem 26 machinery,
 // including constant-delay enumeration of the boolean answers.
 //
 //	go run ./examples/nestedagg
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/compile"
-	"repro/internal/nested"
-	"repro/internal/semiring"
-	"repro/internal/structure"
-	"repro/internal/workload"
+	"repro/agg"
 )
 
 func main() {
-	src := workload.BoundedDegree(4000, 3, 13)
-	// Re-home onto a signature with a trivial unary guard V.
-	sig := structure.MustSignature(
-		[]structure.RelSymbol{{Name: "E", Arity: 2}, {Name: "V", Arity: 1}},
-		nil,
-	)
-	a := structure.NewStructure(sig, src.A.N)
-	for _, t := range src.A.Tuples("E") {
-		a.MustAddTuple("E", t...)
-	}
-	for v := 0; v < a.N; v++ {
-		a.MustAddTuple("V", v)
-	}
-	db := nested.NewDatabase(a)
-	must(db.DeclareSRelation("weight", nested.NatSemiring, 1))
-	for v := 0; v < a.N; v++ {
-		must(db.SetValue("weight", structure.Tuple{v}, src.VertexWeight[v]))
-	}
-	fmt.Printf("database: %d vertices, %d edges, N-valued vertex weights\n\n", a.N, len(a.Tuples("E")))
+	ctx := context.Background()
+	// The "nested" workload carries a trivial unary guard V (all vertices),
+	// vertex weights u and edge weights w.
+	db, err := agg.Generate("nested", 4000, 13)
+	must(err)
+	eng := agg.Open(db)
+	fmt.Printf("database: %d vertices, %d edges, N-valued vertex weights\n\n",
+		db.Elements(), len(db.Tuples("E")))
 
-	// Query 1 (introduction):  max_x ( Σ_y [E(x,y)]·w(y) / Σ_y [E(x,y)] ),
+	// Query 1 (introduction):  max_x ( Σ_y [E(x,y)]·u(y) / Σ_y [E(x,y)] ),
 	// with an integer ratio connective and a max-plus outer aggregation.
-	sumW := nested.Sum([]string{"y"},
-		nested.Times(nested.Bracket(nested.NatSemiring, nested.B("E", "x", "y")), nested.S(nested.NatSemiring, "weight", "y")))
-	degree := nested.Sum([]string{"y"}, nested.Bracket(nested.NatSemiring, nested.B("E", "x", "y")))
-	avg := nested.Guard("V", []string{"x"}, nested.RatioNat, sumW, degree)
-	maxAvg := nested.Sum([]string{"x"}, nested.Guard("V", []string{"x"}, nested.IntoMaxPlus, avg))
+	sumW := agg.NSum([]string{"y"},
+		agg.NTimes(agg.NBracket(agg.NAtom("E", "x", "y")), agg.NWeight("u", "y")))
+	degree := agg.NSum([]string{"y"}, agg.NBracket(agg.NAtom("E", "x", "y")))
+	avg := agg.NGuard("V", []string{"x"}, agg.ConnRatio, sumW, degree)
+	maxAvg := agg.NSum([]string{"x"},
+		agg.NGuard("V", []string{"x"}, agg.ConnToMaxPlus, avg))
 
-	ev := nested.NewEvaluator(db, compile.Options{})
-	v, err := ev.EvalClosed(maxAvg)
+	p, err := eng.Prepare(ctx, "max average neighbour weight", agg.WithNested(maxAvg))
 	must(err)
-	fmt.Printf("max over x of the average weight of x's out-neighbours: %s\n",
-		semiring.MaxPlus.Format(v.(semiring.Ext)))
+	v, err := p.Eval(ctx)
+	must(err)
+	fmt.Printf("max over x of the average weight of x's out-neighbours: %s\n", v)
 
-	// Query 2 (introduction):  f(x) = ∃y E(x,y) ∧ ( w(y) > Σ_z [E(y,z)]·w(z) ),
+	// Query 2 (introduction):  f(x) = ∃y E(x,y) ∧ ( u(y) > Σ_z [E(y,z)]·u(z) ),
 	// a boolean nested query whose answers we enumerate with constant delay.
-	neighbourSum := nested.Sum([]string{"z"},
-		nested.Times(nested.Bracket(nested.NatSemiring, nested.B("E", "y", "z")), nested.S(nested.NatSemiring, "weight", "z")))
-	heavy := nested.Guard("V", []string{"y"}, nested.GreaterThan(nested.NatSemiring),
-		nested.S(nested.NatSemiring, "weight", "y"), neighbourSum)
-	f := nested.Exists([]string{"y"}, nested.Times(nested.B("E", "x", "y"), heavy))
+	neighbourSum := agg.NSum([]string{"z"},
+		agg.NTimes(agg.NBracket(agg.NAtom("E", "y", "z")), agg.NWeight("u", "z")))
+	heavy := agg.NGuard("V", []string{"y"}, agg.ConnGreaterThan,
+		agg.NWeight("u", "y"), neighbourSum)
+	f := agg.NExists([]string{"y"}, agg.NTimes(agg.NAtom("E", "x", "y"), heavy))
 
-	ev2 := nested.NewEvaluator(db, compile.Options{})
-	ans, err := ev2.EnumerateBool(f, []string{"x"})
+	q, err := eng.Prepare(ctx, "has a heavy neighbour", agg.WithNested(f))
 	must(err)
-	fmt.Printf("\nvertices with a neighbour heavier than its own neighbourhood: %d\n", ans.Count())
+	total, err := q.AnswerCount(ctx)
+	must(err)
+	fmt.Printf("\nvertices with a neighbour heavier than its own neighbourhood: %d\n", total)
 	fmt.Println("first few such vertices (constant-delay enumeration):")
-	cur := ans.Cursor()
-	for i := 0; i < 5; i++ {
-		t, ok := cur.Next()
-		if !ok {
+	shown := 0
+	for ans, err := range q.Enumerate(ctx) {
+		must(err)
+		fmt.Printf("  x = %d\n", ans[0])
+		if shown++; shown >= 5 {
 			break
 		}
-		fmt.Printf("  x = %d\n", t[0])
 	}
 }
 

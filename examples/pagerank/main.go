@@ -1,79 +1,90 @@
 // PageRank (Example 9 of the paper): one round of PageRank expressed as a
 // weighted query over the field of rationals, with constant-time point
 // queries and constant-time maintenance when a page's previous-round weight
-// changes.
+// changes — all through the public facade, with the rational carrier plugged
+// into the semiring registry.
 //
 //	go run ./examples/pagerank
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
+	"strings"
 
-	"repro/internal/compile"
-	"repro/internal/dynamicq"
-	"repro/internal/expr"
-	"repro/internal/logic"
+	"repro/agg"
 	"repro/internal/semiring"
-	"repro/internal/structure"
-	"repro/internal/workload"
 )
 
 func main() {
 	const n = 3000
-	web := workload.PreferentialAttachment(n, 2, 7)
-	a := web.A
-	fmt.Printf("web graph: %d pages, %d links\n", a.N, len(a.Tuples("E")))
+	ctx := context.Background()
+	web, err := agg.Generate("pref-attach", n, 7)
+	must(err)
+	links := web.Tuples("E")
+	fmt.Printf("web graph: %d pages, %d links\n", web.Elements(), len(links))
 
-	// Signature: links E, previous-round weight w, damped inverse out-degree
-	// invdeg, and the teleport mass as a nullary weight.
-	sig := structure.MustSignature(
-		a.Sig.Relations,
-		[]structure.WeightSymbol{{Name: "w", Arity: 1}, {Name: "invdeg", Arity: 1}, {Name: "base", Arity: 0}},
-	)
-	b := structure.NewStructure(sig, a.N)
-	for _, t := range a.Tuples("E") {
-		b.MustAddTuple("E", t...)
-	}
-	outdeg := make([]int64, a.N)
-	for _, t := range a.Tuples("E") {
+	// Re-encode the graph with integer weights that the rational carrier
+	// interprets: w(v) counts units of 1/N (previous-round mass), deg(v)
+	// stores the out-degree (interpreted as d/deg), and the nullary base is
+	// the teleport mass (1-d)/N.
+	outdeg := make([]int64, n)
+	for _, t := range links {
 		outdeg[t[0]]++
 	}
-	damping := big.NewRat(85, 100)
-	w := structure.NewWeights[*big.Rat]()
-	for v := 0; v < a.N; v++ {
-		w.Set("w", structure.Tuple{v}, big.NewRat(1, int64(a.N)))
+	var b strings.Builder
+	fmt.Fprintf(&b, "domain %d\nrel E 2\nwsym w 1\nwsym deg 1\nwsym base 0\n", n)
+	for _, t := range links {
+		fmt.Fprintf(&b, "E %d %d\n", t[0], t[1])
+	}
+	for v := 0; v < n; v++ {
+		fmt.Fprintf(&b, "w %d 1\n", v)
 		if outdeg[v] > 0 {
-			w.Set("invdeg", structure.Tuple{v}, new(big.Rat).Mul(damping, big.NewRat(1, outdeg[v])))
+			fmt.Fprintf(&b, "deg %d %d\n", v, outdeg[v])
 		}
 	}
-	w.Set("base", structure.Tuple{},
-		new(big.Rat).Quo(new(big.Rat).Sub(big.NewRat(1, 1), damping), big.NewRat(int64(a.N), 1)))
+	b.WriteString("base 1\n")
+
+	// The rational PageRank carrier: exact arithmetic in ℚ, with the integer
+	// weights embedded per symbol (damping d = 85/100).
+	must(agg.Register(agg.NewSemiring[*big.Rat]("pagerank-rat", semiring.Rat,
+		func(weight string, _ []int, v int64) *big.Rat {
+			switch weight {
+			case "w":
+				return big.NewRat(v, n)
+			case "deg":
+				return big.NewRat(85, 100*v)
+			case "base":
+				return big.NewRat(15*v, 100*n)
+			}
+			return big.NewRat(v, 1)
+		})))
+
+	eng, err := agg.OpenReader(strings.NewReader(b.String()))
+	must(err)
 
 	// f(x) = (1-d)/N + d · Σ_y [E(y,x)] · w(y) / outdeg(y)
-	f := expr.Plus(
-		expr.W("base"),
-		expr.Agg([]string{"y"}, expr.Times(expr.Guard(logic.R("E", "y", "x")), expr.W("w", "y"), expr.W("invdeg", "y"))),
-	)
-	q, err := dynamicq.CompileQuery[*big.Rat](semiring.Rat, b, w, f, compile.Options{})
-	if err != nil {
-		panic(err)
-	}
+	p, err := eng.Prepare(ctx, "base + sum y . [E(y,x)] * w(y) * deg(y)",
+		agg.WithSemiring("pagerank-rat"))
+	must(err)
 
-	// Query the new rank of every page (each query costs O(1) semiring
+	// Query the new rank of every page (each point query costs O(1) semiring
 	// operations after the linear preprocessing).
 	type ranked struct {
 		page int
 		rank *big.Rat
 	}
-	ranks := make([]ranked, a.N)
-	for x := 0; x < a.N; x++ {
-		v, err := q.Value(x)
-		if err != nil {
-			panic(err)
+	ranks := make([]ranked, n)
+	for x := 0; x < n; x++ {
+		v, err := p.Eval(ctx, x)
+		must(err)
+		r, ok := new(big.Rat).SetString(v.String())
+		if !ok {
+			panic("unparseable rank " + v.String())
 		}
-		ranks[x] = ranked{page: x, rank: v}
+		ranks[x] = ranked{page: x, rank: r}
 	}
 	sort.Slice(ranks, func(i, j int) bool { return ranks[i].rank.Cmp(ranks[j].rank) > 0 })
 	fmt.Println("top 5 pages after one PageRank round:")
@@ -82,19 +93,29 @@ func main() {
 		fmt.Printf("  page %4d  rank %.6f\n", r.page, fl)
 	}
 
-	// A page's previous-round weight changes; the data structure absorbs the
-	// update in constant time and point queries immediately reflect it.
+	// A page's previous-round weight changes; the session absorbs the update
+	// in constant time and point queries immediately reflect it.
 	hot := ranks[0].page
-	if err := q.SetWeight("w", structure.Tuple{hot}, big.NewRat(1, 10)); err != nil {
-		panic(err)
-	}
-	for _, t := range a.Tuples("E") {
+	s, err := p.Session()
+	must(err)
+	defer s.Close()
+	// w(hot) becomes n/10 units of 1/N, i.e. mass 1/10.
+	must(s.Set(agg.Change{Weight: "w", Tuple: []int{hot}, Value: n / 10}))
+	for _, t := range links {
 		if t[0] != hot {
 			continue
 		}
-		v, _ := q.Value(t[1])
-		fl, _ := v.Float64()
+		v, err := s.Eval(ctx, t[1])
+		must(err)
+		r, _ := new(big.Rat).SetString(v.String())
+		fl, _ := r.Float64()
 		fmt.Printf("after boosting page %d: new rank of its target %d is %.6f\n", hot, t[1], fl)
 		break
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
 	}
 }

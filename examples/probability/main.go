@@ -5,96 +5,102 @@
 //
 //	f = Σ_{x,y,z} [E(x,y) ∧ E(y,z) ∧ E(z,x)] · p1(x) · p2(y) · p3(z)
 //
-// is compiled once (Theorem 6) and evaluated in the field of rationals; the
-// same circuit also yields the triangle count (ℕ) and the most likely
-// triangle (Viterbi semiring) without recompilation.
+// is prepared once through the facade and evaluated in the field of
+// rationals; In rebinds the same frozen circuit to the counting semiring (ℕ)
+// and the Viterbi semiring without recompilation.
 //
 //	go run ./examples/probability
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
+	"strings"
 
-	"repro/internal/compile"
-	"repro/internal/expr"
-	"repro/internal/logic"
+	"repro/agg"
 	"repro/internal/semiring"
-	"repro/internal/structure"
-	"repro/internal/workload"
 )
 
 func main() {
-	db := workload.BoundedDegree(3000, 3, 11)
-	a := db.A
-	fmt.Printf("database: %d vertices, %d tuples\n", a.N, a.TupleCount())
+	const n = 3000
+	ctx := context.Background()
+	graph, err := agg.Generate("bounded-degree", n, 11)
+	must(err)
+	fmt.Printf("database: %d vertices, %d tuples\n", graph.Elements(), graph.TupleCount())
 
-	// Extend the signature with the three unary weight symbols p1, p2, p3.
-	sig, err := a.Sig.WithWeights(
-		structure.WeightSymbol{Name: "p1", Arity: 1},
-		structure.WeightSymbol{Name: "p2", Arity: 1},
-		structure.WeightSymbol{Name: "p3", Arity: 1},
-	)
-	if err != nil {
-		panic(err)
-	}
-	b := structure.NewStructure(sig, a.N)
-	for _, rel := range a.Sig.Relations {
-		for _, t := range a.Tuples(rel.Name) {
-			b.MustAddTuple(rel.Name, t...)
-		}
-	}
-
-	// Three random probability distributions over the vertices, represented
-	// exactly as rationals with a common denominator.
+	// Re-encode the graph with three integer mass functions; each semiring
+	// below interprets mass m of symbol p_i as the probability m / total_i.
 	r := rand.New(rand.NewSource(5))
-	rat := structure.NewWeights[*big.Rat]()
-	for i, name := range []string{"p1", "p2", "p3"} {
-		masses := make([]int64, b.N)
-		var total int64
-		for v := range masses {
-			masses[v] = int64(r.Intn(3) + 1)
-			total += masses[v]
+	masses := map[string][]int64{}
+	totals := map[string]int64{}
+	for _, name := range []string{"p1", "p2", "p3"} {
+		m := make([]int64, n)
+		for v := range m {
+			m[v] = int64(r.Intn(3) + 1)
+			totals[name] += m[v]
 		}
-		for v := range masses {
-			rat.Set(name, structure.Tuple{v}, big.NewRat(masses[v], total))
+		masses[name] = m
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "domain %d\nrel E 2\nwsym p1 1\nwsym p2 1\nwsym p3 1\n", n)
+	for _, t := range graph.Tuples("E") {
+		fmt.Fprintf(&b, "E %d %d\n", t[0], t[1])
+	}
+	for name, m := range masses {
+		for v, mass := range m {
+			fmt.Fprintf(&b, "%s %d %d\n", name, v, mass)
 		}
-		_ = i
 	}
 
-	triangleProb := expr.Agg([]string{"x", "y", "z"}, expr.Times(
-		expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.R("E", "z", "x"))),
-		expr.W("p1", "x"), expr.W("p2", "y"), expr.W("p3", "z"),
-	))
+	// Exact probabilities in ℚ, triple counting in ℕ (every weight counts
+	// as 1), and most-likely-triple in the Viterbi semiring ([0,1], max, ·).
+	prob := func(weight string, v int64) *big.Rat { return big.NewRat(v, totals[weight]) }
+	must(agg.Register(agg.NewSemiring[*big.Rat]("prob-rat", semiring.Rat,
+		func(weight string, _ []int, v int64) *big.Rat { return prob(weight, v) })))
+	must(agg.Register(agg.NewSemiring[int64]("count-ones", semiring.Nat,
+		func(string, []int, int64) int64 { return 1 })))
+	must(agg.Register(agg.NewSemiring[float64]("viterbi", semiring.MaxTimes,
+		func(weight string, _ []int, v int64) float64 {
+			f, _ := prob(weight, v).Float64()
+			return f
+		})))
 
-	res, err := compile.Compile(b, triangleProb, compile.Options{})
-	if err != nil {
-		panic(err)
-	}
-	st := res.Circuit.Statistics()
+	eng, err := agg.OpenReader(strings.NewReader(b.String()))
+	must(err)
+	p, err := eng.Prepare(ctx,
+		"sum x, y, z . [E(x,y) & E(y,z) & E(z,x)] * p1(x) * p2(y) * p3(z)",
+		agg.WithSemiring("prob-rat"))
+	must(err)
+	st := p.Stats()
 	fmt.Printf("circuit: %d gates, depth %d, %d permanent gates\n", st.Gates, st.Depth, st.PermGates)
 
 	// Probability in exact rational arithmetic.
-	p := compile.Evaluate[*big.Rat](res, semiring.Rat, rat)
-	approx, _ := p.Float64()
-	fmt.Printf("P[random triple is a directed triangle] = %s ≈ %.3g\n", p.RatString(), approx)
+	v, err := p.Eval(ctx)
+	must(err)
+	exact, _ := new(big.Rat).SetString(v.String())
+	approx, _ := exact.Float64()
+	fmt.Printf("P[random triple is a directed triangle] = %s ≈ %.3g\n", exact.RatString(), approx)
 
 	// The same circuit counts triangles when every weight is 1 ...
-	ones := structure.NewWeights[int64]()
-	rat.ForEach(func(k structure.WeightKey, _ *big.Rat) {
-		ones.Set(k.Weight, structure.ParseTupleKey(k.Tuple), 1)
-	})
-	count := compile.Evaluate[int64](res, semiring.Nat, ones)
-	fmt.Printf("number of directed triangle triples          = %d\n", count)
+	pc, err := p.In("count-ones")
+	must(err)
+	count, err := pc.Eval(ctx)
+	must(err)
+	fmt.Printf("number of directed triangle triples          = %s\n", count)
 
 	// ... and finds the probability of the most likely triple in the
-	// Viterbi semiring ([0,1], max, ·).
-	viterbi := structure.NewWeights[float64]()
-	rat.ForEach(func(k structure.WeightKey, v *big.Rat) {
-		f, _ := v.Float64()
-		viterbi.Set(k.Weight, structure.ParseTupleKey(k.Tuple), f)
-	})
-	best := compile.Evaluate[float64](res, semiring.MaxTimes, viterbi)
-	fmt.Printf("probability of the most likely triangle      = %.3g\n", best)
+	// Viterbi semiring.
+	pv, err := p.In("viterbi")
+	must(err)
+	best, err := pv.Eval(ctx)
+	must(err)
+	fmt.Printf("probability of the most likely triangle      = %s\n", best)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

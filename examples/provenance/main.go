@@ -1,75 +1,94 @@
 // Provenance analysis (Section 5 / Example 21 of the paper): evaluate the
 // triangle query in the free (provenance) semiring, where every edge carries
-// a unique identifier, and stream the derivations of the answer with a
-// constant-delay enumerator.  The same provenance specialises to other
-// semirings through homomorphisms.
+// a unique named generator, then rebind the very same frozen circuit to
+// other carriers — the universal property of the free semiring means each
+// rebinding computes the corresponding homomorphic image of the provenance.
+// Everything runs through the public facade and the semiring registry.
 //
 //	go run ./examples/provenance
 package main
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
-	"repro/internal/compile"
-	"repro/internal/enumerate"
-	"repro/internal/expr"
-	"repro/internal/logic"
+	"repro/agg"
 	"repro/internal/provenance"
 	"repro/internal/semiring"
-	"repro/internal/structure"
 )
 
+// The 4-vertex graph of Example 21: edges ab, bc, ca, bd, da.
+var (
+	names = []string{"a", "b", "c", "d"}
+	edges = [][2]int{{0, 1}, {1, 2}, {2, 0}, {1, 3}, {3, 0}}
+)
+
+// edgeName maps the tuple (x, y) to the generator name e_{xy}.
+func edgeName(t []int) string { return "e" + names[t[0]] + names[t[1]] }
+
 func main() {
-	// The 4-vertex graph of Example 21: edges ab, bc, ca, bd, da.
-	sig := structure.MustSignature(
-		[]structure.RelSymbol{{Name: "E", Arity: 2}},
-		[]structure.WeightSymbol{{Name: "w", Arity: 2}},
-	)
-	names := []string{"a", "b", "c", "d"}
-	a := structure.NewStructure(sig, 4)
-	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}, {1, 3}, {3, 0}}
+	ctx := context.Background()
+	var b strings.Builder
+	b.WriteString("domain 4\nrel E 2\nwsym w 2\n")
 	for _, e := range edges {
-		a.MustAddTuple("E", e[0], e[1])
+		fmt.Fprintf(&b, "E %d %d\nw %d %d 1\n", e[0], e[1], e[0], e[1])
 	}
+	eng, err := agg.OpenReader(strings.NewReader(b.String()))
+	must(err)
 
-	// f(x) = Σ_{y,z} w(x,y)·w(y,z)·w(z,x) restricted to edges; we compute the
-	// closed version and read off the derivations.
-	f := expr.Agg([]string{"x", "y", "z"}, expr.Times(
-		expr.Guard(logic.Conj(logic.R("E", "x", "y"), logic.R("E", "y", "z"), logic.R("E", "z", "x"))),
-		expr.W("w", "x", "y"), expr.W("w", "y", "z"), expr.W("w", "z", "x"),
-	))
-	res, err := compile.Compile(a, f, compile.Options{})
-	if err != nil {
-		panic(err)
-	}
+	// Each edge weight is the formal generator e_{xy} of the free semiring;
+	// the other carriers below are its homomorphic images.
+	must(agg.Register(agg.NewSemiring[*provenance.Poly]("edge-prov", provenance.Free,
+		func(_ string, t []int, _ int64) *provenance.Poly {
+			return provenance.Var(provenance.Generator(edgeName(t)))
+		})))
+	must(agg.Register(agg.NewSemiring[int64]("edge-count", semiring.Nat,
+		func(string, []int, int64) int64 { return 1 })))
+	costs := map[string]int64{"eab": 1, "ebc": 4, "eca": 2, "ebd": 1, "eda": 1}
+	must(agg.Register(agg.NewSemiring[semiring.Ext]("edge-cost", semiring.MinPlus,
+		func(_ string, t []int, _ int64) semiring.Ext { return semiring.Fin(costs[edgeName(t)]) })))
+	must(agg.Register(agg.NewSemiring[bool]("without-bc", semiring.Bool,
+		func(_ string, t []int, _ int64) bool { return edgeName(t) != "ebc" })))
 
-	// Each edge weight is the formal generator e_{xy} of the free semiring,
-	// supplied to the circuit as a constant-delay iterator.
-	gen := func(t structure.Tuple) provenance.Generator {
-		return provenance.Generator("e" + names[t[0]] + names[t[1]])
-	}
-	inputs := func(k structure.WeightKey) enumerate.Value {
-		t := structure.ParseTupleKey(k.Tuple)
-		if k.Weight != "w" || !a.HasTuple("E", t...) {
-			return enumerate.Zero()
-		}
-		return enumerate.Gen(gen(t))
-	}
-	e := enumerate.New(res.Circuit, inputs)
+	// f = Σ_{x,y,z} [triangle(x,y,z)] · w(x,y) · w(y,z) · w(z,x), prepared
+	// once in the free semiring.
+	p, err := eng.Prepare(ctx,
+		"sum x, y, z . [E(x,y) & E(y,z) & E(z,x)] * w(x,y) * w(y,z) * w(z,x)",
+		agg.WithSemiring("edge-prov"))
+	must(err)
+
+	poly, err := p.Eval(ctx)
+	must(err)
 	fmt.Println("derivations of the triangle query (each triangle appears once per rotation):")
-	for _, m := range e.CollectAll(0) {
+	for _, m := range strings.Split(poly.String(), " + ") {
 		fmt.Printf("  %s\n", m)
 	}
 
-	// The universal property: specialise the provenance to other semirings.
-	poly := enumerate.EvaluateExplicit(res.Circuit, inputs)
-	count := provenance.Eval[int64](semiring.Nat, poly, func(provenance.Generator) int64 { return 1 })
-	fmt.Printf("\ncounting homomorphism (every edge ↦ 1):        %d derivations\n", count)
-	costs := map[provenance.Generator]int64{"eab": 1, "ebc": 4, "eca": 2, "ebd": 1, "eda": 1}
-	cheapest := provenance.Eval[semiring.Ext](semiring.MinPlus, poly, func(g provenance.Generator) semiring.Ext {
-		return semiring.Fin(costs[g])
-	})
-	fmt.Printf("min-cost homomorphism (edge costs %v): %s\n", costs, semiring.MinPlus.Format(cheapest))
-	without := provenance.Eval[bool](semiring.Bool, poly, func(g provenance.Generator) bool { return g != "ebc" })
-	fmt.Printf("does any triangle survive deleting edge bc?     %v\n", without)
+	// The universal property: the same circuit under homomorphic carriers.
+	count, err := evalIn(ctx, p, "edge-count")
+	must(err)
+	fmt.Printf("\ncounting homomorphism (every edge ↦ 1):        %s derivations\n", count)
+	cheapest, err := evalIn(ctx, p, "edge-cost")
+	must(err)
+	fmt.Printf("min-cost homomorphism (edge costs %v): %s\n", costs, cheapest)
+	without, err := evalIn(ctx, p, "without-bc")
+	must(err)
+	fmt.Printf("does any triangle survive deleting edge bc?     %s\n", without)
+}
+
+// evalIn rebinds the prepared query to the named carrier and evaluates it —
+// no recompilation, the frozen circuit is shared.
+func evalIn(ctx context.Context, p *agg.Prepared, carrier string) (agg.Value, error) {
+	q, err := p.In(carrier)
+	if err != nil {
+		return "", err
+	}
+	return q.Eval(ctx)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

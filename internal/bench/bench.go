@@ -748,6 +748,12 @@ func Registry(quick bool) []Experiment {
 	if !quick {
 		naiveCap = 500
 	}
+	// The E16 seed-era nested comparator enumerates all assignments
+	// (quadratic here), so its sizes stay modest.
+	e16Nested, e16Search := []int{500, 1000, 2000}, []int{20000, 60000}
+	if quick {
+		e16Nested, e16Search = []int{500, 1000}, []int{20000}
+	}
 	return []Experiment{
 		{"E1", func() *Table { return E1CircuitCompilation(sizes) }},
 		{"E2", func() *Table { return E2WeightedTriangles(sizes, naiveCap) }},
@@ -764,6 +770,7 @@ func Registry(quick bool) []Experiment {
 		{"E13", func() *Table { return E13BatchedUpdates(small, 10000, 1024, 64) }},
 		{"E14", func() *Table { return E14ProgramLayout(quick) }},
 		{"E15", func() *Table { return E15FacadeOverhead(small, 10) }},
+		{"E16", func() *Table { return E16Replatform(e16Nested, e16Search) }},
 	}
 }
 

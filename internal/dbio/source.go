@@ -21,7 +21,8 @@ type Source struct {
 	Path string
 
 	// Kind selects a generated workload (bounded-degree, grid, forest,
-	// pref-attach, road) when no reader, stdin or path is given.
+	// pref-attach, road, nested, search) when no reader, stdin or path is
+	// given.
 	Kind string
 	// N is the approximate number of elements of the generated database.
 	N int
@@ -50,8 +51,12 @@ func (src Source) Generate() (*workload.Database, error) {
 		return workload.PreferentialAttachment(n, src.degreeOr(2), src.Seed), nil
 	case "road":
 		return workload.RoadNetwork(side, side, n/10, src.Seed), nil
+	case "nested":
+		return workload.NestedAgg(n, src.degreeOr(3), src.Seed), nil
+	case "search":
+		return workload.Search(n, src.degreeOr(3), src.Seed), nil
 	default:
-		return nil, fmt.Errorf("dbio: unknown workload kind %q (available: bounded-degree, grid, forest, pref-attach, road)", src.Kind)
+		return nil, fmt.Errorf("dbio: unknown workload kind %q (available: bounded-degree, grid, forest, pref-attach, road, nested, search)", src.Kind)
 	}
 }
 

@@ -29,8 +29,6 @@ type Answers struct {
 	vars []string
 	// relState tracks membership of dynamic relation tuples after updates.
 	relState map[string]map[string]bool
-	// scratch is the reusable input-assignment buffer behind ApplyBatch.
-	scratch []InputAssignment
 }
 
 // EnumerateAnswers preprocesses the query ϕ over the structure a.  The
@@ -171,6 +169,26 @@ func decodeGenerator(g provenance.Generator) (varIdx int, elem structure.Element
 	}
 	elem, err = strconv.Atoi(parts[1])
 	return varIdx, elem, err
+}
+
+// Clone returns an independent enumerator over the same compilation and the
+// same current dynamic state.  The frozen circuit program and its CSR arrays
+// are shared; the per-gate enumeration state is rebuilt from the clone's own
+// input view with one linear preprocessing pass, after which updates to the
+// clone and to the original are fully isolated from each other.  Cloning is
+// how several local searches (or speculative update sequences) run
+// concurrently from one paid preprocessing.
+func (ans *Answers) Clone() *Answers {
+	c := &Answers{res: ans.res, vars: ans.vars, relState: make(map[string]map[string]bool, len(ans.relState))}
+	for rel, state := range ans.relState {
+		s := make(map[string]bool, len(state))
+		for k, v := range state {
+			s[k] = v
+		}
+		c.relState[rel] = s
+	}
+	c.enum = NewProgram(c.res.Program, c.inputCurrent)
+	return c
 }
 
 // Variables returns the answer variables in output order.
@@ -316,19 +334,24 @@ func (ans *Answers) ApplyBatch(changes []TupleChange) error {
 			return fmt.Errorf("enumerate: batch change %d: %w", i, err)
 		}
 	}
-	assigns := ans.scratch[:0]
+	// Feed the enumerator's input slots directly and run one coalesced wave
+	// at the end, instead of materialising an InputAssignment slice: local
+	// search commits many tiny batches, where the slice traffic would cost
+	// more than the coalescing saves.
+	touched := false
 	for _, ch := range changes {
 		ans.relState[ch.Rel][ch.Tuple.Key()] = ch.Present
 		pos, neg := compile.RelationInputKeys(ch.Rel, ch.Tuple)
-		assigns = append(assigns,
-			InputAssignment{Key: pos, Value: Bool(ch.Present)},
-			InputAssignment{Key: neg, Value: Bool(!ch.Present)})
+		if ans.enum.assign(pos, Bool(ch.Present)) {
+			touched = true
+		}
+		if ans.enum.assign(neg, Bool(!ch.Present)) {
+			touched = true
+		}
 	}
-	ans.enum.SetInputs(assigns)
-	// Zero the elements before truncating so the retained backing array does
-	// not pin the batch's keys and input values until the next large batch.
-	clear(assigns)
-	ans.scratch = assigns[:0]
+	if touched {
+		ans.enum.runWave()
+	}
 	return nil
 }
 

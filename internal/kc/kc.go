@@ -9,6 +9,11 @@
 // mutually exclusive alternatives (determinism).  These structural
 // properties are exactly what make counting, enumeration and updates cheap.
 //
+// Analysis runs on the frozen circuit.Program form — the artefact every
+// production engine executes — walking the CSR arrays directly, so the
+// properties are checked on exactly the object that is evaluated, maintained
+// and enumerated, not on the legacy builder graph.
+//
 // This package makes those properties checkable:
 //
 //   - Analyze computes, for every gate, the set of weight inputs it depends
@@ -19,7 +24,7 @@
 //     circuits of Theorem 24 this is exactly the number of query answers.
 //   - FactorizationReport quantifies how much smaller the circuit is than
 //     the flat table of answers it represents.
-//   - DOT renders the circuit for inspection with Graphviz.
+//   - DOT renders the program for inspection with Graphviz.
 package kc
 
 import (
@@ -34,10 +39,10 @@ import (
 	"repro/internal/structure"
 )
 
-// Analysis holds per-gate dependency information for a circuit.
+// Analysis holds per-gate dependency information for a frozen program.
 type Analysis struct {
-	c *circuit.Circuit
-	// vars lists the weight inputs of the circuit in a fixed order.
+	p *circuit.Program
+	// vars lists the weight inputs of the program in a fixed order.
 	vars []structure.WeightKey
 	// varIndex maps an input gate id to its position in vars.
 	varIndex map[int]int
@@ -45,7 +50,7 @@ type Analysis struct {
 	sets []bitset
 }
 
-// bitset is a fixed-width bitset over the circuit's input variables.
+// bitset is a fixed-width bitset over the program's input variables.
 type bitset []uint64
 
 func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
@@ -75,30 +80,30 @@ func (b bitset) count() int {
 	return total
 }
 
-// Analyze computes the input-dependency sets of every gate.
-func Analyze(c *circuit.Circuit) *Analysis {
-	a := &Analysis{c: c, varIndex: map[int]int{}}
-	for id, g := range c.Gates {
-		if g.Kind == circuit.KindInput {
+// Analyze computes the input-dependency sets of every gate by one pass over
+// the program in id (hence topological) order.
+func Analyze(p *circuit.Program) *Analysis {
+	a := &Analysis{p: p, varIndex: map[int]int{}}
+	n := p.NumGates()
+	for id := 0; id < n; id++ {
+		if p.GateKind(id) == circuit.KindInput {
 			a.varIndex[id] = len(a.vars)
-			a.vars = append(a.vars, g.Key)
+			a.vars = append(a.vars, p.InputKey(id))
 		}
 	}
-	a.sets = make([]bitset, len(c.Gates))
-	for id, g := range c.Gates {
+	a.sets = make([]bitset, n)
+	for id := 0; id < n; id++ {
 		s := newBitset(len(a.vars))
-		switch g.Kind {
+		switch p.GateKind(id) {
 		case circuit.KindInput:
 			s.set(a.varIndex[id])
 		case circuit.KindConst:
 			// no dependencies
-		case circuit.KindAdd, circuit.KindMul:
-			for _, ch := range g.Children {
+		default:
+			// Add, Mul and Perm gates all list their operands in the
+			// children arena (entry gates in entry order for permanents).
+			for _, ch := range p.ChildIDs(id) {
 				s.or(a.sets[ch])
-			}
-		case circuit.KindPerm:
-			for _, e := range g.Entries {
-				s.or(a.sets[e.Gate])
 			}
 		}
 		a.sets[id] = s
@@ -106,10 +111,10 @@ func Analyze(c *circuit.Circuit) *Analysis {
 	return a
 }
 
-// Circuit returns the analysed circuit.
-func (a *Analysis) Circuit() *circuit.Circuit { return a.c }
+// Program returns the analysed program.
+func (a *Analysis) Program() *circuit.Program { return a.p }
 
-// Variables lists the weight inputs of the circuit in analysis order.
+// Variables lists the weight inputs of the program in analysis order.
 func (a *Analysis) Variables() []structure.WeightKey {
 	return append([]structure.WeightKey(nil), a.vars...)
 }
@@ -159,23 +164,24 @@ func (v Violation) String() string {
 // weight input, the circuit analogue of d-DNNF decomposability.
 func (a *Analysis) CheckDecomposable() []Violation {
 	var out []Violation
-	for id, g := range a.c.Gates {
-		switch g.Kind {
+	for id := 0; id < a.p.NumGates(); id++ {
+		switch a.p.GateKind(id) {
 		case circuit.KindMul:
-			for i := 0; i < len(g.Children); i++ {
-				for j := i + 1; j < len(g.Children); j++ {
-					if a.sets[g.Children[i]].intersects(a.sets[g.Children[j]]) {
+			kids := a.p.ChildIDs(id)
+			for i := 0; i < len(kids); i++ {
+				for j := i + 1; j < len(kids); j++ {
+					if a.sets[kids[i]].intersects(a.sets[kids[j]]) {
 						out = append(out, Violation{
 							Gate:     id,
 							Property: "decomposable",
 							Detail: fmt.Sprintf("children %d and %d share input variables",
-								g.Children[i], g.Children[j]),
+								kids[i], kids[j]),
 						})
 					}
 				}
 			}
 		case circuit.KindPerm:
-			cols := a.permColumnSets(g)
+			cols := a.permColumnSets(id)
 			keys := make([]int, 0, len(cols))
 			for c := range cols {
 				keys = append(keys, c)
@@ -198,16 +204,16 @@ func (a *Analysis) CheckDecomposable() []Violation {
 	return out
 }
 
-func (a *Analysis) permColumnSets(g circuit.Gate) map[int]bitset {
+func (a *Analysis) permColumnSets(id int) map[int]bitset {
 	cols := map[int]bitset{}
-	for _, e := range g.Entries {
-		s, ok := cols[e.Col]
+	a.p.ForEachPermEntry(id, func(row, col, gate int) {
+		s, ok := cols[col]
 		if !ok {
 			s = newBitset(len(a.vars))
-			cols[e.Col] = s
+			cols[col] = s
 		}
-		s.or(a.sets[e.Gate])
-	}
+		s.or(a.sets[gate])
+	})
 	return cols
 }
 
@@ -224,13 +230,13 @@ func (a *Analysis) CheckDeterministic() []Violation {
 	val := func(key structure.WeightKey) (*provenance.Poly, bool) {
 		return provenance.Var(provenance.Generator(key.Weight + ":" + key.Tuple)), true
 	}
-	polys := circuit.EvaluateAll[*provenance.Poly](a.c, free, val)
+	polys := circuit.EvaluateAllProgram[*provenance.Poly](a.p, free, val)
 	var out []Violation
 	for id, p := range polys {
 		if p == nil {
 			continue
 		}
-		kind := a.c.Gates[id].Kind
+		kind := a.p.GateKind(id)
 		if kind != circuit.KindAdd && kind != circuit.KindPerm {
 			continue
 		}
@@ -248,29 +254,40 @@ func (a *Analysis) CheckDeterministic() []Violation {
 	return out
 }
 
-// ModelCount evaluates the circuit in (ℤ, +, ·) with every input set to 1,
+// ModelCount evaluates the program in (ℤ, +, ·) with every input set to 1,
 // i.e. it counts the monomials of the represented polynomial with
 // multiplicity.  For an enumeration circuit this is the number of answers.
-func ModelCount(c *circuit.Circuit) *big.Int {
+func ModelCount(p *circuit.Program) *big.Int {
 	one := func(structure.WeightKey) (*big.Int, bool) { return big.NewInt(1), true }
-	return circuit.Evaluate[*big.Int](c, semiring.Big, one)
+	return circuit.EvaluateProgram[*big.Int](p, semiring.Big, one)
 }
 
-// SupportSize counts the distinct monomials of the circuit by evaluating it
+// SupportSize counts the distinct monomials of the program by evaluating it
 // in the free semiring; unlike ModelCount it collapses repeated monomials.
 // Intended for moderate circuits.
-func SupportSize(c *circuit.Circuit) int {
+func SupportSize(p *circuit.Program) int {
 	free := provenance.FreeSemiring{}
 	val := func(key structure.WeightKey) (*provenance.Poly, bool) {
 		return provenance.Var(provenance.Generator(key.Weight + ":" + key.Tuple)), true
 	}
-	return circuit.Evaluate[*provenance.Poly](c, free, val).NumTerms()
+	return circuit.EvaluateProgram[*provenance.Poly](p, free, val).NumTerms()
 }
 
-// FactorizationReport compares the circuit against the flat representation
+// Size returns the size measure used by the factorization report: the number
+// of gates plus the number of wires of the program (the length of the shared
+// children arena).
+func Size(p *circuit.Program) int {
+	wires := 0
+	for id := 0; id < p.NumGates(); id++ {
+		wires += len(p.ChildIDs(id))
+	}
+	return p.NumGates() + wires
+}
+
+// FactorizationReport compares the program against the flat representation
 // of the answer set it factorizes.
 type FactorizationReport struct {
-	// CircuitSize is the number of gates plus edges.
+	// CircuitSize is the number of gates plus wires.
 	CircuitSize int
 	// Answers is the number of represented monomials (answer tuples).
 	Answers *big.Int
@@ -283,12 +300,12 @@ type FactorizationReport struct {
 	CompressionRatio float64
 }
 
-// Factorization measures how compactly the circuit represents an answer set
+// Factorization measures how compactly the program represents an answer set
 // of the given arity.
-func Factorization(c *circuit.Circuit, arity int) FactorizationReport {
+func Factorization(p *circuit.Program, arity int) FactorizationReport {
 	report := FactorizationReport{
-		CircuitSize: c.Size(),
-		Answers:     ModelCount(c),
+		CircuitSize: Size(p),
+		Answers:     ModelCount(p),
 		Arity:       arity,
 	}
 	report.FlatCells = new(big.Int).Mul(report.Answers, big.NewInt(int64(arity)))
@@ -299,20 +316,21 @@ func Factorization(c *circuit.Circuit, arity int) FactorizationReport {
 	return report
 }
 
-// DOT renders the circuit in Graphviz dot syntax.  Input gates are labelled
+// DOT renders the program in Graphviz dot syntax.  Input gates are labelled
 // with their weight key, constants with their value, and permanent gates
 // with their matrix dimensions.
-func DOT(c *circuit.Circuit) string {
+func DOT(p *circuit.Program) string {
 	var b strings.Builder
 	b.WriteString("digraph circuit {\n  rankdir=BT;\n  node [fontname=\"monospace\"];\n")
-	for id, g := range c.Gates {
+	for id := 0; id < p.NumGates(); id++ {
 		var label, shape string
-		switch g.Kind {
+		switch p.GateKind(id) {
 		case circuit.KindInput:
-			label = fmt.Sprintf("%s(%s)", g.Key.Weight, g.Key.Tuple)
+			key := p.InputKey(id)
+			label = fmt.Sprintf("%s(%s)", key.Weight, key.Tuple)
 			shape = "box"
 		case circuit.KindConst:
-			label = g.N.String()
+			label = p.ConstBig(id).String()
 			shape = "box"
 		case circuit.KindAdd:
 			label = "+"
@@ -321,23 +339,24 @@ func DOT(c *circuit.Circuit) string {
 			label = "×"
 			shape = "circle"
 		case circuit.KindPerm:
-			label = fmt.Sprintf("perm %d×%d", g.Rows, g.Cols)
+			rows, cols := p.PermShape(id)
+			label = fmt.Sprintf("perm %d×%d", rows, cols)
 			shape = "diamond"
 		}
 		style := ""
-		if id == c.Output {
+		if id == p.OutputGate() {
 			style = ", penwidth=2"
 		}
 		fmt.Fprintf(&b, "  g%d [label=%q, shape=%s%s];\n", id, label, shape, style)
 	}
-	for id, g := range c.Gates {
-		if g.Kind == circuit.KindPerm {
-			for _, e := range g.Entries {
-				fmt.Fprintf(&b, "  g%d -> g%d [label=\"r%dc%d\"];\n", e.Gate, id, e.Row, e.Col)
-			}
+	for id := 0; id < p.NumGates(); id++ {
+		if p.GateKind(id) == circuit.KindPerm {
+			p.ForEachPermEntry(id, func(row, col, gate int) {
+				fmt.Fprintf(&b, "  g%d -> g%d [label=\"r%dc%d\"];\n", gate, id, row, col)
+			})
 			continue
 		}
-		for _, ch := range g.Children {
+		for _, ch := range p.ChildIDs(id) {
 			fmt.Fprintf(&b, "  g%d -> g%d;\n", ch, id)
 		}
 	}

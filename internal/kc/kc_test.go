@@ -62,7 +62,7 @@ func TestAnalyzeDependencies(t *testing.T) {
 	sum := c.Add(prod, wxy)
 	c.SetOutput(sum)
 
-	a := Analyze(c)
+	a := Analyze(c.Program())
 	if got := len(a.Variables()); got != 3 {
 		t.Fatalf("expected 3 variables, got %d", got)
 	}
@@ -89,7 +89,7 @@ func TestCheckDecomposableHandBuilt(t *testing.T) {
 	good := circuit.NewBuilder()
 	g := good.Mul(good.Input(key("u", 0)), good.Input(key("v", 1)))
 	good.SetOutput(g)
-	if v := Analyze(good).CheckDecomposable(); len(v) != 0 {
+	if v := Analyze(good.Program()).CheckDecomposable(); len(v) != 0 {
 		t.Errorf("decomposable circuit flagged: %v", v)
 	}
 
@@ -97,7 +97,7 @@ func TestCheckDecomposableHandBuilt(t *testing.T) {
 	in := bad.Input(key("u", 0))
 	b := bad.Mul(in, in)
 	bad.SetOutput(b)
-	violations := Analyze(bad).CheckDecomposable()
+	violations := Analyze(bad.Program()).CheckDecomposable()
 	if len(violations) == 0 {
 		t.Fatalf("u(0)·u(0) should violate decomposability")
 	}
@@ -116,7 +116,7 @@ func TestCheckDecomposableHandBuilt(t *testing.T) {
 		{Row: 1, Col: 1, Gate: other},
 	})
 	sharedPerm.SetOutput(p)
-	if v := Analyze(sharedPerm).CheckDecomposable(); len(v) == 0 {
+	if v := Analyze(sharedPerm.Program()).CheckDecomposable(); len(v) == 0 {
 		t.Errorf("permanent with shared columns should violate decomposability")
 	}
 
@@ -129,7 +129,7 @@ func TestCheckDecomposableHandBuilt(t *testing.T) {
 		{Row: 1, Col: 1, Gate: okPerm.Input(key("v", 1))},
 	})
 	okPerm.SetOutput(p2)
-	if v := Analyze(okPerm).CheckDecomposable(); len(v) != 0 {
+	if v := Analyze(okPerm.Program()).CheckDecomposable(); len(v) != 0 {
 		t.Errorf("column-disjoint permanent flagged: %v", v)
 	}
 }
@@ -152,7 +152,7 @@ func TestCompiledCircuitsAreDecomposable(t *testing.T) {
 		if err != nil {
 			t.Fatalf("query %d: compile: %v", i, err)
 		}
-		an := Analyze(res.Circuit)
+		an := Analyze(res.Program)
 		if v := an.CheckDecomposable(); len(v) != 0 {
 			t.Errorf("query %d: compiled circuit violates decomposability: %v", i, v[0])
 		}
@@ -167,7 +167,7 @@ func TestCheckDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := Analyze(res.Circuit).CheckDeterministic(); len(v) != 0 {
+	if v := Analyze(res.Program).CheckDeterministic(); len(v) != 0 {
 		t.Errorf("edge-pair circuit should be deterministic, got %v", v[0])
 	}
 
@@ -184,7 +184,7 @@ func TestCheckDeterministic(t *testing.T) {
 	if marked < 2 {
 		t.Fatalf("test structure should have at least 2 marked vertices")
 	}
-	if v := Analyze(resCount.Circuit).CheckDeterministic(); len(v) == 0 {
+	if v := Analyze(resCount.Program).CheckDeterministic(); len(v) == 0 {
 		t.Errorf("pure counting circuit should not be deterministic")
 	}
 }
@@ -196,10 +196,10 @@ func TestModelCountMatchesNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := big.NewInt(int64(len(a.Tuples("E"))))
-	if got := ModelCount(res.Circuit); got.Cmp(want) != 0 {
+	if got := ModelCount(res.Program); got.Cmp(want) != 0 {
 		t.Errorf("ModelCount = %s, want %s (one monomial per edge)", got, want)
 	}
-	if got := SupportSize(res.Circuit); int64(got) != want.Int64() {
+	if got := SupportSize(res.Program); int64(got) != want.Int64() {
 		t.Errorf("SupportSize = %d, want %s", got, want)
 	}
 }
@@ -210,7 +210,7 @@ func TestFactorizationReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := Factorization(res.Circuit, 2)
+	rep := Factorization(res.Program, 2)
 	if rep.Answers.Int64() != int64(len(a.Tuples("E"))) {
 		t.Errorf("Answers = %s, want %d", rep.Answers, len(a.Tuples("E")))
 	}
@@ -247,7 +247,7 @@ func TestModelCountAgreesWithNatEvaluation(t *testing.T) {
 		ones.Set("v", structure.Tuple{x}, 1)
 	}
 	nat := compile.Evaluate[int64](res, semiring.Nat, ones)
-	if got := ModelCount(res.Circuit).Int64(); got != nat {
+	if got := ModelCount(res.Program).Int64(); got != nat {
 		t.Errorf("ModelCount = %d, ℕ evaluation with unit weights = %d", got, nat)
 	}
 }
@@ -263,7 +263,7 @@ func TestDOT(t *testing.T) {
 	out := c.Add(p, c.ConstInt(3))
 	c.SetOutput(out)
 
-	dot := DOT(c)
+	dot := DOT(c.Program())
 	for _, want := range []string{"digraph circuit", "perm 2×2", "shape=diamond", "->", "penwidth=2", "label=\"r1c1\""} {
 		if !strings.Contains(dot, want) {
 			t.Errorf("DOT output missing %q:\n%s", want, dot)

@@ -1,0 +1,123 @@
+package localsearch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/enumerate"
+	"repro/internal/logic"
+	"repro/internal/structure"
+)
+
+// randomSearchStructure builds a random undirected bounded-degree graph with
+// the empty unary solution predicates S and B, plus the adjacency lists the
+// drivers need for their update steps.
+func randomSearchStructure(t *testing.T, n int, seed int64) (*structure.Structure, [][]int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	sig := structure.MustSignature(
+		[]structure.RelSymbol{
+			{Name: "E", Arity: 2},
+			{Name: "S", Arity: 1},
+			{Name: "B", Arity: 1},
+		},
+		nil,
+	)
+	a := structure.NewStructure(sig, n)
+	neighbors := make([][]int, n)
+	for v := 0; v < n; v++ {
+		deg := r.Intn(4) + 1
+		for i := 0; i < deg; i++ {
+			u := r.Intn(n)
+			if u != v && !a.HasTuple("E", v, u) {
+				a.MustAddTuple("E", v, u)
+				a.MustAddTuple("E", u, v)
+				neighbors[v] = append(neighbors[v], u)
+				neighbors[u] = append(neighbors[u], v)
+			}
+		}
+	}
+	return a, neighbors
+}
+
+// TestBatchedSearchMatchesPerTuple runs the same maximal-independent-set
+// local search twice on each random graph — once committing every round
+// through a single batched ApplyAll wave, once through per-tuple Apply calls
+// — and requires the two drivers to walk the identical improvement sequence
+// to the identical local optimum.
+func TestBatchedSearchMatchesPerTuple(t *testing.T) {
+	phi := logic.Conj(logic.Neg(logic.R("S", "x")), logic.Neg(logic.R("B", "x")))
+	for seed := int64(1); seed <= 4; seed++ {
+		a, neighbors := randomSearchStructure(t, 60+int(seed)*13, seed)
+
+		run := func(batched bool) []int {
+			s, err := New(a, phi, []string{"x"}, []string{"S", "B"})
+			if err != nil {
+				t.Fatalf("seed %d: New: %v", seed, err)
+			}
+			var solution []int
+			for {
+				tpl, ok := s.FindImprovement()
+				if !ok {
+					return solution
+				}
+				v := tpl[0]
+				solution = append(solution, v)
+				if batched {
+					changes := []enumerate.TupleChange{
+						{Rel: "S", Tuple: structure.Tuple{v}, Present: true},
+						{Rel: "B", Tuple: structure.Tuple{v}, Present: true},
+					}
+					for _, u := range neighbors[v] {
+						changes = append(changes, enumerate.TupleChange{Rel: "B", Tuple: structure.Tuple{u}, Present: true})
+					}
+					if err := s.ApplyAll(changes); err != nil {
+						t.Fatalf("seed %d: ApplyAll: %v", seed, err)
+					}
+					continue
+				}
+				for _, ch := range [][2]any{{"S", v}, {"B", v}} {
+					if err := s.Apply(ch[0].(string), structure.Tuple{ch[1].(int)}, true); err != nil {
+						t.Fatalf("seed %d: Apply: %v", seed, err)
+					}
+				}
+				for _, u := range neighbors[v] {
+					if err := s.Apply("B", structure.Tuple{u}, true); err != nil {
+						t.Fatalf("seed %d: Apply: %v", seed, err)
+					}
+				}
+			}
+		}
+
+		batched, perTuple := run(true), run(false)
+		if len(batched) != len(perTuple) {
+			t.Fatalf("seed %d: batched found %d improvements, per-tuple %d", seed, len(batched), len(perTuple))
+		}
+		for i := range batched {
+			if batched[i] != perTuple[i] {
+				t.Fatalf("seed %d: round %d picked %d (batched) vs %d (per-tuple)", seed, i, batched[i], perTuple[i])
+			}
+		}
+		inSolution := map[int]bool{}
+		for _, v := range batched {
+			inSolution[v] = true
+		}
+		for v, ns := range neighbors {
+			if inSolution[v] {
+				for _, u := range ns {
+					if inSolution[u] {
+						t.Fatalf("seed %d: solution is not independent: edge %d–%d", seed, v, u)
+					}
+				}
+				continue
+			}
+			blocked := false
+			for _, u := range ns {
+				blocked = blocked || inSolution[u]
+			}
+			if !blocked {
+				t.Fatalf("seed %d: solution is not maximal: free vertex %d", seed, v)
+			}
+		}
+	}
+}

@@ -62,6 +62,14 @@ func (s *Searcher) Apply(rel string, tuple structure.Tuple, present bool) error 
 	return s.ans.SetTuple(rel, tuple, present)
 }
 
+// ApplyAll applies one round's worth of changes with a single propagation
+// wave over the frozen program (enumerate.Answers.ApplyBatch), so gates
+// shared by several of the round's updates are revisited once instead of
+// once per update.  The batch is all-or-nothing.
+func (s *Searcher) ApplyAll(changes []enumerate.TupleChange) error {
+	return s.ans.ApplyBatch(changes)
+}
+
 // Rounds reports how many improvements have been found so far.
 func (s *Searcher) Rounds() int { return s.rounds }
 
@@ -129,6 +137,7 @@ func MaximalIndependentSet(g *graph.Graph) (*Result, error) {
 
 	start = time.Now()
 	var solution []int
+	var changes []enumerate.TupleChange
 	for {
 		t, ok := s.FindImprovement()
 		if !ok {
@@ -136,16 +145,16 @@ func MaximalIndependentSet(g *graph.Graph) (*Result, error) {
 		}
 		v := t[0]
 		solution = append(solution, v)
-		if err := s.Apply("S", structure.Tuple{v}, true); err != nil {
-			return nil, err
-		}
-		if err := s.Apply("Blocked", structure.Tuple{v}, true); err != nil {
-			return nil, err
-		}
+		// Selecting v selects and blocks it and blocks its neighbourhood:
+		// one batched wave per round instead of deg(v)+2 propagations.
+		changes = append(changes[:0],
+			enumerate.TupleChange{Rel: "S", Tuple: structure.Tuple{v}, Present: true},
+			enumerate.TupleChange{Rel: "Blocked", Tuple: structure.Tuple{v}, Present: true})
 		for _, u := range g.Neighbors(v) {
-			if err := s.Apply("Blocked", structure.Tuple{u}, true); err != nil {
-				return nil, err
-			}
+			changes = append(changes, enumerate.TupleChange{Rel: "Blocked", Tuple: structure.Tuple{u}, Present: true})
+		}
+		if err := s.ApplyAll(changes); err != nil {
+			return nil, err
 		}
 	}
 	return &Result{
@@ -172,6 +181,7 @@ func MinimalDominatingSet(g *graph.Graph) (*Result, error) {
 	start = time.Now()
 	var solution []int
 	inSolution := make([]bool, g.N())
+	var changes []enumerate.TupleChange
 	for {
 		t, ok := s.FindImprovement()
 		if !ok {
@@ -180,16 +190,15 @@ func MinimalDominatingSet(g *graph.Graph) (*Result, error) {
 		v := t[0]
 		solution = append(solution, v)
 		inSolution[v] = true
-		if err := s.Apply("S", structure.Tuple{v}, true); err != nil {
-			return nil, err
-		}
-		if err := s.Apply("Dom", structure.Tuple{v}, true); err != nil {
-			return nil, err
-		}
+		// One batched wave dominates v's closed neighbourhood.
+		changes = append(changes[:0],
+			enumerate.TupleChange{Rel: "S", Tuple: structure.Tuple{v}, Present: true},
+			enumerate.TupleChange{Rel: "Dom", Tuple: structure.Tuple{v}, Present: true})
 		for _, u := range g.Neighbors(v) {
-			if err := s.Apply("Dom", structure.Tuple{u}, true); err != nil {
-				return nil, err
-			}
+			changes = append(changes, enumerate.TupleChange{Rel: "Dom", Tuple: structure.Tuple{u}, Present: true})
+		}
+		if err := s.ApplyAll(changes); err != nil {
+			return nil, err
 		}
 	}
 

@@ -1,0 +1,167 @@
+package nested
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// randomNestedDB builds a random bounded-degree digraph with a total unary
+// guard V, a Nat-valued vertex weight u and a MinPlus-valued vertex cost c.
+func randomNestedDB(t *testing.T, n int, seed int64) *Database {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	sig := structure.MustSignature(
+		[]structure.RelSymbol{{Name: "E", Arity: 2}, {Name: "V", Arity: 1}},
+		nil,
+	)
+	a := structure.NewStructure(sig, n)
+	for v := 0; v < n; v++ {
+		a.MustAddTuple("V", v)
+		deg := r.Intn(3) + 1
+		for i := 0; i < deg; i++ {
+			if u := r.Intn(n); u != v {
+				a.MustAddTuple("E", v, u)
+			}
+		}
+	}
+	db := NewDatabase(a)
+	if err := db.DeclareSRelation("u", NatSemiring, 1); err != nil {
+		t.Fatalf("declare u: %v", err)
+	}
+	if err := db.DeclareSRelation("c", MinPlus, 1); err != nil {
+		t.Fatalf("declare c: %v", err)
+	}
+	for v := 0; v < n; v++ {
+		if err := db.SetValue("u", structure.Tuple{v}, int64(r.Intn(9))); err != nil {
+			t.Fatalf("set u(%d): %v", v, err)
+		}
+		if err := db.SetValue("c", structure.Tuple{v}, semiring.Fin(int64(r.Intn(20)))); err != nil {
+			t.Fatalf("set c(%d): %v", v, err)
+		}
+	}
+	return db
+}
+
+// differentialQueries returns closed and unary query shapes exercising every
+// formula constructor and the builtin connectives, across the Nat, MinPlus,
+// MaxPlus and boolean carriers.
+func differentialQueries() map[string]Formula {
+	edgeSumU := func(x string) Formula {
+		return Sum([]string{"y"}, Times(Bracket(NatSemiring, B("E", x, "y")), S(NatSemiring, "u", "y")))
+	}
+	degree := Sum([]string{"y"}, Bracket(NatSemiring, B("E", "x", "y")))
+	avg := Guard("V", []string{"x"}, RatioNat, edgeSumU("x"), degree)
+	cheapestNeighbour := Sum([]string{"y"},
+		Times(Bracket(MinPlus, B("E", "x", "y")), S(MinPlus, "c", "y")))
+	heavy := Guard("V", []string{"y"}, GreaterThan(NatSemiring),
+		S(NatSemiring, "u", "y"),
+		Sum([]string{"z"}, Times(Bracket(NatSemiring, B("E", "y", "z")), S(NatSemiring, "u", "z"))))
+	return map[string]Formula{
+		// Closed Nat aggregation with a constant and an addition.
+		"closed-nat": Sum([]string{"x"}, Plus(edgeSumU("x"), Val(NatSemiring, int64(1)))),
+		// The introduction's max-average query: ratio + max-plus connectives.
+		"closed-max-avg": Sum([]string{"x"}, Guard("V", []string{"x"}, IntoMaxPlus, avg)),
+		// Unary Nat aggregation evaluated pointwise.
+		"unary-nat": edgeSumU("x"),
+		// Unary MinPlus aggregation: cheapest out-neighbour cost.
+		"unary-minplus": cheapestNeighbour,
+		// Boolean query with negation under an existential.
+		"unary-bool": Exists([]string{"y"}, Times(B("E", "x", "y"), Neg(B("E", "y", "x")))),
+		// Nested boolean query: has an out-neighbour heavier than its own
+		// out-neighbourhood (a guarded comparison two levels deep).
+		"unary-heavy": Exists([]string{"y"}, Times(B("E", "x", "y"), heavy)),
+		// AtLeast connective against a constant threshold.
+		"unary-atleast": Guard("V", []string{"x"}, AtLeast(NatSemiring), edgeSumU("x"), Val(NatSemiring, int64(8))),
+	}
+}
+
+// TestEvaluatorMatchesReference cross-checks the Program-backed evaluator
+// against the direct-recursion reference semantics on random databases, for
+// closed formulas and pointwise over every element for unary ones.
+func TestEvaluatorMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		db := randomNestedDB(t, 16+int(seed)*7, seed)
+		for name, f := range differentialQueries() {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				ev := NewEvaluator(db, compile.Options{})
+				out := f.Out()
+				if len(FreeVars(f)) == 0 {
+					got, err := ev.EvalClosed(f)
+					if err != nil {
+						t.Fatalf("EvalClosed: %v", err)
+					}
+					want, err := ReferenceEvalClosed(db, f)
+					if err != nil {
+						t.Fatalf("ReferenceEvalClosed: %v", err)
+					}
+					if !out.Equal(got, want) {
+						t.Fatalf("closed: got %s, reference %s", out.Format(got), out.Format(want))
+					}
+					return
+				}
+				tuples := make([]structure.Tuple, db.A.N)
+				for v := 0; v < db.A.N; v++ {
+					tuples[v] = structure.Tuple{v}
+				}
+				got, err := ev.EvalAt(f, []string{"x"}, tuples)
+				if err != nil {
+					t.Fatalf("EvalAt: %v", err)
+				}
+				for v := 0; v < db.A.N; v++ {
+					want, err := ReferenceEvalAt(db, f, map[string]structure.Element{"x": structure.Element(v)})
+					if err != nil {
+						t.Fatalf("ReferenceEvalAt(%d): %v", v, err)
+					}
+					if !out.Equal(got[v], want) {
+						t.Fatalf("at x=%d: got %s, reference %s", v, out.Format(got[v]), out.Format(want))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEnumerateBoolMatchesReference checks that the answer set enumerated for
+// a boolean nested query is exactly the set of elements where the reference
+// recursion returns true.
+func TestEnumerateBoolMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		db := randomNestedDB(t, 24, seed*11)
+		heavy := Guard("V", []string{"y"}, GreaterThan(NatSemiring),
+			S(NatSemiring, "u", "y"),
+			Sum([]string{"z"}, Times(Bracket(NatSemiring, B("E", "y", "z")), S(NatSemiring, "u", "z"))))
+		f := Exists([]string{"y"}, Times(B("E", "x", "y"), heavy))
+
+		ev := NewEvaluator(db, compile.Options{})
+		ans, err := ev.EnumerateBool(f, []string{"x"})
+		if err != nil {
+			t.Fatalf("EnumerateBool: %v", err)
+		}
+		got := map[int]bool{}
+		cur := ans.Cursor()
+		for {
+			tpl, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if got[tpl[0]] {
+				t.Fatalf("element %d enumerated twice", tpl[0])
+			}
+			got[tpl[0]] = true
+		}
+		for v := 0; v < db.A.N; v++ {
+			want, err := ReferenceEvalAt(db, f, map[string]structure.Element{"x": structure.Element(v)})
+			if err != nil {
+				t.Fatalf("ReferenceEvalAt(%d): %v", v, err)
+			}
+			if got[v] != want.(bool) {
+				t.Fatalf("seed %d, x=%d: enumerated=%v, reference=%v", seed, v, got[v], want)
+			}
+		}
+	}
+}

@@ -5,10 +5,11 @@ import (
 	"sort"
 
 	"repro/internal/compile"
+	"repro/internal/dynamicq"
 	"repro/internal/enumerate"
 	"repro/internal/expr"
 	"repro/internal/logic"
-	"repro/internal/qe"
+	"repro/internal/semiring"
 	"repro/internal/structure"
 )
 
@@ -47,10 +48,11 @@ func (db *Database) DeclareSRelation(name string, s Semiring, arity int) error {
 	return nil
 }
 
-// SetValue assigns a value to a tuple of an S-relation.  Values of arity ≥ 2
-// must be set only on tuples whose elements appear together in some boolean
-// relation (the Gaifman-graph discipline of the paper).
-func (db *Database) SetValue(name string, tuple structure.Tuple, v any) error {
+// CheckValue validates an S-relation assignment without performing it: the
+// relation must be declared, the tuple must match its arity, and values of
+// arity ≥ 2 must sit on tuples of some boolean relation (the Gaifman-graph
+// discipline of the paper).
+func (db *Database) CheckValue(name string, tuple structure.Tuple) error {
 	rel, ok := db.srel[name]
 	if !ok {
 		return fmt.Errorf("nested: unknown S-relation %q", name)
@@ -61,6 +63,35 @@ func (db *Database) SetValue(name string, tuple structure.Tuple, v any) error {
 	if rel.arity >= 2 && !db.tupleInSomeRelation(tuple) {
 		return fmt.Errorf("nested: S-relation values of arity ≥ 2 may only be set on tuples of some boolean relation (Gaifman-graph discipline); %s%v is not such a tuple", name, tuple)
 	}
+	return nil
+}
+
+// CheckTuple validates a boolean-relation membership update without
+// performing it.
+func (db *Database) CheckTuple(rel string, tuple structure.Tuple) error {
+	decl, ok := db.A.Sig.Relation(rel)
+	if !ok {
+		return fmt.Errorf("nested: unknown boolean relation %q", rel)
+	}
+	if len(tuple) != decl.Arity {
+		return fmt.Errorf("nested: relation %q has arity %d, got tuple of length %d", rel, decl.Arity, len(tuple))
+	}
+	for _, e := range tuple {
+		if e < 0 || e >= db.A.N {
+			return fmt.Errorf("nested: element %d out of domain [0,%d)", e, db.A.N)
+		}
+	}
+	return nil
+}
+
+// SetValue assigns a value to a tuple of an S-relation.  Values of arity ≥ 2
+// must be set only on tuples whose elements appear together in some boolean
+// relation (the Gaifman-graph discipline of the paper).
+func (db *Database) SetValue(name string, tuple structure.Tuple, v any) error {
+	if err := db.CheckValue(name, tuple); err != nil {
+		return err
+	}
+	rel := db.srel[name]
 	key := tuple.Key()
 	if _, seen := rel.values[key]; !seen {
 		rel.tuples = append(rel.tuples, tuple.Clone())
@@ -80,6 +111,50 @@ func (db *Database) tupleInSomeRelation(tuple structure.Tuple) bool {
 	return false
 }
 
+// SetTuple sets the membership of a tuple in a boolean relation of the
+// database.  Unlike the circuit-input updates of dynamic sessions, this
+// mutates the underlying structure, so evaluators built afterwards see the
+// change; evaluators built before keep their snapshot.
+func (db *Database) SetTuple(rel string, tuple structure.Tuple, present bool) error {
+	if _, ok := db.A.Sig.Relation(rel); !ok {
+		return fmt.Errorf("nested: unknown boolean relation %q", rel)
+	}
+	if present {
+		return db.A.AddTuple(rel, tuple...)
+	}
+	return db.A.RemoveTuple(rel, tuple...)
+}
+
+// SRelation reports the semiring and arity of a declared S-relation.
+func (db *Database) SRelation(name string) (s Semiring, arity int, ok bool) {
+	rel, ok := db.srel[name]
+	if !ok {
+		return nil, 0, false
+	}
+	return rel.s, rel.arity, true
+}
+
+// Clone returns a deep copy of the database: the structure, the S-relation
+// declarations and their values are all private to the copy.  Used by
+// sessions that mutate a database without disturbing the original.
+func (db *Database) Clone() *Database {
+	c := &Database{A: db.A.Clone(), srel: make(map[string]*sRelation, len(db.srel))}
+	for name, r := range db.srel {
+		nr := &sRelation{
+			name:   r.name,
+			arity:  r.arity,
+			s:      r.s,
+			values: make(map[string]any, len(r.values)),
+			tuples: append([]structure.Tuple(nil), r.tuples...),
+		}
+		for k, v := range r.values {
+			nr.values[k] = v
+		}
+		c.srel[name] = nr
+	}
+	return c
+}
+
 // Value returns the value of an S-relation at a tuple (zero when unset).
 func (db *Database) Value(name string, tuple structure.Tuple) any {
 	rel, ok := db.srel[name]
@@ -95,6 +170,10 @@ func (db *Database) Value(name string, tuple structure.Tuple) any {
 // ---------------------------------------------------------------------------
 // Validation
 // ---------------------------------------------------------------------------
+
+// Check validates semiring consistency and symbol usage of a formula against
+// the database, without evaluating anything.
+func (db *Database) Check(f Formula) error { return db.check(f) }
 
 // check validates semiring consistency and symbol usage of a formula.
 func (db *Database) check(f Formula) error {
@@ -172,6 +251,9 @@ func (db *Database) check(f Formula) error {
 		return fmt.Errorf("nested: unknown formula type %T", f)
 	}
 }
+
+// FreeVars returns the free variables of a formula in sorted order.
+func FreeVars(f Formula) []string { return freeVars(f) }
 
 // freeVars computes the free variables of a nested formula.
 func freeVars(f Formula) []string {
@@ -464,26 +546,39 @@ func (ev *Evaluator) evalResidueAt(f Formula, vars []string, tuples []structure.
 	return f.Out().evalAtTuples(base, weights, e, vars, tuples, ev.opts)
 }
 
-// evalBooleanAt evaluates a quantified boolean formula at assignment tuples,
-// applying quantifier elimination once so that per-tuple evaluation is
-// quantifier free.
+// evalBooleanAt evaluates a quantified boolean formula at assignment tuples.
+// The formula is compiled once — as the weighted expression [ϕ] over the
+// boolean semiring, with quantifier elimination applied inside the compiler —
+// into a shared frozen circuit.Program, and every tuple is then read from a
+// dynamic session over that program (Theorem 8), replacing the seed-era path
+// that re-ran first-order model checking per tuple.
 func (ev *Evaluator) evalBooleanAt(phi logic.Formula, vars []string, tuples []structure.Tuple) ([]any, error) {
-	work := ev.work
-	f := phi
-	if !logic.IsQuantifierFree(phi) {
-		res, err := qe.Eliminate(work, phi, ev.opts.DynamicRelations)
+	q, err := dynamicq.CompileQuery[bool](semiring.Bool, ev.work, structure.NewWeights[bool](), expr.Guard(phi), ev.opts)
+	if err != nil {
+		return nil, err
+	}
+	queryVars := q.FreeVars()
+	out := make([]any, len(tuples))
+	args := make([]structure.Element, len(queryVars))
+	for i, t := range tuples {
+		for j, v := range queryVars {
+			found := false
+			for vi, name := range vars {
+				if name == v {
+					args[j] = t[vi]
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("nested: free variable %q of a boolean residue is not bound by the guard variables %v", v, vars)
+			}
+		}
+		val, err := q.Value(args...)
 		if err != nil {
 			return nil, err
 		}
-		work, f = res.Structure, res.Formula
-	}
-	out := make([]any, len(tuples))
-	env := map[string]structure.Element{}
-	for i, t := range tuples {
-		for j, v := range vars {
-			env[v] = t[j]
-		}
-		out[i] = logic.Eval(f, work, env)
+		out[i] = val
 	}
 	return out, nil
 }

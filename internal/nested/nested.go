@@ -12,6 +12,13 @@
 // semiring and is evaluated by the compiler; boolean-valued formulas
 // additionally support constant-delay answer enumeration (package
 // enumerate), which is result (E) of the paper.
+//
+// Every stage — S-valued connective arguments, boolean residues, and the
+// final flat expression alike — is compiled once to a shared frozen
+// circuit.Program and read per guard tuple through dynamicq's frozen
+// sessions; nothing in this package walks a legacy builder circuit at
+// execution time.  ReferenceEvalAt keeps the direct recursive semantics as a
+// differential-testing oracle.
 package nested
 
 import (

@@ -1,0 +1,36 @@
+package qe
+
+// Error is the typed failure of an elimination run.  Every rejection of a
+// formula by the guarded-existential fragment is reported through this type,
+// so callers (in particular the repro/agg facade, which folds these into its
+// ErrCompile taxonomy with position metadata) can branch on structured
+// fields instead of message substrings.
+type Error struct {
+	// Var is the quantified variable whose elimination failed ("" when the
+	// failure is not tied to one quantifier).
+	Var string
+	// Formula is the printed subformula the failure refers to ("" when not
+	// applicable).
+	Formula string
+	// Detail is the human-readable reason.
+	Detail string
+	// Err is the underlying cause (may be nil).
+	Err error
+}
+
+func (e *Error) Error() string {
+	msg := "qe: " + e.Detail
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// failf builds a fragment-rejection error for the quantifier on v over the
+// printed subformula.
+func failf(v, formula, detail string) *Error {
+	return &Error{Var: v, Formula: formula, Detail: detail}
+}

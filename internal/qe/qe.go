@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/logic"
+	"repro/internal/parser"
 	"repro/internal/structure"
 )
 
@@ -93,7 +94,7 @@ func (e *eliminator) extend(name string, members map[structure.Element]bool) err
 	rels := append(append([]structure.RelSymbol(nil), e.sig.Relations...), structure.RelSymbol{Name: name, Arity: 1})
 	sig, err := structure.NewSignature(rels, e.sig.Weights)
 	if err != nil {
-		return fmt.Errorf("qe: extending signature with %s: %w", name, err)
+		return &Error{Detail: fmt.Sprintf("extending signature with %s", name), Err: err}
 	}
 	ext := structure.NewStructure(sig, e.work.N)
 	for _, r := range e.sig.Relations {
@@ -162,14 +163,15 @@ func (e *eliminator) rewrite(f logic.Formula) (logic.Formula, error) {
 		}
 		return e.eliminateExists(g.Var, arg)
 	default:
-		return nil, fmt.Errorf("qe: unknown formula type %T", f)
+		return nil, &Error{Detail: fmt.Sprintf("unknown formula type %T", f)}
 	}
 }
 
 // eliminateExists handles ∃y ψ for quantifier-free ψ.
 func (e *eliminator) eliminateExists(y string, psi logic.Formula) (logic.Formula, error) {
 	if !logic.IsQuantifierFree(psi) {
-		return nil, fmt.Errorf("qe: nested quantifier under ∃%s could not be eliminated", y)
+		return nil, failf(y, parser.FormatFormula(psi),
+			fmt.Sprintf("nested quantifier under ∃%s could not be eliminated", y))
 	}
 	free := logic.FreeVars(psi)
 	hasY := false
@@ -204,7 +206,8 @@ func (e *eliminator) eliminateExists(y string, psi logic.Formula) (logic.Formula
 			continue
 		}
 		if a, ok := atom.(logic.Atom); ok && e.forbidden[a.Rel] {
-			return nil, fmt.Errorf("qe: quantified variable %s occurs in dynamic relation %s; dynamic relations cannot appear under quantifiers", y, a.Rel)
+			return nil, failf(y, parser.FormatFormula(psi),
+				fmt.Sprintf("quantified variable %s occurs in dynamic relation %s; dynamic relations cannot appear under quantifiers", y, a.Rel))
 		}
 		for _, v := range vars {
 			if v == y {
@@ -213,7 +216,8 @@ func (e *eliminator) eliminateExists(y string, psi logic.Formula) (logic.Formula
 			if guard == "" {
 				guard = v
 			} else if guard != v {
-				return nil, fmt.Errorf("qe: ∃%s is not guarded: atoms link %s to both %s and %s (outside the supported fragment, see DESIGN.md §3)", y, y, guard, v)
+				return nil, failf(y, parser.FormatFormula(psi),
+					fmt.Sprintf("∃%s is not guarded: atoms link %s to both %s and %s (outside the supported fragment, see DESIGN.md §3)", y, y, guard, v))
 			}
 		}
 	}
@@ -221,7 +225,8 @@ func (e *eliminator) eliminateExists(y string, psi logic.Formula) (logic.Formula
 		// Every atom involving y is unary in y.  If ψ has no other free
 		// variables, ∃y ψ is a sentence that can be evaluated right now.
 		if len(others) != 0 {
-			return nil, fmt.Errorf("qe: ∃%s mixes atoms on %s with free variables %v without a common guard (outside the supported fragment)", y, y, others)
+			return nil, failf(y, parser.FormatFormula(psi),
+				fmt.Sprintf("∃%s mixes atoms on %s with free variables %v without a common guard (outside the supported fragment)", y, y, others))
 		}
 		holds := logic.Eval(logic.Exists{Var: y, Arg: psi}, e.work, map[string]structure.Element{})
 		if holds {
@@ -233,7 +238,8 @@ func (e *eliminator) eliminateExists(y string, psi logic.Formula) (logic.Formula
 	// free variables.
 	for _, v := range others {
 		if v != guard {
-			return nil, fmt.Errorf("qe: ∃%s ψ has free variables %v besides the guard %s (outside the supported fragment, see DESIGN.md §3)", y, others, guard)
+			return nil, failf(y, parser.FormatFormula(psi),
+				fmt.Sprintf("∃%s ψ has free variables %v besides the guard %s (outside the supported fragment, see DESIGN.md §3)", y, others, guard))
 		}
 	}
 	// Materialise the derived predicate P(guard) ≡ ∃y ψ(guard, y) by

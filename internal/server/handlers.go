@@ -37,6 +37,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /update", s.wrap(s.handleUpdate))
 	mux.HandleFunc("POST /batch", s.wrap(s.handleBatch))
 	mux.HandleFunc("GET /enumerate", s.wrap(s.handleEnumerate))
+	mux.HandleFunc("GET /analyze", s.wrap(s.handleAnalyze))
 	mux.HandleFunc("GET /stats", s.wrap(s.handleStats))
 	mux.HandleFunc("GET /healthz", s.wrap(func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, map[string]bool{"ok": true})
@@ -446,6 +447,50 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	_ = enc.Encode(enumerateLine{Done: true, Streamed: streamed, Total: total, Cached: hit})
 	s.stats.Enumerations.Add(1)
+}
+
+// ---------------------------------------------------------------------------
+// GET /analyze
+// ---------------------------------------------------------------------------
+
+type analyzeResponse struct {
+	*agg.Analysis
+	Cached bool `json:"cached"`
+}
+
+// handleAnalyze serves the knowledge-compilation report of a compiled query:
+// GET /analyze?db=D&expr=Q[&semiring=S][&vars=x,y].  Without vars the query
+// is prepared like /query (expression or formula, optional semiring); with
+// vars it is prepared like /enumerate (formula mode with fixed answer
+// variables), so the report covers the exact program those endpoints serve.
+// Compilations go through the same cache, so analysing a hot query is free.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	expr := q.Get("expr")
+	if expr == "" {
+		expr = q.Get("phi")
+	}
+	var (
+		p   *agg.Prepared
+		hit bool
+		err error
+	)
+	if vars := splitList(q.Get("vars")); len(vars) > 0 {
+		p, hit, err = s.compiledEnumerator(q.Get("db"), expr, vars)
+	} else {
+		p, hit, err = s.compiled(q.Get("db"), expr, q.Get("semiring"), nil)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	report, err := agg.Analyze(p)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.stats.Analyzes.Add(1)
+	s.writeJSON(w, analyzeResponse{Analysis: report, Cached: hit})
 }
 
 // ---------------------------------------------------------------------------

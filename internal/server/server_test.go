@@ -626,3 +626,71 @@ func TestLRUCacheEviction(t *testing.T) {
 		t.Errorf("concurrent getOrCreate built %d times, want 1", built)
 	}
 }
+
+// TestAnalyzeEndpoint covers GET /analyze in both preparation modes: like
+// /query (expression, no vars) and like /enumerate (formula with vars), with
+// reports flowing through the shared compilation cache.
+func TestAnalyzeEndpoint(t *testing.T) {
+	srv, ts, _ := newTestServer(t, 5)
+
+	getAnalyze := func(params url.Values) (map[string]any, int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/analyze?" + params.Encode())
+		if err != nil {
+			t.Fatalf("GET /analyze: %v", err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding /analyze response: %v", err)
+		}
+		return out, resp.StatusCode
+	}
+
+	// Expression mode: the report sizes the program but has no model count.
+	out, code := getAnalyze(url.Values{"expr": {edgeSum}})
+	if code != http.StatusOK {
+		t.Fatalf("analyze expression failed: %v", out)
+	}
+	if g, ok := out["gates"].(float64); !ok || g <= 0 {
+		t.Errorf("gates = %v, want > 0", out["gates"])
+	}
+	if out["decomposable"] != true {
+		t.Errorf("edge sum not decomposable: %v", out["decomposabilityViolations"])
+	}
+	if _, has := out["modelCount"]; has {
+		t.Errorf("expression-mode report has modelCount: %v", out["modelCount"])
+	}
+
+	// Formula mode with vars: model count equals the enumerate total.
+	out, code = getAnalyze(url.Values{"expr": {"E(x,y) & S(x)"}, "vars": {"x,y"}})
+	if code != http.StatusOK {
+		t.Fatalf("analyze formula failed: %v", out)
+	}
+	mc, ok := out["modelCount"].(string)
+	if !ok || mc == "" || mc == "0" {
+		t.Fatalf("modelCount = %v, want positive count", out["modelCount"])
+	}
+	fact, ok := out["factorization"].(map[string]any)
+	if !ok {
+		t.Fatalf("factorization missing: %v", out)
+	}
+	if fact["arity"] != float64(2) {
+		t.Errorf("factorization arity = %v, want 2", fact["arity"])
+	}
+
+	// The second identical request hits the compiled-query cache.
+	out, _ = getAnalyze(url.Values{"expr": {edgeSum}})
+	if out["cached"] != true {
+		t.Errorf("repeated analyze reported cached=%v, want true", out["cached"])
+	}
+	if got := srv.Stats().Analyzes.Load(); got != 3 {
+		t.Errorf("Analyzes counter = %d, want 3", got)
+	}
+
+	// Errors keep the taxonomy: a parse failure is a 400-class response.
+	out, code = getAnalyze(url.Values{"expr": {"sum x . [E(x,"}})
+	if code == http.StatusOK {
+		t.Fatalf("malformed query analysed successfully: %v", out)
+	}
+}

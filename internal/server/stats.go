@@ -15,6 +15,7 @@ type Stats struct {
 	Batches        atomic.Int64 // completed /batch requests
 	BatchedUpdates atomic.Int64 // updates applied atomically via /batch
 	Enumerations   atomic.Int64 // completed /enumerate requests
+	Analyzes       atomic.Int64 // completed /analyze requests
 	Sessions       atomic.Int64 // sessions created via /session
 
 	Compiles    atomic.Int64 // expressions compiled (cache misses that ran the compiler)
@@ -38,6 +39,7 @@ type StatsSnapshot struct {
 	Batches        int64   `json:"batches"`
 	BatchedUpdates int64   `json:"batchedUpdates"`
 	Enumerations   int64   `json:"enumerations"`
+	Analyzes       int64   `json:"analyzes"`
 	Sessions       int64   `json:"sessions"`
 	Compiles       int64   `json:"compiles"`
 	CacheHits      int64   `json:"cacheHits"`
@@ -69,6 +71,7 @@ func (st *Stats) snapshot() StatsSnapshot {
 		Batches:        st.Batches.Load(),
 		BatchedUpdates: st.BatchedUpdates.Load(),
 		Enumerations:   st.Enumerations.Load(),
+		Analyzes:       st.Analyzes.Load(),
 		Sessions:       st.Sessions.Load(),
 		Compiles:       st.Compiles.Load(),
 		CacheHits:      st.CacheHits.Load(),

@@ -207,6 +207,33 @@ func (a *Structure) MustAddTuple(rel string, tuple ...Element) {
 	}
 }
 
+// RemoveTuple deletes a tuple from the named relation; removing an absent
+// tuple is a no-op.  The cost is linear in the relation's size, and any
+// previously computed Gaifman graph is invalidated.
+func (a *Structure) RemoveTuple(rel string, tuple ...Element) error {
+	decl, ok := a.Sig.Relation(rel)
+	if !ok {
+		return fmt.Errorf("structure: unknown relation %q", rel)
+	}
+	if len(tuple) != decl.Arity {
+		return fmt.Errorf("structure: relation %q has arity %d, got tuple of length %d", rel, decl.Arity, len(tuple))
+	}
+	key := Tuple(tuple).Key()
+	if a.index[rel] == nil || !a.index[rel][key] {
+		return nil
+	}
+	delete(a.index[rel], key)
+	kept := a.tuples[rel][:0]
+	for _, t := range a.tuples[rel] {
+		if t.Key() != key {
+			kept = append(kept, t)
+		}
+	}
+	a.tuples[rel] = kept
+	a.gaifman = nil
+	return nil
+}
+
 // HasTuple reports whether the named relation contains the tuple.
 func (a *Structure) HasTuple(rel string, tuple ...Element) bool {
 	idx := a.index[rel]

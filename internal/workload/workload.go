@@ -175,6 +175,75 @@ func PreferentialAttachment(n, attach int, seed int64) *Database {
 	return newDatabase(a, r, 8)
 }
 
+// NestedSignature is the signature of the nested-aggregation workload: the
+// graph signature extended with a unary relation V that holds every vertex,
+// the trivial guard that per-vertex guarded connectives (Section 7)
+// aggregate under.
+func NestedSignature() *structure.Signature {
+	return structure.MustSignature(
+		[]structure.RelSymbol{{Name: "E", Arity: 2}, {Name: "S", Arity: 1}, {Name: "V", Arity: 1}},
+		[]structure.WeightSymbol{{Name: "w", Arity: 2}, {Name: "u", Arity: 1}},
+	)
+}
+
+// NestedAgg generates a bounded-degree random graph over NestedSignature for
+// nested-aggregation queries: V(x) holds for every vertex, S marks a random
+// subset, and edges/vertices carry small random weights.  The tuple count is
+// about n·(d/2 + 2), so n = 400000 at the default degree already exceeds 10⁶
+// tuples.
+func NestedAgg(n, d int, seed int64) *Database {
+	r := rand.New(rand.NewSource(seed))
+	a := structure.NewStructure(NestedSignature(), n)
+	for v := 0; v < n; v++ {
+		deg := r.Intn(d) + 1
+		for i := 0; i < deg; i++ {
+			if u := r.Intn(n); u != v {
+				a.MustAddTuple("E", v, u)
+			}
+		}
+		a.MustAddTuple("V", v)
+	}
+	markSubset(a, r, 0.4)
+	return newDatabase(a, r, 8)
+}
+
+// SearchSignature is the signature of the local-search workload: a symmetric
+// edge relation E plus the initially-empty unary solution predicates S
+// (selected), B (blocked) and D (dominated) that local-search drivers update
+// dynamically (S/B drive maximal independent set, S/D minimal dominating
+// set).
+func SearchSignature() *structure.Signature {
+	return structure.MustSignature(
+		[]structure.RelSymbol{
+			{Name: "E", Arity: 2},
+			{Name: "S", Arity: 1},
+			{Name: "B", Arity: 1},
+			{Name: "D", Arity: 1},
+		},
+		[]structure.WeightSymbol{{Name: "w", Arity: 2}, {Name: "u", Arity: 1}},
+	)
+}
+
+// Search generates an undirected bounded-degree random graph over
+// SearchSignature (every edge is stored in both directions; the solution
+// predicates start empty).  The tuple count is about n·d edge tuples, so
+// n = 350000 at the default degree exceeds 10⁶ tuples.
+func Search(n, d int, seed int64) *Database {
+	r := rand.New(rand.NewSource(seed))
+	a := structure.NewStructure(SearchSignature(), n)
+	for v := 0; v < n; v++ {
+		deg := r.Intn(d) + 1
+		for i := 0; i < deg; i++ {
+			u := r.Intn(n)
+			if u != v && !a.HasTuple("E", v, u) {
+				a.MustAddTuple("E", v, u)
+				a.MustAddTuple("E", u, v)
+			}
+		}
+	}
+	return newDatabase(a, r, 8)
+}
+
 // RoadNetwork generates a planar-like network: a grid backbone with a small
 // number of random shortcut edges between nearby vertices, mimicking road
 // networks (low degeneracy, small separators).

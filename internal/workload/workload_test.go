@@ -16,6 +16,8 @@ func TestGenerators(t *testing.T) {
 		{"forest", Forest(400, 3, 1)},
 		{"pref-attach", PreferentialAttachment(500, 2, 1)},
 		{"road", RoadNetwork(20, 20, 40, 1)},
+		{"nested", NestedAgg(500, 3, 1)},
+		{"search", Search(500, 3, 1)},
 	}
 	for _, c := range cases {
 		a := c.db.A
@@ -93,4 +95,44 @@ func TestGridHasTriangles(t *testing.T) {
 		t.Errorf("grid generator should plant directed triangles")
 	}
 	_ = semiring.Nat
+}
+
+func TestNestedAggGuardCoversDomain(t *testing.T) {
+	db := NestedAgg(300, 3, 2)
+	for v := 0; v < db.A.N; v++ {
+		if !db.A.HasTuple("V", v) {
+			t.Fatalf("guard relation V misses vertex %d", v)
+		}
+	}
+	if len(db.A.Tuples("S")) == 0 {
+		t.Error("no vertices marked S")
+	}
+}
+
+func TestSearchWorkloadShape(t *testing.T) {
+	db := Search(300, 3, 2)
+	for _, e := range db.A.Tuples("E") {
+		if !db.A.HasTuple("E", e[1], e[0]) {
+			t.Fatalf("edge %v is not symmetric", e)
+		}
+	}
+	for _, rel := range []string{"S", "B", "D"} {
+		if n := len(db.A.Tuples(rel)); n != 0 {
+			t.Errorf("solution predicate %s starts with %d tuples, want 0", rel, n)
+		}
+	}
+}
+
+// TestMillionTupleScale documents the satellite requirement that the nested
+// and search workloads generate at ≥ 10⁶ tuples; skipped under -short.
+func TestMillionTupleScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-tuple generation is skipped in -short mode")
+	}
+	if n := NestedAgg(400_000, 3, 1).A.TupleCount(); n < 1_000_000 {
+		t.Errorf("nested workload has %d tuples, want ≥ 10⁶", n)
+	}
+	if n := Search(350_000, 3, 1).A.TupleCount(); n < 1_000_000 {
+		t.Errorf("search workload has %d tuples, want ≥ 10⁶", n)
+	}
 }
