@@ -3,6 +3,8 @@ package agg
 import (
 	"context"
 	"iter"
+
+	"repro/internal/obs"
 )
 
 // Answer is one answer tuple of a formula query: one database element per
@@ -42,6 +44,10 @@ func (p *Prepared) Enumerate(ctx context.Context) iter.Seq2[Answer, error] {
 			yield(nil, err)
 			return
 		}
+		// One eval span covers the whole stream: the time from the first to
+		// the last answer drawn, however the consumer paces the iteration.
+		evalSpan := obs.FromContext(ctx).StartSpan(obs.StageEval)
+		defer evalSpan.End()
 		cur := p.enum.ans.Cursor()
 		done := ctx.Done()
 		for {
@@ -73,6 +79,8 @@ func (p *Prepared) AnswerCount(ctx context.Context) (int64, error) {
 	if err := ensureCtx(ctx).Err(); err != nil {
 		return 0, err
 	}
+	evalSpan := obs.FromContext(ctx).StartSpan(obs.StageEval)
 	p.enum.countOnce.Do(func() { p.enum.count = p.enum.ans.Count() })
+	evalSpan.End()
 	return p.enum.count, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/compile"
 	"repro/internal/nested"
+	"repro/internal/obs"
 	"repro/internal/semiring"
 	"repro/internal/structure"
 )
@@ -336,10 +337,12 @@ func (st *nestedState) eval(ctx context.Context, p *Prepared, args ...int) (Valu
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	evalSpan := obs.FromContext(ctx).StartSpan(obs.StageEval)
 	v, err := nestedEvalAt(st.db, st.f, st.vars, args, p.compileOptions())
 	if err != nil {
 		return "", newError(ErrArgument, p.text, err)
 	}
+	evalSpan.End()
 	return Value(st.out.Format(v)), nil
 }
 

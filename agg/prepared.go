@@ -11,6 +11,7 @@ import (
 	"repro/internal/enumerate"
 	"repro/internal/expr"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/parser"
 )
 
@@ -60,6 +61,12 @@ type Prepared struct {
 	// Nested mode (WithNested): the resolved FOG[C] formula and its
 	// multi-semiring database view; nil otherwise.
 	nst *nestedState
+
+	// tr is the stage tracer captured from the Prepare context (nil when the
+	// caller attached none); sessions spawned from this Prepared report their
+	// propagation-wave timings into it, and context-free entry points fall
+	// back to it.  All obs methods are nil-safe, so no call site guards it.
+	tr *obs.Tracer
 }
 
 // enumState is the shared enumeration backend of a formula-mode query: the
@@ -91,7 +98,8 @@ func (e *Engine) Prepare(ctx context.Context, query string, opts ...Option) (*Pr
 		return nil, err
 	}
 
-	p := &Prepared{eng: e, text: query, cfg: cfg, sem: sem}
+	tr := obs.FromContext(ctx)
+	p := &Prepared{eng: e, text: query, cfg: cfg, sem: sem, tr: tr}
 
 	// Nested mode: the formula is the WithNested tree, not the query text.
 	if cfg.nested != nil {
@@ -101,6 +109,7 @@ func (e *Engine) Prepare(ctx context.Context, query string, opts ...Option) (*Pr
 	// Decide the mode.  WithAnswerVars forces formula mode; otherwise a
 	// query that parses and validates as a weighted expression is one, and
 	// anything else is tried as a formula.
+	parseSpan := tr.StartSpan(obs.StageParse)
 	var ex expr.Expr
 	var exprParseErr, exprValidateErr error
 	if len(cfg.answerVars) == 0 {
@@ -113,6 +122,7 @@ func (e *Engine) Prepare(ctx context.Context, query string, opts ...Option) (*Pr
 	}
 
 	if ex != nil {
+		parseSpan.End()
 		p.ex = ex
 		if err := p.compileEval(ctx); err != nil {
 			return nil, err
@@ -122,6 +132,7 @@ func (e *Engine) Prepare(ctx context.Context, query string, opts ...Option) (*Pr
 	}
 
 	phi, ferr := parser.ParseFormula(query)
+	parseSpan.End()
 	if ferr != nil {
 		if len(cfg.answerVars) > 0 {
 			return nil, newError(ErrParse, query, ferr)
@@ -143,6 +154,7 @@ func (e *Engine) Prepare(ctx context.Context, query string, opts ...Option) (*Pr
 	if len(p.vars) == 0 {
 		return nil, errorf(ErrArgument, query, "formula has no free variables to enumerate over; evaluate it as the expression [%s] instead", query)
 	}
+	compileSpan := tr.StartSpan(obs.StageCompile)
 	ans, err := enumerate.EnumerateAnswersCtx(ctx, e.db.a, phi, p.vars, p.compileOptions(), cfg.workers)
 	if err != nil {
 		if ctxErr(err) != nil {
@@ -150,6 +162,8 @@ func (e *Engine) Prepare(ctx context.Context, query string, opts ...Option) (*Pr
 		}
 		return nil, newError(ErrCompile, query, err)
 	}
+	compileSpan.End()
+	tr.Observe(obs.StageFreeze, ans.Result().Program.FreezeDuration())
 	p.enum = &enumState{ans: ans}
 	p.canonical = parser.FormatFormula(phi)
 	return p, nil
@@ -190,6 +204,8 @@ func (p *Prepared) compileOptions() compile.Options {
 // p.evalMu (Prepare) or must hold it (lazy path) — it locks internally only
 // through evalBackend.
 func (p *Prepared) compileEval(ctx context.Context) error {
+	tr := obs.FromContext(ctx)
+	compileSpan := tr.StartSpan(obs.StageCompile)
 	sh, err := dynamicq.CompileShared(p.eng.db.a, p.ex, p.compileOptions())
 	if err != nil {
 		if cerr := ctxErr(err); cerr != nil {
@@ -197,6 +213,8 @@ func (p *Prepared) compileEval(ctx context.Context) error {
 		}
 		return newError(ErrCompile, p.text, err)
 	}
+	compileSpan.End()
+	tr.Observe(obs.StageFreeze, sh.Result().Program.FreezeDuration())
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -335,6 +353,7 @@ func (p *Prepared) In(name string) (*Prepared, error) {
 		phi:       p.phi,
 		vars:      p.vars,
 		enum:      p.enum,
+		tr:        p.tr,
 	}
 	clone.cfg.semiring = name
 	p.evalMu.Lock()
@@ -362,6 +381,7 @@ func (p *Prepared) Workers(n int) *Prepared {
 		vars:      p.vars,
 		enum:      p.enum,
 		nst:       p.nst,
+		tr:        p.tr,
 	}
 	clone.cfg.workers = n
 	p.evalMu.Lock()
@@ -385,14 +405,17 @@ func (p *Prepared) Eval(ctx context.Context, args ...int) (Value, error) {
 	if err != nil {
 		return "", err
 	}
+	tr := obs.FromContext(ctx)
 	if len(args) == 0 {
 		if free := sh.FreeVars(); len(free) > 0 {
 			return "", errorf(ErrArgument, p.text, "query has free variables %v; pass one argument per variable", free)
 		}
+		evalSpan := tr.StartSpan(obs.StageEval)
 		out, err := p.sem.evaluate(ctx, sh.Result(), cw, p.workers())
 		if err != nil {
 			return "", err
 		}
+		evalSpan.End()
 		return Value(out), nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -401,12 +424,14 @@ func (p *Prepared) Eval(ctx context.Context, args ...int) (Value, error) {
 	p.evalMu.Lock()
 	defer p.evalMu.Unlock()
 	if p.implicit == nil {
-		p.implicit = p.sem.newSession(sh, p.eng.db.w)
+		p.implicit = p.sem.newSession(sh, p.eng.db.w, p.tr)
 	}
+	evalSpan := tr.StartSpan(obs.StageEval)
 	out, err := p.implicit.Point(args)
 	if err != nil {
 		return "", newError(ErrArgument, p.text, err)
 	}
+	evalSpan.End()
 	return Value(out), nil
 }
 
@@ -423,5 +448,5 @@ func (p *Prepared) Session() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{p: p, sess: p.sem.newSession(sh, p.eng.db.w)}, nil
+	return &Session{p: p, sess: p.sem.newSession(sh, p.eng.db.w, p.tr)}, nil
 }

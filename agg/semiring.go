@@ -8,6 +8,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/dynamicq"
 	"repro/internal/nested"
+	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/semiring"
 	"repro/internal/structure"
@@ -49,8 +50,10 @@ type Semiring interface {
 	// across workers goroutines, honouring ctx, and formats the output.
 	evaluate(ctx context.Context, res *compile.Result, cw any, workers int) (string, error)
 	// newSession instantiates per-session dynamic state (Theorem 8) on a
-	// shared compilation, with a private copy of the weights.
-	newSession(sh *dynamicq.Shared, w *structure.Weights[int64]) erasedSession
+	// shared compilation, with a private copy of the weights.  A non-nil
+	// tracer receives the session's propagation-wave timings; nil leaves the
+	// update path uninstrumented (no clock reads).
+	newSession(sh *dynamicq.Shared, w *structure.Weights[int64], tr *obs.Tracer) erasedSession
 	// boxed returns the dynamically typed view of the carrier used by nested
 	// (FOG[C]) formulas; bool carriers map onto the canonical boolean box so
 	// nested's boolean positions recognise them.
@@ -117,8 +120,12 @@ func (ts *typedSemiring[T]) evaluate(ctx context.Context, res *compile.Result, c
 	return ts.s.Format(v), nil
 }
 
-func (ts *typedSemiring[T]) newSession(sh *dynamicq.Shared, w *structure.Weights[int64]) erasedSession {
-	return &typedSession[T]{ts: ts, q: dynamicq.NewQuery(ts.s, sh, ts.convertTyped(w))}
+func (ts *typedSemiring[T]) newSession(sh *dynamicq.Shared, w *structure.Weights[int64], tr *obs.Tracer) erasedSession {
+	q := dynamicq.NewQuery(ts.s, sh, ts.convertTyped(w))
+	if hook := tr.WaveHook(); hook != nil {
+		q.SetWaveHook(hook)
+	}
+	return &typedSession[T]{ts: ts, q: q}
 }
 
 func (ts *typedSemiring[T]) boxed() nested.Semiring {

@@ -3,6 +3,8 @@ package agg
 import (
 	"context"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Session is a dynamic-update handle on a prepared query (Theorem 8): the
@@ -74,10 +76,12 @@ func (s *Session) Eval(ctx context.Context, args ...int) (Value, error) {
 		return "", err
 	}
 	defer s.release()
+	evalSpan := obs.FromContext(ctx).StartSpan(obs.StageEval)
 	out, err := s.sess.Point(args)
 	if err != nil {
 		return "", newError(ErrArgument, s.p.text, err)
 	}
+	evalSpan.End()
 	return Value(out), nil
 }
 

@@ -25,6 +25,7 @@ func main() {
 	workers := flag.Int("workers", 1, "experiments run concurrently on this many goroutines (0 = GOMAXPROCS; >1 skews timings)")
 	e14check := flag.Bool("e14check", false, "run the E14 program-vs-legacy layout comparison as a pass/fail smoke check and exit")
 	e16check := flag.Bool("e16check", false, "run the E16 re-platformed nested/localsearch comparison as a pass/fail smoke check and exit")
+	e17check := flag.Bool("e17check", false, "run the E17 instrumentation-overhead comparison as a pass/fail smoke check and exit")
 	flag.Parse()
 
 	if *e14check {
@@ -36,6 +37,13 @@ func main() {
 	}
 	if *e16check {
 		if err := bench.E16Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *e17check {
+		if err := bench.E17Check(); err != nil {
 			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -11,14 +11,16 @@
 //	aggserve -kind grid -n 4096 -listen :8080
 //	aggserve -db traffic=roads.txt -db social=graph.txt
 //	agggen -kind bounded-degree -n 10000 | aggserve -stdin
+//	aggserve -log-format json -log-level debug -slow-query 100ms -pprof-addr localhost:6060
 //
 //	curl -X POST localhost:8080/query \
 //	  -d '{"expr":"sum x, y . [E(x,y)] * w(x,y)","semiring":"natural"}'
 //	curl -X POST localhost:8080/batch \
 //	  -d '{"session":"s","updates":[{"weight":"w","tuple":[0,1],"value":7}]}'
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics
 //
-// See the README for the full endpoint reference.
+// See the README for the full endpoint reference and metrics catalogue.
 package main
 
 import (
@@ -26,7 +28,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +54,23 @@ func (d *dbFlags) Set(v string) error {
 	return nil
 }
 
+// newLogger builds the process logger from the -log-format/-log-level flags.
+// Operator output and per-request access logs share this one format.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("-log-format %q: want text or json", format)
+}
+
 func main() {
 	var dbs dbFlags
 	listen := flag.String("listen", ":8080", "address to serve HTTP on")
@@ -61,12 +82,28 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines per circuit evaluation (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 128, "maximum number of cached compiled queries")
 	maxVars := flag.Int("maxvars", 0, "compiler MaxVars bound (0 = default)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug enables per-request access logs)")
+	slowQuery := flag.Duration("slow-query", 0, "log requests slower than this threshold at warn level (0 disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 
-	srv := server.New(server.Options{CacheSize: *cacheSize, Workers: *workers, MaxVars: *maxVars})
+	log, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aggserve: %v\n", err)
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Options{
+		CacheSize: *cacheSize,
+		Workers:   *workers,
+		MaxVars:   *maxVars,
+		Logger:    log,
+		SlowQuery: *slowQuery,
+	})
 
 	if len(dbs) > 0 && *stdin {
-		fmt.Fprintln(os.Stderr, "aggserve: -db and -stdin are mutually exclusive")
+		log.Error("-db and -stdin are mutually exclusive")
 		os.Exit(2)
 	}
 	switch {
@@ -75,20 +112,37 @@ func main() {
 			name, path, _ := strings.Cut(spec, "=")
 			db, err := agg.ReadDatabaseFile(path)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "aggserve: loading %s: %v\n", spec, err)
+				log.Error("loading database", "spec", spec, "err", err)
 				os.Exit(1)
 			}
 			srv.MountDatabaseValue(name, db)
-			fmt.Printf("mounted %s: n=%d tuples=%d\n", name, db.Elements(), db.TupleCount())
+			log.Info("mounted database", "name", name, "n", db.Elements(), "tuples", db.TupleCount())
 		}
 	default:
 		db, err := agg.Load(agg.Source{Stdin: *stdin, Kind: *kind, N: *n, Seed: *seed})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "aggserve: %v\n", err)
+			log.Error("loading database", "err", err)
 			os.Exit(1)
 		}
 		srv.MountDatabaseValue("default", db)
-		fmt.Printf("mounted default: n=%d tuples=%d\n", db.Elements(), db.TupleCount())
+		log.Info("mounted database", "name", "default", "n", db.Elements(), "tuples", db.TupleCount())
+	}
+
+	// Opt-in pprof on its own listener, so profiling stays off the serving
+	// address (and off the open internet) unless explicitly bound.
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+				log.Error("pprof listener", "addr", *pprofAddr, "err", err)
+			}
+		}()
+		log.Info("pprof listening", "addr", *pprofAddr)
 	}
 
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
@@ -97,20 +151,25 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("aggserve listening on %s (semirings: %v)\n", *listen, agg.SemiringNames())
+	goVersion, revision := server.BuildInfo()
+	log.Info("aggserve listening",
+		"addr", *listen,
+		"semirings", agg.SemiringNames(),
+		"goVersion", goVersion,
+		"revision", revision)
 
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "aggserve: %v\n", err)
+			log.Error("serve", "err", err)
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		fmt.Println("aggserve: shutting down")
+		log.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "aggserve: shutdown: %v\n", err)
+			log.Error("shutdown", "err", err)
 			os.Exit(1)
 		}
 	}

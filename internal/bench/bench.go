@@ -771,6 +771,7 @@ func Registry(quick bool) []Experiment {
 		{"E14", func() *Table { return E14ProgramLayout(quick) }},
 		{"E15", func() *Table { return E15FacadeOverhead(small, 10) }},
 		{"E16", func() *Table { return E16Replatform(e16Nested, e16Search) }},
+		{"E17", func() *Table { return E17InstrumentationOverhead(small, 10) }},
 	}
 }
 

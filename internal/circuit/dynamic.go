@@ -2,6 +2,7 @@ package circuit
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/perm"
 	"repro/internal/semiring"
@@ -62,7 +63,18 @@ type Dynamic[T any] struct {
 	oldOf   []T      // oldOf[g] is g's value right before this wave's change
 	stamp   []uint64 // stamp[g] == epoch marks g as changed this wave
 	epoch   uint64
+
+	// waveHook, when non-nil, receives the wall-clock duration of every
+	// propagation wave.  The nil check in runWave keeps the uninstrumented
+	// update path free of clock reads and allocations.
+	waveHook func(time.Duration)
 }
+
+// SetWaveHook installs (or, with nil, removes) a listener that receives the
+// duration of each propagation wave.  The hook runs on the updating
+// goroutine after the wave completes; it must be cheap and must not call
+// back into the Dynamic.
+func (d *Dynamic[T]) SetWaveHook(f func(time.Duration)) { d.waveHook = f }
 
 // InputChange is one element of an ApplyBatch batch: the weight input Key
 // takes the Value.  Keys the circuit does not reference are ignored, and when
@@ -296,10 +308,22 @@ func (d *Dynamic[T]) markChanged(g int, old T) {
 	}
 }
 
-// runWave drains the rank buckets in increasing order.  Recomputing a gate of
-// rank r can only enqueue parents of strictly larger rank, so a single left-
-// to-right sweep recomputes every affected gate exactly once.
+// runWave drains the propagation wave, timing it only when a wave hook is
+// installed so the common path never reads a clock.
 func (d *Dynamic[T]) runWave() {
+	if d.waveHook == nil {
+		d.propagateWave()
+		return
+	}
+	start := time.Now()
+	d.propagateWave()
+	d.waveHook(time.Since(start))
+}
+
+// propagateWave drains the rank buckets in increasing order.  Recomputing a
+// gate of rank r can only enqueue parents of strictly larger rank, so a
+// single left-to-right sweep recomputes every affected gate exactly once.
+func (d *Dynamic[T]) propagateWave() {
 	for r := 1; r < len(d.buckets); r++ {
 		bucket := d.buckets[r]
 		for _, g := range bucket {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 	"unsafe"
 
 	"repro/internal/structure"
@@ -79,7 +80,16 @@ type Program struct {
 
 	schedOnce sync.Once
 	sched     *Schedule
+
+	// freezeDur is the wall-clock cost of Freeze, recorded here because
+	// freezing happens deep inside compilation (no context in scope); the
+	// facade reads it back through FreezeDuration to attribute the time to
+	// the freeze stage of its trace.
+	freezeDur time.Duration
 }
+
+// FreezeDuration reports how long Freeze took to build this Program.
+func (p *Program) FreezeDuration() time.Duration { return p.freezeDur }
 
 type permProgram struct {
 	rows, cols int32
@@ -92,6 +102,7 @@ type permProgram struct {
 // so every engine running on a Program may propagate in id/rank order
 // without further checks.
 func Freeze(c *Circuit) *Program {
+	freezeStart := time.Now()
 	n := len(c.Gates)
 	if n > 1<<31-1 {
 		panic("circuit: too many gates to freeze (gate ids exceed int32)")
@@ -259,6 +270,7 @@ func Freeze(c *Circuit) *Program {
 			p.inputIndex[p.inputKeys[p.arg[id]]] = int32(id)
 		}
 	}
+	p.freezeDur = time.Since(freezeStart)
 	return p
 }
 

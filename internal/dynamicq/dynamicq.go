@@ -8,6 +8,7 @@ package dynamicq
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/compile"
@@ -169,6 +170,12 @@ func CompileQuery[T any](s semiring.Semiring[T], a *structure.Structure, w *stru
 	}
 	return NewQuery(s, sh, w), nil
 }
+
+// SetWaveHook installs (or, with nil, removes) a listener receiving the
+// duration of each propagation wave of this session's dynamic evaluator;
+// see circuit.Dynamic.SetWaveHook.  With no hook installed the update path
+// performs no clock reads.
+func (q *Query[T]) SetWaveHook(f func(time.Duration)) { q.dyn.SetWaveHook(f) }
 
 // FreeVars returns the query's free variables in the order expected by
 // Value.

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition format, version 0.0.4 — hand-rolled because the
+// repo is dependency-free by policy.  Only the line shapes the format needs:
+// HELP/TYPE headers, counters, gauges, and cumulative histogram buckets.
+
+// Labels is one metric's label set; rendered sorted by key for stable output.
+type Labels map[string]string
+
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderWith renders the label set with one extra pair appended (used for the
+// le label of histogram buckets, which must combine with the base labels).
+func (l Labels) renderWith(key, val string) string {
+	ext := make(Labels, len(l)+1)
+	for k, v := range l {
+		ext[k] = v
+	}
+	ext[key] = val
+	return ext.render()
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Writer accumulates metric families in exposition format.  Write the
+// HELP/TYPE header once per family (Header), then one or more samples.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter wraps an io.Writer; errors are sticky and reported by Err.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write error, if any.
+func (pw *Writer) Err() error { return pw.err }
+
+func (pw *Writer) printf(format string, args ...any) {
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = fmt.Fprintf(pw.w, format, args...)
+}
+
+// Header emits the # HELP / # TYPE preamble of one metric family.
+// kind is "counter", "gauge" or "histogram".
+func (pw *Writer) Header(name, help, kind string) {
+	pw.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+// Counter emits one counter sample.
+func (pw *Writer) Counter(name string, labels Labels, v uint64) {
+	pw.printf("%s%s %d\n", name, labels.render(), v)
+}
+
+// Gauge emits one gauge sample.
+func (pw *Writer) Gauge(name string, labels Labels, v float64) {
+	pw.printf("%s%s %g\n", name, labels.render(), v)
+}
+
+// histogramBounds are the le bucket bounds (in seconds) that /metrics
+// exposes.  They are chosen from the histogram's own octave grid — every
+// bound is 2^k nanoseconds, which is exactly the lo edge of some internal
+// bucket — so re-bucketing a Snapshot onto them is exact, never split.
+// Range: 256ns .. ~69s, plenty for both nanosecond waves and slow queries.
+var histogramBounds = func() []uint64 {
+	var bs []uint64
+	for exp := 8; exp <= 36; exp += 2 {
+		bs = append(bs, uint64(1)<<uint(exp))
+	}
+	return bs
+}()
+
+// Histogram emits one histogram family sample set — cumulative _bucket lines
+// with le in seconds, then _sum and _count — from a Snapshot.
+func (pw *Writer) Histogram(name string, labels Labels, s *Snapshot) {
+	cum := uint64(0)
+	next := 0 // next internal bucket to fold in
+	for _, bound := range histogramBounds {
+		for next < NumBuckets {
+			_, hi := BucketBounds(next)
+			if hi > bound {
+				break
+			}
+			cum += s.Counts[next]
+			next++
+		}
+		pw.printf("%s_bucket%s %d\n", name, labels.renderWith("le", formatSeconds(bound)), cum)
+	}
+	pw.printf("%s_bucket%s %d\n", name, labels.renderWith("le", "+Inf"), s.Count)
+	pw.printf("%s_sum%s %g\n", name, labels.render(), Seconds(s.Sum))
+	pw.printf("%s_count%s %d\n", name, labels.render(), s.Count)
+}
+
+// formatSeconds renders a nanosecond bound as seconds without float noise.
+func formatSeconds(ns uint64) string {
+	const giga = 1_000_000_000
+	whole := ns / giga
+	frac := ns % giga
+	if frac == 0 {
+		return fmt.Sprintf("%d", whole)
+	}
+	s := fmt.Sprintf("%d.%09d", whole, frac)
+	return strings.TrimRight(s, "0")
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Stage names one instrumented phase of the serving pipeline, following the
+// paper's preprocessing → maintenance split: parse, cache lookup and compile
+// are the linear-time preprocessing (Theorem 6), freeze is the Program
+// flattening, eval is a circuit evaluation (closed or point query), and wave
+// is one dynamic-update propagation wave (Theorem 8).
+type Stage uint8
+
+const (
+	StageParse Stage = iota
+	StageCacheLookup
+	StageCompile
+	StageFreeze
+	StageEval
+	StageWave
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	StageParse:       "parse",
+	StageCacheLookup: "cache_lookup",
+	StageCompile:     "compile",
+	StageFreeze:      "freeze",
+	StageEval:        "eval",
+	StageWave:        "wave",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Tracer records stage timings into one histogram per stage.  A nil *Tracer
+// is a valid no-op recorder: every method short-circuits, so instrumented
+// code needs no conditionals beyond the calls themselves.
+type Tracer struct {
+	stages [NumStages]*Histogram
+}
+
+// NewTracer returns a tracer with an empty histogram per stage.
+func NewTracer() *Tracer {
+	t := &Tracer{}
+	for i := range t.stages {
+		t.stages[i] = NewHistogram()
+	}
+	return t
+}
+
+// Stage returns the histogram of one stage (nil for a nil tracer).
+func (t *Tracer) Stage(s Stage) *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.stages[s]
+}
+
+// Observe records one duration against a stage.
+func (t *Tracer) Observe(s Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.stages[s].Observe(d)
+}
+
+// Span is one stage timing in flight: a value, not an allocation, so
+// starting and ending spans on hot paths is free when no tracer is attached
+// and two clock reads plus one atomic add when one is.
+type Span struct {
+	t     *Tracer
+	stage Stage
+	start time.Time
+}
+
+// StartSpan opens a span against the tracer (the zero Span for nil).
+func (t *Tracer) StartSpan(s Stage) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, stage: s, start: time.Now()}
+}
+
+// End records the elapsed time; safe on the zero Span and idempotent only in
+// the sense that callers must not End twice (each End records once).
+func (sp Span) End() {
+	if sp.t == nil {
+		return
+	}
+	sp.t.stages[sp.stage].Observe(time.Since(sp.start))
+}
+
+// WaveHook adapts the tracer to the func(time.Duration) listener shape the
+// circuit engines accept, recording into the wave stage.  A nil tracer
+// yields a nil hook, which the engines treat as "stay uninstrumented" (no
+// clock reads on the update path).
+func (t *Tracer) WaveHook() func(time.Duration) {
+	if t == nil {
+		return nil
+	}
+	return t.stages[StageWave].Observe
+}
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the tracer; spans opened downstream
+// via FromContext record into it.  A nil tracer returns ctx unchanged.
+func NewContext(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the tracer carried by ctx, or nil.  The nil result is
+// directly usable: every Tracer method is nil-safe.
+func FromContext(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Tracer)
+	return t
+}

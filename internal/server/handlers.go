@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/agg"
+	"repro/internal/obs"
 )
 
 // Handler returns the HTTP handler serving the aggserve API:
@@ -22,6 +25,7 @@ import (
 //	POST /batch      apply a batch atomically with one propagation wave
 //	GET  /enumerate  stream query answers as NDJSON with constant delay
 //	GET  /stats      serving counters
+//	GET  /metrics    Prometheus text exposition (counters, latency histograms)
 //	GET  /healthz    liveness probe
 //
 // Request contexts are honoured: a disconnected client cancels the
@@ -30,26 +34,96 @@ import (
 // from the repro/agg error taxonomy.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.wrap(s.handleQuery))
-	mux.HandleFunc("POST /session", s.wrap(s.handleSession))
-	mux.HandleFunc("DELETE /session", s.wrap(s.handleDeleteSession))
-	mux.HandleFunc("POST /point", s.wrap(s.handlePoint))
-	mux.HandleFunc("POST /update", s.wrap(s.handleUpdate))
-	mux.HandleFunc("POST /batch", s.wrap(s.handleBatch))
-	mux.HandleFunc("GET /enumerate", s.wrap(s.handleEnumerate))
-	mux.HandleFunc("GET /analyze", s.wrap(s.handleAnalyze))
-	mux.HandleFunc("GET /stats", s.wrap(s.handleStats))
-	mux.HandleFunc("GET /healthz", s.wrap(func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /query", s.wrap("query", s.handleQuery))
+	mux.HandleFunc("POST /session", s.wrap("session", s.handleSession))
+	mux.HandleFunc("DELETE /session", s.wrap("session", s.handleDeleteSession))
+	mux.HandleFunc("POST /point", s.wrap("point", s.handlePoint))
+	mux.HandleFunc("POST /update", s.wrap("update", s.handleUpdate))
+	mux.HandleFunc("POST /batch", s.wrap("batch", s.handleBatch))
+	mux.HandleFunc("GET /enumerate", s.wrap("enumerate", s.handleEnumerate))
+	mux.HandleFunc("GET /analyze", s.wrap("analyze", s.handleAnalyze))
+	mux.HandleFunc("GET /stats", s.wrap("stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, map[string]bool{"ok": true})
-	}))
+	})
 	return mux
 }
 
-func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+// reqMeta accumulates the structured-log annotations of one request; handlers
+// append through annotate and wrap flushes them into the access log.  One
+// request is served by one goroutine, so no locking.
+type reqMeta struct {
+	attrs []slog.Attr
+}
+
+type metaKey struct{}
+
+// annotate attaches attributes to the request's access-log line (a no-op for
+// requests outside wrap, e.g. in direct handler tests).
+func annotate(r *http.Request, attrs ...slog.Attr) {
+	if m, ok := r.Context().Value(metaKey{}).(*reqMeta); ok {
+		m.attrs = append(m.attrs, attrs...)
+	}
+}
+
+// statusWriter captures the response status for logging and latency
+// labelling.  It forwards Flush so NDJSON streaming through the wrapper
+// keeps its per-line flushes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// wrap is the per-request observability shell: it tracks in-flight requests,
+// threads the server's stage tracer through the request context (so facade
+// spans — parse, compile, eval, waves — record), captures the status code,
+// feeds the endpoint's latency histogram, and emits the access log (Debug)
+// or the slow-query log (Warn, above Options.SlowQuery).
+func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reqHist[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.InFlight.Add(1)
 		defer s.stats.InFlight.Add(-1)
-		h(w, r)
+		id := s.reqID.Add(1)
+		m := &reqMeta{}
+		ctx := context.WithValue(obs.NewContext(r.Context(), s.tr), metaKey{}, m)
+		r = r.WithContext(ctx)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		d := time.Since(start)
+		hist.Observe(d)
+
+		slow := s.opts.SlowQuery > 0 && d >= s.opts.SlowQuery
+		level, msg := slog.LevelDebug, "request"
+		if slow {
+			level, msg = slog.LevelWarn, "slow request"
+		}
+		if !s.log.Enabled(ctx, level) {
+			return
+		}
+		attrs := make([]slog.Attr, 0, 5+len(m.attrs))
+		attrs = append(attrs,
+			slog.Int64("req", id),
+			slog.String("endpoint", endpoint),
+			slog.String("method", r.Method),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", d),
+		)
+		attrs = append(attrs, m.attrs...)
+		s.log.LogAttrs(ctx, level, msg, attrs...)
 	}
 }
 
@@ -86,6 +160,11 @@ func statusOf(err error) int {
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.stats.Errors.Add(1)
+	if errors.Is(err, agg.ErrSessionBusy) {
+		// Fail-fast contention is its own signal, not a generic error: the
+		// busy counter makes 409 churn visible on /stats and /metrics.
+		s.stats.Busy.Add(1)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(statusOf(err))
 	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: agg.ErrorCode(err)})
@@ -164,6 +243,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stats.Queries.Add(1)
+	annotate(r,
+		slog.String("semiring", p.SemiringName()),
+		slog.Bool("cached", hit),
+		slog.Duration("eval", d))
 	st := p.Stats()
 	s.writeJSON(w, queryResponse{
 		Semiring:   p.SemiringName(),
@@ -203,6 +286,10 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	annotate(r,
+		slog.String("session", h.Name()),
+		slog.String("semiring", h.Semiring()),
+		slog.Bool("cached", hit))
 	s.writeJSON(w, sessionResponse{Session: h.Name(), FreeVars: h.FreeVars(), Cached: hit})
 }
 
@@ -249,6 +336,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	}
 	var value agg.Value
 	if req.Session != "" {
+		annotate(r, slog.String("session", req.Session))
 		h, err := s.Session(req.Session)
 		if err != nil {
 			s.writeError(w, err)
@@ -447,6 +535,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	_ = enc.Encode(enumerateLine{Done: true, Streamed: streamed, Total: total, Cached: hit})
 	s.stats.Enumerations.Add(1)
+	annotate(r, slog.Int("streamed", streamed), slog.Bool("cached", hit))
 }
 
 // ---------------------------------------------------------------------------
@@ -497,6 +586,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // GET /stats
 // ---------------------------------------------------------------------------
 
+// buildInfo is memoised: debug.ReadBuildInfo re-parses the embedded module
+// data on every call.
+var buildInfoOnce = sync.OnceValues(BuildInfo)
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.stats.snapshot()
 	snap.CachedQueries = s.cache.len()
@@ -505,6 +598,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap.Databases = len(s.dbs)
 	s.mu.RUnlock()
 	snap.UptimeSeconds = time.Since(s.start).Seconds()
+	snap.StartTime = s.start.UTC().Format(time.RFC3339)
+	snap.GoVersion, snap.Revision = buildInfoOnce()
 	s.writeJSON(w, snap)
 }
 

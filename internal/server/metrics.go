@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format: the Stats counters, the per-endpoint request-latency histograms,
+// the per-stage pipeline histograms (parse, cache lookup, compile, freeze,
+// eval, update waves), cache and session gauges, build info, and a small
+// set of Go runtime stats.  /stats keeps serving the same counters as JSON;
+// this endpoint is the scrape target.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	pw := obs.NewWriter(&buf)
+
+	// Request counters, one family with an endpoint label per operation
+	// completed successfully (the histograms below count every request,
+	// including failed ones).
+	pw.Header("aggserve_requests_total", "Requests completed successfully, by endpoint.", "counter")
+	for _, c := range []struct {
+		endpoint string
+		v        int64
+	}{
+		{"query", s.stats.Queries.Load()},
+		{"session", s.stats.Sessions.Load()},
+		{"point", s.stats.Points.Load()},
+		{"update", s.stats.UpdateBatches.Load()},
+		{"batch", s.stats.Batches.Load()},
+		{"enumerate", s.stats.Enumerations.Load()},
+		{"analyze", s.stats.Analyzes.Load()},
+	} {
+		pw.Counter("aggserve_requests_total", obs.Labels{"endpoint": c.endpoint}, uint64(c.v))
+	}
+
+	pw.Header("aggserve_updates_applied_total", "Individual updates applied, by path.", "counter")
+	pw.Counter("aggserve_updates_applied_total", obs.Labels{"path": "single"}, uint64(s.stats.Updates.Load()))
+	pw.Counter("aggserve_updates_applied_total", obs.Labels{"path": "batched"}, uint64(s.stats.BatchedUpdates.Load()))
+
+	for _, c := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"aggserve_compiles_total", "Queries compiled (cache misses that ran the compiler).", s.stats.Compiles.Load()},
+		{"aggserve_cache_hits_total", "Compiled-query cache hits.", s.stats.CacheHits.Load()},
+		{"aggserve_cache_misses_total", "Compiled-query cache misses.", s.stats.CacheMisses.Load()},
+		{"aggserve_errors_total", "Requests answered with a non-2xx status.", s.stats.Errors.Load()},
+		{"aggserve_canceled_total", "Requests abandoned by their client mid-work.", s.stats.Canceled.Load()},
+		{"aggserve_busy_total", "Fail-fast session-busy rejections (409).", s.stats.Busy.Load()},
+	} {
+		pw.Header(c.name, c.help, "counter")
+		pw.Counter(c.name, nil, uint64(c.v))
+	}
+
+	// Request latency: one histogram per endpoint, in seconds.
+	pw.Header("aggserve_request_duration_seconds", "End-to-end request latency by endpoint.", "histogram")
+	for _, ep := range endpoints {
+		snap := s.reqHist[ep].Snapshot()
+		pw.Histogram("aggserve_request_duration_seconds", obs.Labels{"endpoint": ep}, &snap)
+	}
+
+	// Stage latency: the parse → cache lookup → compile → freeze → eval
+	// pipeline of the paper, plus the per-wave update propagation cost
+	// (the observable form of the O(log n)-per-update guarantee).
+	pw.Header("aggserve_stage_duration_seconds", "Internal pipeline stage latency.", "histogram")
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		snap := s.tr.Stage(st).Snapshot()
+		pw.Histogram("aggserve_stage_duration_seconds", obs.Labels{"stage": st.String()}, &snap)
+	}
+
+	// Gauges: serving state and cache occupancy.
+	entryBytes, cacheBytes := s.cache.entryBytes()
+	s.mu.RLock()
+	sessions := len(s.sessions)
+	databases := len(s.dbs)
+	s.mu.RUnlock()
+	for _, g := range []struct {
+		name, help string
+		v          float64
+	}{
+		{"aggserve_in_flight_requests", "Requests currently being served.", float64(s.stats.InFlight.Load())},
+		{"aggserve_cache_entries", "Compiled queries resident in the LRU cache.", float64(len(entryBytes))},
+		{"aggserve_cache_bytes", "Total bytes of frozen circuit programs in the cache.", float64(cacheBytes)},
+		{"aggserve_sessions_active", "Named dynamic-update sessions currently registered.", float64(sessions)},
+		{"aggserve_databases", "Databases mounted.", float64(databases)},
+		{"aggserve_start_time_seconds", "Unix time the server started.", float64(s.start.UnixNano()) / float64(time.Second)},
+		{"aggserve_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds()},
+	} {
+		pw.Header(g.name, g.help, "gauge")
+		pw.Gauge(g.name, nil, g.v)
+	}
+
+	goVersion, revision := buildInfoOnce()
+	pw.Header("aggserve_build_info", "Build metadata; the value is always 1.", "gauge")
+	pw.Gauge("aggserve_build_info", obs.Labels{"go_version": goVersion, "revision": revision}, 1)
+
+	// Go runtime: the handful of stats an operator reaches for first; attach
+	// pprof (-pprof-addr) for anything deeper.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for _, g := range []struct {
+		name, help string
+		v          float64
+	}{
+		{"go_goroutines", "Number of goroutines.", float64(runtime.NumGoroutine())},
+		{"go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc)},
+		{"go_memstats_sys_bytes", "Bytes obtained from the OS.", float64(ms.Sys)},
+		{"go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC)},
+	} {
+		pw.Header(g.name, g.help, "gauge")
+		pw.Gauge(g.name, nil, g.v)
+	}
+
+	if err := pw.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}

@@ -18,12 +18,15 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/agg"
+	"repro/internal/obs"
 )
 
 // Options configures a Server.
@@ -36,7 +39,17 @@ type Options struct {
 	Workers int
 	// MaxVars is forwarded to the compiler (0 keeps the compiler default).
 	MaxVars int
+	// Logger receives the server's structured logs: access logs at Debug,
+	// slow queries at Warn, lifecycle events at Info.  Nil discards them.
+	Logger *slog.Logger
+	// SlowQuery is the threshold above which a completed request is logged
+	// at Warn with its full annotations; 0 disables the slow-query log.
+	SlowQuery time.Duration
 }
+
+// endpoints names every serving route with its own request-latency
+// histogram, in the order /metrics emits them.
+var endpoints = []string{"query", "session", "point", "update", "batch", "enumerate", "analyze", "stats"}
 
 // Server serves compiled queries over one or more mounted databases.  All
 // methods and the HTTP handler are safe for concurrent use.
@@ -46,6 +59,16 @@ type Server struct {
 	stats Stats
 	start time.Time
 
+	// tr records the pipeline stage timings (parse, cache lookup, compile,
+	// freeze, eval, update waves) of every request served; reqHist holds one
+	// end-to-end latency histogram per endpoint.  Both are exposition state
+	// for GET /metrics.
+	tr      *obs.Tracer
+	reqHist map[string]*obs.Histogram
+
+	log   *slog.Logger
+	reqID atomic.Int64
+
 	mu       sync.RWMutex
 	dbs      map[string]*agg.Engine
 	sessions map[string]*SessionHandle
@@ -53,14 +76,28 @@ type Server struct {
 
 // New creates a server with no databases mounted.
 func New(opts Options) *Server {
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	reqHist := make(map[string]*obs.Histogram, len(endpoints))
+	for _, ep := range endpoints {
+		reqHist[ep] = obs.NewHistogram()
+	}
 	return &Server{
 		opts:     opts,
 		cache:    newLRUCache(opts.CacheSize),
 		start:    time.Now(),
+		tr:       obs.NewTracer(),
+		reqHist:  reqHist,
+		log:      log,
 		dbs:      map[string]*agg.Engine{},
 		sessions: map[string]*SessionHandle{},
 	}
 }
+
+// Tracer exposes the server's stage tracer (for tests and benchmarks).
+func (s *Server) Tracer() *obs.Tracer { return s.tr }
 
 // Stats exposes the server's counters (primarily for tests and benchmarks;
 // HTTP clients use GET /stats).
@@ -157,12 +194,16 @@ func (s *Server) compiled(dbName, exprText, semName string, dynamic []string) (*
 	}
 	key := strings.Join([]string{"query", dbName, canonical, semName, s.optionsKey(dynamic)}, "\x00")
 
+	lookupStart := time.Now()
 	v, hit, err := s.cache.getOrCreate(key, func() (any, error) {
 		s.stats.Compiles.Add(1)
 		var p *agg.Prepared
 		var cerr error
 		timed(&s.stats.CompileNanos, func() {
-			p, cerr = eng.Prepare(context.Background(), exprText, s.prepareOptions(semName, dynamic)...)
+			// Background context: the compilation is a shared artefact that
+			// outlives the triggering request.  The server tracer rides along
+			// so parse/compile/freeze stages and later session waves record.
+			p, cerr = eng.Prepare(obs.NewContext(context.Background(), s.tr), exprText, s.prepareOptions(semName, dynamic)...)
 		})
 		if cerr != nil {
 			return nil, cerr
@@ -174,6 +215,7 @@ func (s *Server) compiled(dbName, exprText, semName string, dynamic []string) (*
 	}
 	if hit {
 		s.stats.CacheHits.Add(1)
+		s.tr.Observe(obs.StageCacheLookup, time.Since(lookupStart))
 	} else {
 		s.stats.CacheMisses.Add(1)
 	}
@@ -199,12 +241,13 @@ func (s *Server) compiledEnumerator(dbName, phiText string, vars []string) (*agg
 	}
 	key := strings.Join([]string{"enum", dbName, canonical, strings.Join(vars, ","), s.optionsKey(nil)}, "\x00")
 
+	lookupStart := time.Now()
 	v, hit, err := s.cache.getOrCreate(key, func() (any, error) {
 		s.stats.Compiles.Add(1)
 		var p *agg.Prepared
 		var cerr error
 		timed(&s.stats.CompileNanos, func() {
-			p, cerr = eng.Prepare(context.Background(), phiText,
+			p, cerr = eng.Prepare(obs.NewContext(context.Background(), s.tr), phiText,
 				agg.WithAnswerVars(vars...),
 				agg.WithWorkers(s.opts.Workers),
 				agg.WithMaxVars(s.opts.MaxVars))
@@ -219,6 +262,7 @@ func (s *Server) compiledEnumerator(dbName, phiText string, vars []string) (*agg
 	}
 	if hit {
 		s.stats.CacheHits.Add(1)
+		s.tr.Observe(obs.StageCacheLookup, time.Since(lookupStart))
 	} else {
 		s.stats.CacheMisses.Add(1)
 	}

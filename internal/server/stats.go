@@ -1,6 +1,7 @@
 package server
 
 import (
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 )
@@ -28,6 +29,7 @@ type Stats struct {
 	InFlight atomic.Int64 // requests currently being served
 	Errors   atomic.Int64 // requests answered with a non-2xx status
 	Canceled atomic.Int64 // requests abandoned by their client mid-work
+	Busy     atomic.Int64 // fail-fast ErrSessionBusy rejections (409s)
 }
 
 // StatsSnapshot is the JSON shape served by GET /stats.
@@ -49,9 +51,17 @@ type StatsSnapshot struct {
 	InFlight       int64   `json:"inFlight"`
 	Errors         int64   `json:"errors"`
 	Canceled       int64   `json:"canceled"`
+	Busy           int64   `json:"busy"`
 	CachedQueries  int     `json:"cachedQueries"`
 	Databases      int     `json:"databases"`
 	UptimeSeconds  float64 `json:"uptimeSeconds"`
+
+	// StartTime is the server start in RFC 3339; GoVersion and Revision
+	// identify the running build (VCS revision when the binary was built
+	// from a checkout, empty otherwise).
+	StartTime string `json:"startTime"`
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`
 
 	// CacheBytes is the total resident size of the frozen Programs held by
 	// the compiled-artefact cache; CacheEntryBytes lists the per-entry sizes
@@ -81,7 +91,32 @@ func (st *Stats) snapshot() StatsSnapshot {
 		InFlight:       st.InFlight.Load(),
 		Errors:         st.Errors.Load(),
 		Canceled:       st.Canceled.Load(),
+		Busy:           st.Busy.Load(),
 	}
+}
+
+// BuildInfo reports the Go toolchain version and, when the binary was built
+// from a version-controlled checkout, the VCS revision (suffixed with
+// "-dirty" for modified trees).
+func BuildInfo() (goVersion, revision string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", ""
+	}
+	goVersion = bi.GoVersion
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision != "" && dirty {
+		revision += "-dirty"
+	}
+	return goVersion, revision
 }
 
 // timed runs f and adds its wall time to the counter.
