@@ -3,6 +3,7 @@ package agg_test
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/agg"
@@ -159,10 +160,19 @@ func Example_enumerate() {
 		panic(err)
 	}
 	fmt.Printf("answers over %v: %d\n", p.AnswerVars(), n)
+	// Enumeration order is unspecified; sort the answers for stable output.
+	var answers [][]int
 	for ans, err := range p.Enumerate(ctx) {
 		if err != nil {
 			panic(err)
 		}
+		answers = append(answers, ans)
+	}
+	sort.Slice(answers, func(i, j int) bool {
+		a, b := answers[i], answers[j]
+		return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1])
+	})
+	for _, ans := range answers {
 		fmt.Printf("  (%d, %d)\n", ans[0], ans[1])
 	}
 

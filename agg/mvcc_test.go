@@ -1,0 +1,389 @@
+package agg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// ringEngine builds a directed ring 0→1→…→n-1→0 with edge weights
+// w(i, i+1) = i+1, for MVCC tests that want a writable edge set.
+func ringEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "domain %d\nrel E 2\nwsym w 2\n", n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "E %d %d\n", i, (i+1)%n)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "w %d %d %d\n", i, (i+1)%n, i+1)
+	}
+	eng, err := OpenReader(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	return eng
+}
+
+// evalAll reads the point value at every element through f.
+func evalAll(t *testing.T, n int, f func(context.Context, ...int) (Value, error)) []Value {
+	t.Helper()
+	out := make([]Value, n)
+	for x := 0; x < n; x++ {
+		v, err := f(context.Background(), x)
+		if err != nil {
+			t.Fatalf("Eval(%d): %v", x, err)
+		}
+		out[x] = v
+	}
+	return out
+}
+
+// TestReaderPinsEpoch opens Readers along an update stream and checks that
+// each keeps answering Eval, Enumerate and AnswerCount exactly as of its
+// pinned epoch, that undo memory is retained only while Readers are open,
+// and that closed Readers fail cleanly.
+func TestReaderPinsEpoch(t *testing.T) {
+	ctx := context.Background()
+	const n = 8
+	eng := ringEngine(t, n)
+	p, err := eng.Prepare(ctx, "sum y . [E(x,y)] * w(x,y)", WithDynamic("E"))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	s, err := p.Session()
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	defer s.Close()
+
+	type pinned struct {
+		r    *Reader
+		want []Value
+	}
+	record := func() pinned {
+		r, err := s.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		return pinned{r: r, want: evalAll(t, n, s.Eval)}
+	}
+
+	pins := []pinned{record()}
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 40; step++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			err = s.Set(SetTuple("E", []int{i, (i + 1) % n}, rng.Intn(2) == 0))
+		case 1:
+			err = s.Set(SetWeight("w", []int{i, (i + 1) % n}, int64(rng.Intn(50))))
+		default:
+			err = s.ApplyBatch([]Change{
+				SetTuple("E", []int{i, (i + 1) % n}, true),
+				SetWeight("w", []int{i, (i + 1) % n}, int64(rng.Intn(50))),
+			})
+		}
+		if err != nil {
+			t.Fatalf("update %d: %v", step, err)
+		}
+		if step%11 == 0 {
+			pins = append(pins, record())
+		}
+	}
+	if s.RetainedUndoBytes() == 0 {
+		t.Error("no undo history retained while Readers are open")
+	}
+
+	for i, pin := range pins {
+		if got := evalAll(t, n, pin.r.Eval); !valuesEqual(got, pin.want) {
+			t.Errorf("pin %d (epoch %d): reader values %v, want %v", i, pin.r.Epoch(), got, pin.want)
+		}
+	}
+	// A fresh Reader sees the present.
+	fresh, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("fresh Snapshot: %v", err)
+	}
+	if got, want := evalAll(t, n, fresh.Eval), evalAll(t, n, s.Eval); !valuesEqual(got, want) {
+		t.Errorf("fresh reader values %v, live %v", got, want)
+	}
+	fresh.Close()
+
+	for _, pin := range pins {
+		if err := pin.r.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := pin.r.Close(); err != nil {
+			t.Errorf("second Close: %v", err)
+		}
+	}
+	if got := s.RetainedUndoBytes(); got != 0 {
+		t.Errorf("retained undo bytes %d after all Readers closed, want 0", got)
+	}
+	if _, err := pins[0].r.Eval(ctx, 0); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("Eval on closed Reader: %v, want ErrSessionClosed", err)
+	}
+}
+
+func valuesEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReaderEnumeratesPinnedAnswers checks the answer-set half of a Reader on
+// an enumerable query with a dynamic relation: Enumerate and AnswerCount
+// answer as of the pinned epoch while tuple updates keep committing, and
+// agree with each other.
+func TestReaderEnumeratesPinnedAnswers(t *testing.T) {
+	ctx := context.Background()
+	eng := testEngine(t)
+	p, err := eng.Prepare(ctx, "E(x,y) & S(x)", WithDynamic("S"))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	s, err := p.Session()
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	defer s.Close()
+
+	collect := func(r *Reader) []string {
+		var keys []string
+		for ans, err := range r.Enumerate(ctx) {
+			if err != nil {
+				t.Fatalf("Enumerate: %v", err)
+			}
+			keys = append(keys, fmt.Sprint([]int(ans)))
+		}
+		sort.Strings(keys)
+		return keys
+	}
+
+	type pinned struct {
+		r    *Reader
+		want []string
+	}
+	var pins []pinned
+	record := func() {
+		r, err := s.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		pins = append(pins, pinned{r: r, want: collect(r)})
+	}
+
+	record()
+	for step, ch := range []Change{
+		SetTuple("S", []int{1}, true),
+		SetTuple("S", []int{0}, false),
+		SetTuple("S", []int{2}, false),
+		SetTuple("S", []int{3}, true),
+	} {
+		if err := s.Set(ch); err != nil {
+			t.Fatalf("Set %d: %v", step, err)
+		}
+		record()
+	}
+
+	for i, pin := range pins {
+		if got := collect(pin.r); !equalStrings(got, pin.want) {
+			t.Errorf("pin %d: answers %v, want %v", i, got, pin.want)
+		}
+		count, err := pin.r.AnswerCount(ctx)
+		if err != nil {
+			t.Fatalf("AnswerCount: %v", err)
+		}
+		if int(count) != len(pin.want) {
+			t.Errorf("pin %d: AnswerCount %d, enumerated %d", i, count, len(pin.want))
+		}
+	}
+	for _, pin := range pins {
+		pin.r.Close()
+	}
+	if got := s.RetainedUndoBytes(); got != 0 {
+		t.Errorf("retained undo bytes %d after all Readers closed, want 0", got)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentReadersNeverBusy is the race-enabled stress test of the MVCC
+// contract at the public API: one writer streams updates while reader
+// goroutines Eval through Session.Snapshot Readers, asserting that every
+// reader observes exactly the values of some committed epoch (differential
+// against the sequential oracle the writer records after each commit) and
+// that no read ever fails with ErrSessionBusy.
+func TestConcurrentReadersNeverBusy(t *testing.T) {
+	ctx := context.Background()
+	const (
+		n       = 8
+		updates = 150
+		readers = 4
+	)
+	eng := ringEngine(t, n)
+	p, err := eng.Prepare(ctx, "sum y . [E(x,y)] * w(x,y)", WithDynamic("E"))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	s, err := p.Session()
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	defer s.Close()
+
+	var oracle sync.Map // epoch → []Value at that commit
+	oracle.Store(s.Epoch(), evalAll(t, n, s.Eval))
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < updates; i++ {
+			v := rng.Intn(n)
+			var err error
+			if rng.Intn(2) == 0 {
+				err = s.Set(SetTuple("E", []int{v, (v + 1) % n}, rng.Intn(2) == 0))
+			} else {
+				err = s.ApplyBatch([]Change{
+					SetTuple("E", []int{v, (v + 1) % n}, true),
+					SetWeight("w", []int{v, (v + 1) % n}, int64(rng.Intn(40))),
+				})
+			}
+			if err != nil {
+				t.Errorf("update %d: %v", i, err)
+				return
+			}
+			// Readers that pinned this epoch first spin until the oracle entry
+			// lands; the single writer is the only committer, so the epoch read
+			// here is the one its updates produced.
+			vals := make([]Value, n)
+			for x := 0; x < n; x++ {
+				if vals[x], err = s.Eval(ctx, x); err != nil {
+					t.Errorf("oracle Eval(%d): %v", x, err)
+					return
+				}
+			}
+			oracle.Store(s.Epoch(), vals)
+		}
+	}()
+
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				r, err := s.Snapshot()
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: Snapshot: %v", id, err)
+					return
+				}
+				got := make([]Value, n)
+				for x := 0; x < n; x++ {
+					v, err := r.Eval(ctx, x)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: Eval(%d): %v", id, x, err)
+						r.Close()
+						return
+					}
+					got[x] = v
+				}
+				var want any
+				for {
+					var ok bool
+					if want, ok = oracle.Load(r.Epoch()); ok {
+						break
+					}
+					runtime.Gosched()
+				}
+				if !valuesEqual(got, want.([]Value)) {
+					errs <- fmt.Errorf("reader %d at epoch %d: values %v, oracle %v", id, r.Epoch(), got, want)
+					r.Close()
+					return
+				}
+				// Session.Eval must never be busy either: it falls back to a
+				// snapshot when the writer holds the session.
+				if _, err := s.Eval(ctx, 0); err != nil {
+					errs <- fmt.Errorf("reader %d: Session.Eval: %v", id, err)
+					r.Close()
+					return
+				}
+				r.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.RetainedUndoBytes(); got != 0 {
+		t.Errorf("retained undo bytes %d after all readers done, want 0", got)
+	}
+}
+
+// TestNestedSessionHasNoSnapshots pins down the one exception to the MVCC
+// read contract: nested sessions cannot snapshot, so Snapshot fails and Eval
+// keeps the fail-fast ErrSessionBusy behaviour under a concurrent writer.
+func TestNestedSessionHasNoSnapshots(t *testing.T) {
+	eng := testEngine(t)
+	ctx := context.Background()
+	q := NSum([]string{"x", "y"},
+		NTimes(NBracket(NAtom("E", "x", "y")), NWeight("w", "x", "y")))
+	p, err := eng.Prepare(ctx, "nested edge sum", WithNested(q))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	s, err := p.Session()
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	defer s.Close()
+
+	if _, err := s.Snapshot(); err == nil {
+		t.Error("nested Snapshot succeeded, want error")
+	}
+	if got := s.Epoch(); got != 0 {
+		t.Errorf("nested Epoch = %d, want 0", got)
+	}
+	if got := s.RetainedUndoBytes(); got != 0 {
+		t.Errorf("nested RetainedUndoBytes = %d, want 0", got)
+	}
+	s.writerMu.Lock()
+	if _, err := s.Eval(ctx); !errors.Is(err, ErrSessionBusy) {
+		t.Errorf("nested busy Eval: %v, want ErrSessionBusy", err)
+	}
+	s.writerMu.Unlock()
+}

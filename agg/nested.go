@@ -408,6 +408,19 @@ func (s *nestedSession) SetTuple(rel string, tuple []int, present bool) error {
 	return s.db.SetTuple(rel, structure.Tuple(tuple), present)
 }
 
+// Snapshot is unsupported on nested sessions: the recompute evaluator has no
+// epoch-versioned state to pin, so reads that race a writer keep failing fast
+// with ErrSessionBusy instead of falling back to a snapshot.
+func (s *nestedSession) Snapshot() (erasedSnapshot, error) {
+	return nil, fmt.Errorf("nested sessions do not support snapshots")
+}
+
+// Epoch is always zero: nested sessions have no commit counter.
+func (s *nestedSession) Epoch() uint64 { return 0 }
+
+// RetainedUndoBytes is always zero: nested sessions keep no undo history.
+func (s *nestedSession) RetainedUndoBytes() int64 { return 0 }
+
 func (s *nestedSession) ApplyBatch(changes []Change) error {
 	// Changes apply in order (so a batch may insert a tuple and then weight
 	// it, as in flat sessions); a failing change rolls the whole batch back,

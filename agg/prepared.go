@@ -438,8 +438,15 @@ func (p *Prepared) Eval(ctx context.Context, args ...int) (Value, error) {
 // Session opens a dynamic-update session on the shared compilation: point
 // queries plus weight and tuple updates with logarithmic cost (Theorem 8).
 // Each call returns independent session state; the expensive compilation is
-// shared.  Sessions fail fast with ErrSessionBusy under concurrent use —
-// serialise externally to queue instead.
+// shared.  Updates fail fast with ErrSessionBusy when they race each other,
+// but reads never do: Eval falls back to an epoch snapshot under a
+// concurrent writer, and Session.Snapshot pins a Reader for sustained
+// concurrent reading (see the Session and Reader docs for the full
+// concurrency contract).
+//
+// For enumerable queries with dynamic relations the session also carries a
+// private copy of the enumeration structure, kept in lockstep with tuple
+// updates, so Readers can enumerate the answer set at their pinned epoch.
 func (p *Prepared) Session() (*Session, error) {
 	if p.nst != nil {
 		return &Session{p: p, sess: p.nst.newSession(p)}, nil
@@ -448,5 +455,9 @@ func (p *Prepared) Session() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{p: p, sess: p.sem.newSession(sh, p.eng.db.w, p.tr)}, nil
+	s := &Session{p: p, sess: p.sem.newSession(sh, p.eng.db.w, p.tr)}
+	if p.enum != nil && len(p.cfg.dynamic) > 0 {
+		s.ans = p.enum.ans.Clone()
+	}
+	return s, nil
 }

@@ -3,7 +3,9 @@ package agg
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -164,5 +166,83 @@ func TestSearchErrors(t *testing.T) {
 	// Non-dynamic relations are rejected by the enumerator.
 	if err := s.Apply(Change{Rel: "E", Tuple: []int{0, 4}, Present: true}); !errors.Is(err, ErrUpdate) {
 		t.Errorf("static relation change error = %v; want ErrUpdate", err)
+	}
+}
+
+// TestConcurrentSearchers drives several independent local searches from one
+// Prepared at the same time (meaningful under -race): each Searcher owns a
+// private clone of the enumeration state, so the searches need no mutual
+// synchronisation and the Prepared's shared answer set stays untouched.
+func TestConcurrentSearchers(t *testing.T) {
+	p := prepareMIS(t)
+	ctx := context.Background()
+	before, err := p.AnswerCount(ctx)
+	if err != nil {
+		t.Fatalf("AnswerCount: %v", err)
+	}
+
+	const searchers = 6
+	solutions := make([][]int, searchers)
+	errs := make([]error, searchers)
+	var wg sync.WaitGroup
+	for i := 0; i < searchers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := p.Search()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, err = s.Run(ctx, func(ans Answer) []Change {
+				solutions[i] = append(solutions[i], ans[0])
+				return misStep(ans)
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if rem := s.Remaining(); rem != 0 {
+				errs[i] = fmt.Errorf("Remaining = %d after local optimum", rem)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("searcher %d: %v", i, err)
+		}
+	}
+	for i, sol := range solutions {
+		in := map[int]bool{}
+		for _, v := range sol {
+			in[v] = true
+		}
+		for _, v := range sol {
+			for _, u := range searchNeighbors[v] {
+				if in[u] {
+					t.Errorf("searcher %d: solution %v is not independent (%d–%d)", i, sol, v, u)
+				}
+			}
+		}
+		for v := 0; v < 5; v++ {
+			if in[v] {
+				continue
+			}
+			blocked := false
+			for _, u := range searchNeighbors[v] {
+				if in[u] {
+					blocked = true
+				}
+			}
+			if !blocked {
+				t.Errorf("searcher %d: solution %v is not maximal (vertex %d addable)", i, sol, v)
+			}
+		}
+	}
+	// The shared Prepared never changed.
+	if after, _ := p.AnswerCount(ctx); after != before {
+		t.Errorf("shared answer count changed: %d -> %d", before, after)
 	}
 }

@@ -71,6 +71,21 @@ type erasedSession interface {
 	SetWeight(weight string, tuple []int, value int64) error
 	SetTuple(rel string, tuple []int, present bool) error
 	ApplyBatch(changes []Change) error
+	// Snapshot pins the current committed epoch for concurrent reads; engines
+	// without MVCC support (the nested evaluator) return an error.
+	Snapshot() (erasedSnapshot, error)
+	// Epoch is the number of committed mutations so far.
+	Epoch() uint64
+	// RetainedUndoBytes is the undo-history memory pinned by open snapshots.
+	RetainedUndoBytes() int64
+}
+
+// erasedSnapshot is a pinned read handle on an erasedSession: point queries
+// answer as of the pinned epoch while the writer keeps committing.
+type erasedSnapshot interface {
+	Point(args []int) (string, error)
+	Epoch() uint64
+	Release()
 }
 
 // NewSemiring builds a registrable semiring from an arithmetic and an
@@ -163,6 +178,32 @@ func (s *typedSession[T]) SetWeight(weight string, tuple []int, value int64) err
 func (s *typedSession[T]) SetTuple(rel string, tuple []int, present bool) error {
 	return s.q.SetTuple(rel, structure.Tuple(tuple), present)
 }
+
+func (s *typedSession[T]) Snapshot() (erasedSnapshot, error) {
+	return &typedSnapshot[T]{ts: s.ts, snap: s.q.Snapshot()}, nil
+}
+
+func (s *typedSession[T]) Epoch() uint64 { return s.q.Epoch() }
+
+func (s *typedSession[T]) RetainedUndoBytes() int64 { return s.q.RetainedUndoBytes() }
+
+// typedSnapshot adapts a dynamicq.Snapshot to the erased snapshot interface.
+type typedSnapshot[T any] struct {
+	ts   *typedSemiring[T]
+	snap *dynamicq.Snapshot[T]
+}
+
+func (s *typedSnapshot[T]) Point(args []int) (string, error) {
+	v, err := s.snap.Value(args...)
+	if err != nil {
+		return "", err
+	}
+	return s.ts.s.Format(v), nil
+}
+
+func (s *typedSnapshot[T]) Epoch() uint64 { return s.snap.Epoch() }
+
+func (s *typedSnapshot[T]) Release() { s.snap.Release() }
 
 func (s *typedSession[T]) ApplyBatch(changes []Change) error {
 	typed := make([]dynamicq.Change[T], len(changes))

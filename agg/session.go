@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/enumerate"
 	"repro/internal/obs"
 )
 
@@ -12,17 +13,33 @@ import (
 // weights and the tuples of relations declared with WithDynamic can be
 // updated, with logarithmic cost per update.
 //
-// A Session serialises its operations and fails fast: an operation attempted
-// while another one holds the session returns ErrSessionBusy instead of
-// queueing (frontends that want queueing, like aggserve, wrap sessions in
-// their own lock).  After Close every operation returns ErrSessionClosed.
+// Writes serialise and fail fast: a Set or ApplyBatch attempted while
+// another update holds the session returns ErrSessionBusy instead of
+// queueing.  Reads never fail that way — Eval falls back to a snapshot of
+// the last committed epoch when a writer is in flight, and Snapshot hands
+// out a Reader pinned at one epoch for sustained concurrent reading.  The
+// lone exception is a nested (WithNested) session, whose recompute evaluator
+// has no epochs to snapshot: there Eval keeps the fail-fast ErrSessionBusy
+// contract.  After Close every operation returns ErrSessionClosed, but
+// Readers drawn before the Close stay usable until they are closed
+// themselves.
 type Session struct {
 	p    *Prepared
-	mu   sync.Mutex
 	once sync.Once
+
+	// writerMu serialises mutations and the in-place read path; TryLock keeps
+	// the fail-fast contract for writer–writer conflicts.
+	writerMu sync.Mutex
+	// stateMu guards the lifecycle flag so concurrent readers can check it
+	// without contending with writers.
+	stateMu sync.RWMutex
 
 	closed bool
 	sess   erasedSession
+	// ans is the session-private answer enumerator, present only for
+	// enumerable queries with dynamic relations: tuple updates are mirrored
+	// into it so Readers can enumerate the answer set at a pinned epoch.
+	ans *enumerate.Answers
 }
 
 // Change is one update of a Session: a weight update (Weight non-empty:
@@ -47,20 +64,22 @@ func SetTuple(rel string, tuple []int, present bool) Change {
 	return Change{Rel: rel, Tuple: tuple, Present: present}
 }
 
-// acquire takes the session for one operation, failing fast when it is busy
-// or closed.  The caller must release() on success.
-func (s *Session) acquire() error {
-	if !s.mu.TryLock() {
-		return errorf(ErrSessionBusy, s.p.text, "session is processing another operation")
+// acquireWriter takes the write half of the session for one mutation,
+// failing fast when another writer holds it or the session is closed.  The
+// caller must unlock writerMu on success.
+func (s *Session) acquireWriter() error {
+	if !s.writerMu.TryLock() {
+		return errorf(ErrSessionBusy, s.p.text, "session is processing another update")
 	}
-	if s.closed {
-		s.mu.Unlock()
+	s.stateMu.RLock()
+	closed := s.closed
+	s.stateMu.RUnlock()
+	if closed {
+		s.writerMu.Unlock()
 		return errorf(ErrSessionClosed, s.p.text, "session was closed")
 	}
 	return nil
 }
-
-func (s *Session) release() { s.mu.Unlock() }
 
 // FreeVars returns the free variables of the underlying query, in the order
 // Eval expects its arguments.
@@ -68,16 +87,37 @@ func (s *Session) FreeVars() []string { return s.p.FreeVars() }
 
 // Eval reads the query value under the updates applied so far: no arguments
 // for a closed query, one element per free variable for a point query.
+//
+// Eval never returns ErrSessionBusy on an MVCC-backed (non-nested) session:
+// it pins a snapshot of the last committed epoch, answers from that, and
+// releases it, without ever taking the writer lock — so reads keep flowing
+// under a sustained write stream and never make a concurrent writer fail
+// either.  On a nested session, which cannot snapshot, Eval evaluates in
+// place under the writer lock and fails fast when it is held.
 func (s *Session) Eval(ctx context.Context, args ...int) (Value, error) {
 	if err := ensureCtx(ctx).Err(); err != nil {
 		return "", err
 	}
-	if err := s.acquire(); err != nil {
-		return "", err
+	s.stateMu.RLock()
+	closed, sess := s.closed, s.sess
+	s.stateMu.RUnlock()
+	if closed {
+		return "", errorf(ErrSessionClosed, s.p.text, "session was closed")
 	}
-	defer s.release()
 	evalSpan := obs.FromContext(ctx).StartSpan(obs.StageEval)
-	out, err := s.sess.Point(args)
+	var out string
+	var err error
+	if snap, serr := sess.Snapshot(); serr == nil {
+		out, err = snap.Point(args)
+		snap.Release()
+	} else {
+		// Nested sessions have no snapshots: evaluate in place, fail-fast.
+		if !s.writerMu.TryLock() {
+			return "", errorf(ErrSessionBusy, s.p.text, "session is processing another operation")
+		}
+		out, err = sess.Point(args)
+		s.writerMu.Unlock()
+	}
 	if err != nil {
 		return "", newError(ErrArgument, s.p.text, err)
 	}
@@ -85,19 +125,45 @@ func (s *Session) Eval(ctx context.Context, args ...int) (Value, error) {
 	return Value(out), nil
 }
 
+// Epoch returns the number of updates committed on this session so far.
+// Nested sessions, which have no commit counter, always report zero.
+func (s *Session) Epoch() uint64 {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.closed {
+		return 0
+	}
+	return s.sess.Epoch()
+}
+
+// RetainedUndoBytes reports the undo-history memory currently pinned by
+// outstanding Readers and snapshot reads; zero whenever none are open.
+func (s *Session) RetainedUndoBytes() int64 {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.closed {
+		return 0
+	}
+	n := s.sess.RetainedUndoBytes()
+	if s.ans != nil {
+		n += s.ans.RetainedUndoBytes()
+	}
+	return n
+}
+
 // Set applies one change: a weight update or a dynamic-relation membership
 // update.  Tuple insertions must preserve the Gaifman graph of the compiled
 // structure (Theorem 24's update model); violations fail with ErrUpdate and
 // leave the session untouched.
 func (s *Session) Set(change Change) error {
-	if err := s.acquire(); err != nil {
+	if err := s.acquireWriter(); err != nil {
 		return err
 	}
-	defer s.release()
+	defer s.writerMu.Unlock()
 	return s.apply(change)
 }
 
-// apply performs one change; the caller holds the session.
+// apply performs one change; the caller holds the write half.
 func (s *Session) apply(change Change) error {
 	var err error
 	switch {
@@ -113,6 +179,11 @@ func (s *Session) apply(change Change) error {
 	if err != nil {
 		return newError(ErrUpdate, s.p.text, err)
 	}
+	if change.Rel != "" && s.ans != nil {
+		if merr := s.ans.SetTuple(change.Rel, change.Tuple, change.Present); merr != nil {
+			return newError(ErrUpdate, s.p.text, merr)
+		}
+	}
 	return nil
 }
 
@@ -122,10 +193,10 @@ func (s *Session) apply(change Change) error {
 // by several changes are recomputed once and repeated changes to one key
 // coalesce with the last value winning.
 func (s *Session) ApplyBatch(changes []Change) error {
-	if err := s.acquire(); err != nil {
+	if err := s.acquireWriter(); err != nil {
 		return err
 	}
-	defer s.release()
+	defer s.writerMu.Unlock()
 	for i, ch := range changes {
 		if ch.Weight != "" && ch.Rel != "" {
 			return errorf(ErrUpdate, s.p.text, "change %d names both a weight and a relation", i)
@@ -137,18 +208,33 @@ func (s *Session) ApplyBatch(changes []Change) error {
 	if err := s.sess.ApplyBatch(changes); err != nil {
 		return newError(ErrUpdate, s.p.text, err)
 	}
+	if s.ans != nil {
+		var mirror []enumerate.TupleChange
+		for _, ch := range changes {
+			if ch.Rel != "" {
+				mirror = append(mirror, enumerate.TupleChange{Rel: ch.Rel, Tuple: ch.Tuple, Present: ch.Present})
+			}
+		}
+		if len(mirror) > 0 {
+			if merr := s.ans.ApplyBatch(mirror); merr != nil {
+				return newError(ErrUpdate, s.p.text, merr)
+			}
+		}
+	}
 	return nil
 }
 
-// Close releases the session's evaluator state; subsequent operations fail
-// with ErrSessionClosed.  Close blocks until an in-flight operation
-// finishes and is idempotent.
+// Close marks the session closed; subsequent operations fail with
+// ErrSessionClosed.  Close blocks until an in-flight update finishes and is
+// idempotent.  Readers obtained from Snapshot before the Close keep working —
+// close them separately to release their pinned history.
 func (s *Session) Close() error {
 	s.once.Do(func() {
-		s.mu.Lock()
+		s.writerMu.Lock()
+		s.stateMu.Lock()
 		s.closed = true
-		s.sess = nil
-		s.mu.Unlock()
+		s.stateMu.Unlock()
+		s.writerMu.Unlock()
 	})
 	return nil
 }

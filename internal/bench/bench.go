@@ -772,6 +772,7 @@ func Registry(quick bool) []Experiment {
 		{"E15", func() *Table { return E15FacadeOverhead(small, 10) }},
 		{"E16", func() *Table { return E16Replatform(e16Nested, e16Search) }},
 		{"E17", func() *Table { return E17InstrumentationOverhead(small, 10) }},
+		{"E18", func() *Table { return E18SnapshotReads(small, 10000) }},
 	}
 }
 

@@ -2,8 +2,11 @@ package circuit
 
 import (
 	"fmt"
+	"sync"
 	"time"
+	"unsafe"
 
+	"repro/internal/mvcc"
 	"repro/internal/perm"
 	"repro/internal/semiring"
 	"repro/internal/structure"
@@ -37,6 +40,18 @@ import (
 // owned by the Dynamic and reused across updates: once the buffers have
 // grown to their steady-state capacity, updates on the generic path perform
 // zero heap allocations.
+//
+// # Goroutine safety
+//
+// A Dynamic serialises its own access: mutations (SetInput, ApplyBatch,
+// EvalWith) take an exclusive lock for the full leaf-assignment + wave +
+// commit sequence, and reads (Value, GateValue, and every Snapshot
+// resolution) take a shared lock, so any number of goroutines may read while
+// at most one mutates.  Each committed mutation advances the epoch counter;
+// Snapshot pins the current epoch and keeps resolving values as of that
+// commit while later mutations proceed, using the undo entries the wave
+// scratch already computes (oldOf: gate → pre-wave value).  With no snapshot
+// pinned the undo log records nothing and mutations stay allocation-free.
 type Dynamic[T any] struct {
 	p *Program
 	s semiring.Semiring[T]
@@ -61,13 +76,32 @@ type Dynamic[T any] struct {
 	queued  []bool   // gate is waiting in a bucket
 	changed [][]int  // changed[g] lists g's children that changed this wave
 	oldOf   []T      // oldOf[g] is g's value right before this wave's change
-	stamp   []uint64 // stamp[g] == epoch marks g as changed this wave
-	epoch   uint64
+	stamp   []uint64 // stamp[g] == gen marks g as changed this wave
+	gen     uint64   // wave generation for stamp (not the commit epoch)
+
+	// valMu orders mutations against reads: writers hold it exclusively for
+	// one whole mutation, readers share it per resolution batch.
+	valMu sync.RWMutex
+	// log is the epoch/undo state behind Snapshot: while readers are pinned,
+	// markChanged records each gate's pre-wave value and every mutation
+	// commits one transition.
+	log mvcc.Log[valUndo[T]]
+	// restore is the scratch of EvalWith's second (undo) wave.
+	restore []valUndo[T]
 
 	// waveHook, when non-nil, receives the wall-clock duration of every
 	// propagation wave.  The nil check in runWave keeps the uninstrumented
-	// update path free of clock reads and allocations.
+	// update path free of clock reads and allocations.  The hook runs while
+	// the mutation holds the exclusive lock, so it must not call back into
+	// the Dynamic.
 	waveHook func(time.Duration)
+}
+
+// valUndo is one undo-log entry: gate held old right before the transition's
+// wave.  It doubles as the restore scratch of EvalWith.
+type valUndo[T any] struct {
+	gate int32
+	old  T
 }
 
 // SetWaveHook installs (or, with nil, removes) a listener that receives the
@@ -154,7 +188,8 @@ func NewDynamicProgram[T any](p *Program, s semiring.Semiring[T], v Valuation[T]
 	d.changed = make([][]int, n)
 	d.oldOf = make([]T, n)
 	d.stamp = make([]uint64, n)
-	d.epoch = 1
+	d.gen = 1
+	d.log.EntryBytes = int64(unsafe.Sizeof(valUndo[T]{}))
 	return d
 }
 
@@ -235,17 +270,51 @@ func (d *Dynamic[T]) newPermState(id int) permState[T] {
 	return permState[T]{maintainer: maint, positions: positions}
 }
 
-// Value returns the current value of the output gate.
-func (d *Dynamic[T]) Value() T { return d.vals[d.p.output] }
+// Value returns the current value of the output gate.  It takes the shared
+// lock, so it is safe to call from any goroutine concurrently with mutations
+// — but never from a wave hook or any code already holding the Dynamic's
+// exclusive lock.
+func (d *Dynamic[T]) Value() T {
+	d.valMu.RLock()
+	v := d.vals[d.p.output]
+	d.valMu.RUnlock()
+	return v
+}
 
-// GateValue returns the current value of an arbitrary gate.
-func (d *Dynamic[T]) GateValue(id int) T { return d.vals[id] }
+// GateValue returns the current value of an arbitrary gate, under the same
+// goroutine-safety contract as Value.
+func (d *Dynamic[T]) GateValue(id int) T {
+	d.valMu.RLock()
+	v := d.vals[id]
+	d.valMu.RUnlock()
+	return v
+}
+
+// Epoch returns the number of committed mutations: the epoch a Snapshot
+// taken now would pin.
+func (d *Dynamic[T]) Epoch() uint64 {
+	d.valMu.RLock()
+	e := d.log.Epoch()
+	d.valMu.RUnlock()
+	return e
+}
+
+// RetainedUndoBytes reports the memory held by undo history for outstanding
+// snapshots (0 when none are pinned).
+func (d *Dynamic[T]) RetainedUndoBytes() int64 {
+	d.valMu.RLock()
+	n := d.log.Retained()
+	d.valMu.RUnlock()
+	return n
+}
 
 // SetInput updates one weight input to the given value and propagates the
 // change.  Unknown keys (keys the circuit does not reference) are ignored,
 // matching the convention that weights outside the circuit cannot influence
 // the query value.
 func (d *Dynamic[T]) SetInput(key structure.WeightKey, value T) {
+	d.valMu.Lock()
+	defer d.valMu.Unlock()
 	id := d.p.InputGate(key)
 	if id < 0 {
 		return
@@ -257,6 +326,7 @@ func (d *Dynamic[T]) SetInput(key structure.WeightKey, value T) {
 	d.vals[id] = value
 	d.markChanged(id, old)
 	d.runWave()
+	d.log.Commit()
 }
 
 // ApplyBatch applies every leaf change first and then runs one propagation
@@ -266,6 +336,8 @@ func (d *Dynamic[T]) SetInput(key structure.WeightKey, value T) {
 // exactly as with SetInput.  Applying a batch is observationally equivalent
 // to applying its changes one at a time; only the propagation cost differs.
 func (d *Dynamic[T]) ApplyBatch(changes []InputChange[T]) {
+	d.valMu.Lock()
+	defer d.valMu.Unlock()
 	touched := false
 	for _, ch := range changes {
 		id := d.p.InputGate(ch.Key)
@@ -282,21 +354,73 @@ func (d *Dynamic[T]) ApplyBatch(changes []InputChange[T]) {
 	}
 	if touched {
 		d.runWave()
+		d.log.Commit()
 	}
+}
+
+// EvalWith evaluates the output under temporary input overrides: the changes
+// are applied as one wave, the output read, and the originals restored with
+// a second wave, all under one exclusive critical section and without
+// committing an epoch — the state is net unchanged, so snapshots can never
+// pin the transient overrides.  While readers are pinned the two waves still
+// append their (mutually cancelling) undo entries to the open transition,
+// where first-wins resolution recovers the original values.  This is the
+// writer-side fast path of dynamicq's point queries; snapshot readers use
+// DynSnapshot.EvalWith, which leaves the shared state untouched.
+func (d *Dynamic[T]) EvalWith(changes []InputChange[T]) T {
+	d.valMu.Lock()
+	defer d.valMu.Unlock()
+	d.restore = d.restore[:0]
+	for _, ch := range changes {
+		id := d.p.InputGate(ch.Key)
+		if id < 0 {
+			continue
+		}
+		if d.s.Equal(d.vals[id], ch.Value) {
+			continue
+		}
+		old := d.vals[id]
+		d.restore = append(d.restore, valUndo[T]{gate: int32(id), old: old})
+		d.vals[id] = ch.Value
+		d.markChanged(id, old)
+	}
+	if len(d.restore) == 0 {
+		return d.vals[d.p.output]
+	}
+	d.runWave()
+	out := d.vals[d.p.output]
+	// Undo in reverse, so duplicate keys restore the oldest value last.
+	for i := len(d.restore) - 1; i >= 0; i-- {
+		e := d.restore[i]
+		id := int(e.gate)
+		if d.s.Equal(d.vals[id], e.old) {
+			continue
+		}
+		old := d.vals[id]
+		d.vals[id] = e.old
+		d.markChanged(id, old)
+	}
+	d.runWave()
+	return out
 }
 
 // markChanged records that gate g's value just changed from old, notifying
 // g's parents and queueing them by rank.  A gate's value changes at most once
-// per wave (children drain strictly before parents), so the epoch stamp only
-// guards against the same *input* being assigned twice within one batch: the
-// first assignment records the pre-wave value and enlists the parents, later
-// ones merely overwrite vals.
+// per wave (children drain strictly before parents), so the generation stamp
+// only guards against the same *input* being assigned twice within one batch:
+// the first assignment records the pre-wave value and enlists the parents,
+// later ones merely overwrite vals.  When snapshots are pinned the pre-wave
+// value is also appended to the undo log — it is exactly the entry a reader
+// at an older epoch needs to roll g back.
 func (d *Dynamic[T]) markChanged(g int, old T) {
-	if d.stamp[g] == d.epoch {
+	if d.stamp[g] == d.gen {
 		return
 	}
-	d.stamp[g] = d.epoch
+	d.stamp[g] = d.gen
 	d.oldOf[g] = old
+	if d.log.Logging() {
+		d.log.Append(valUndo[T]{gate: int32(g), old: old})
+	}
 	for _, p32 := range d.p.ParentIDs(g) {
 		p := int(p32)
 		d.changed[p] = append(d.changed[p], g)
@@ -339,7 +463,7 @@ func (d *Dynamic[T]) propagateWave() {
 		}
 		d.buckets[r] = bucket[:0]
 	}
-	d.epoch++
+	d.gen++
 }
 
 // recomputeGate refreshes the auxiliary structures of gate g given its

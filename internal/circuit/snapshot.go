@@ -1,0 +1,284 @@
+package circuit
+
+import (
+	"repro/internal/perm"
+	"repro/internal/semiring"
+)
+
+// DynSnapshot is a read handle on a Dynamic pinned at one committed epoch:
+// every resolution — Value, GateValue, and point queries through EvalWith —
+// answers as of that commit, no matter how many mutations the writer has
+// applied since.  Taking a snapshot is O(1); resolving a gate costs a digest
+// lookup plus, lazily, one walk over the undo entries committed since the
+// pin (first entry per gate wins, which is precisely its value at the pinned
+// epoch).
+//
+// A snapshot holds no copy of the value array: it reads the writer's current
+// state under the shared lock and rolls dirtied gates back through the undo
+// chain, the copy-on-write scheme of the MVCC session layer.  Release it
+// when done — an unreleased snapshot pins undo history and its memory grows
+// with every write.
+//
+// A DynSnapshot is intended for a single reader goroutine (its digest and
+// scratch are unsynchronised); take one snapshot per goroutine.  Snapshots
+// of one Dynamic may be taken, used and released concurrently with each
+// other and with the writer.
+type DynSnapshot[T any] struct {
+	d        *Dynamic[T]
+	epoch    uint64 // pinned commit epoch
+	digested uint64 // undo history of epochs [epoch, digested) is folded into digest
+	digest   map[int32]T
+	released bool
+
+	// Overlay scratch of EvalWith, allocated on first use and reused.
+	overlay  map[int]T     // gate → value under the current overrides
+	changeCh map[int][]int // gate → children changed by the overlay wave
+	buckets  [][]int
+	queued   []bool
+}
+
+// Snapshot pins the current committed epoch and returns a read handle
+// resolving every gate as of this moment.  From now until Release, mutations
+// record undo entries (in reusable per-epoch buffers), so the writer's
+// steady state with no snapshots outstanding stays allocation-free.
+func (d *Dynamic[T]) Snapshot() *DynSnapshot[T] {
+	d.valMu.Lock()
+	e := d.log.Pin()
+	d.valMu.Unlock()
+	return &DynSnapshot[T]{d: d, epoch: e, digested: e, digest: make(map[int32]T)}
+}
+
+// Epoch returns the committed epoch this snapshot is pinned at.
+func (s *DynSnapshot[T]) Epoch() uint64 { return s.epoch }
+
+// Release unpins the snapshot, letting the writer truncate undo history it
+// no longer needs.  Release is idempotent; a released snapshot keeps
+// answering from its digest but stops following new undo entries, so use it
+// only before the release.
+func (s *DynSnapshot[T]) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.d.valMu.Lock()
+	s.d.log.Unpin(s.epoch)
+	s.d.valMu.Unlock()
+}
+
+// Value returns the output gate's value at the pinned epoch.
+func (s *DynSnapshot[T]) Value() T {
+	s.d.valMu.RLock()
+	defer s.d.valMu.RUnlock()
+	s.extendLocked()
+	return s.resolveLocked(s.d.p.output)
+}
+
+// GateValue returns an arbitrary gate's value at the pinned epoch.
+func (s *DynSnapshot[T]) GateValue(id int) T {
+	s.d.valMu.RLock()
+	defer s.d.valMu.RUnlock()
+	s.extendLocked()
+	return s.resolveLocked(id)
+}
+
+// extendLocked folds undo entries committed since the last resolution into
+// the digest.  First entry per gate wins: the undo chain is walked from the
+// pinned epoch forwards, so the first pre-wave value recorded for a gate is
+// its value at the pin.  Caller holds at least the shared lock.
+func (s *DynSnapshot[T]) extendLocked() {
+	if s.released || s.digested == s.d.log.Epoch() {
+		return
+	}
+	s.digested = s.d.log.Walk(s.digested, func(e valUndo[T]) {
+		if _, ok := s.digest[e.gate]; !ok {
+			s.digest[e.gate] = e.old
+		}
+	})
+}
+
+// resolveLocked answers one gate at the pinned epoch: its first-recorded
+// undo value if the writer dirtied it since the pin, the live value
+// otherwise.  Caller holds at least the shared lock with the digest
+// extended.
+func (s *DynSnapshot[T]) resolveLocked(g int) T {
+	if v, ok := s.digest[int32(g)]; ok {
+		return v
+	}
+	return s.d.vals[g]
+}
+
+// EvalWith evaluates the output at the pinned epoch under temporary input
+// overrides, without touching the shared state: the overrides seed a private
+// overlay wave that propagates rank-ascending exactly like the writer's
+// wave, reading unchanged gates through the snapshot.  This is how point
+// queries run on a snapshot — the writer may commit concurrent batches the
+// whole time.
+//
+// Addition gates recompute by the cheapest applicable rule: a ring delta
+// when the semiring subtracts; appending the new summands when every changed
+// child was zero at the pinned epoch (the usual case for point-query
+// toggles, valid in any semiring); a full fan-in re-sum otherwise.
+// Permanent gates recompute from scratch over the snapshot-resolved entries
+// — costlier than the writer's maintained structures, but permanents are
+// capped at twelve rows and both sides of a snapshot comparison pay the same
+// path.
+func (s *DynSnapshot[T]) EvalWith(changes []InputChange[T]) T {
+	d := s.d
+	d.valMu.RLock()
+	defer d.valMu.RUnlock()
+	s.extendLocked()
+	if s.queued == nil {
+		s.queued = make([]bool, d.p.numGates)
+		s.buckets = make([][]int, d.p.maxRank+1)
+		s.overlay = make(map[int]T)
+		s.changeCh = make(map[int][]int)
+	}
+	touched := false
+	for _, ch := range changes {
+		id := d.p.InputGate(ch.Key)
+		if id < 0 {
+			continue
+		}
+		_, already := s.overlay[id]
+		if !already && d.s.Equal(s.resolveLocked(id), ch.Value) {
+			continue
+		}
+		s.overlay[id] = ch.Value
+		if !already {
+			s.markOverlay(id)
+		}
+		touched = true
+	}
+	if touched {
+		s.runOverlayWave()
+	}
+	out := s.overlayValue(d.p.output)
+	clear(s.overlay)
+	clear(s.changeCh)
+	return out
+}
+
+// overlayValue reads a gate under the current overlay, falling back to the
+// snapshot.  Caller holds the shared lock with the digest extended.
+func (s *DynSnapshot[T]) overlayValue(g int) T {
+	if v, ok := s.overlay[g]; ok {
+		return v
+	}
+	return s.resolveLocked(g)
+}
+
+// markOverlay enlists g's parents after g's overlay value changed, mirroring
+// the writer's markChanged on the private scratch.
+func (s *DynSnapshot[T]) markOverlay(g int) {
+	for _, p32 := range s.d.p.ParentIDs(g) {
+		p := int(p32)
+		s.changeCh[p] = append(s.changeCh[p], g)
+		if !s.queued[p] {
+			s.queued[p] = true
+			r := s.d.p.rank[p]
+			s.buckets[r] = append(s.buckets[r], p)
+		}
+	}
+}
+
+// runOverlayWave drains the private rank buckets in increasing order, the
+// overlay twin of propagateWave.
+func (s *DynSnapshot[T]) runOverlayWave() {
+	d := s.d
+	for r := 1; r < len(s.buckets); r++ {
+		bucket := s.buckets[r]
+		for i := 0; i < len(bucket); i++ {
+			g := bucket[i]
+			s.queued[g] = false
+			newVal := s.recomputeOverlay(g)
+			if d.s.Equal(newVal, s.resolveLocked(g)) {
+				continue
+			}
+			s.overlay[g] = newVal
+			s.markOverlay(g)
+		}
+		s.buckets[r] = bucket[:0]
+	}
+}
+
+// recomputeOverlay computes gate g's value under the overlay from its
+// children, given the changed-children list of the current wave.
+func (s *DynSnapshot[T]) recomputeOverlay(g int) T {
+	d := s.d
+	switch Kind(d.p.kind[g]) {
+	case KindMul:
+		acc := d.s.One()
+		for _, ch := range d.p.ChildIDs(g) {
+			acc = d.s.Mul(acc, s.overlayValue(int(ch)))
+		}
+		return acc
+	case KindAdd:
+		return s.recomputeOverlayAdd(g)
+	case KindPerm:
+		return s.recomputeOverlayPerm(g)
+	default:
+		panic("circuit: snapshot overlay cannot recompute gate kind")
+	}
+}
+
+func (s *DynSnapshot[T]) recomputeOverlayAdd(g int) T {
+	d := s.d
+	st := d.adders[g] // children and occurrences are immutable after build
+	snapVal := s.resolveLocked(g)
+	chs := s.changeCh[g]
+	if d.ring != nil {
+		acc := snapVal
+		for _, ch := range chs {
+			occ := int64(len(st.occurrences[ch]))
+			if occ == 0 {
+				continue
+			}
+			delta := d.ring.Add(s.overlayValue(ch), d.ring.Neg(s.resolveLocked(ch)))
+			acc = d.ring.Add(acc, semiring.ScalarMul[T](d.ring, occ, delta))
+		}
+		return acc
+	}
+	// Without subtraction: if every changed child was zero at the snapshot,
+	// the old sum simply gains the new summands (zero contributed nothing).
+	allZero := true
+	for _, ch := range chs {
+		if !semiring.IsZero(d.s, s.resolveLocked(ch)) {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		acc := snapVal
+		for _, ch := range chs {
+			occ := int64(len(st.occurrences[ch]))
+			if occ == 0 {
+				continue
+			}
+			acc = d.s.Add(acc, semiring.ScalarMul(d.s, occ, s.overlayValue(ch)))
+		}
+		return acc
+	}
+	// Fallback: re-sum the whole fan-in.
+	acc := d.s.Zero()
+	for _, ch := range st.children {
+		acc = d.s.Add(acc, s.overlayValue(int(ch)))
+	}
+	return acc
+}
+
+func (s *DynSnapshot[T]) recomputeOverlayPerm(g int) T {
+	d := s.d
+	rows, cols := d.p.PermShape(g)
+	colVals := make([][]T, cols)
+	for c := range colVals {
+		col := make([]T, rows)
+		for r := range col {
+			col[r] = d.s.Zero()
+		}
+		colVals[c] = col
+	}
+	d.p.ForEachPermEntry(g, func(row, col, gate int) {
+		colVals[col][row] = s.overlayValue(gate)
+	})
+	return perm.PermColumns(d.s, rows, func(c int) []T { return colVals[c] }, cols)
+}

@@ -1,0 +1,310 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/semiring"
+	"repro/internal/structure"
+)
+
+// TestSnapshotResolvesPinnedEpoch pins snapshots at several points of an
+// update stream and checks that each keeps answering with the values of its
+// own epoch — output and interior gates alike — no matter how far the writer
+// has moved on.  All three maintenance strategies are exercised.
+func TestSnapshotResolvesPinnedEpoch(t *testing.T) {
+	n := 4
+	c := buildTriangleLike(n)
+	r := rand.New(rand.NewSource(41))
+
+	type pinned struct {
+		snap  *DynSnapshot[int64]
+		value int64
+		gates map[int]int64
+	}
+
+	for _, tc := range []struct {
+		name string
+		s    semiring.Semiring[int64]
+		draw func() int64
+	}{
+		{"Nat-generic", semiring.Nat, func() int64 { return int64(r.Intn(5)) }},
+		{"Int-ring", semiring.Int, func() int64 { return int64(r.Intn(9) - 4) }},
+		{"Mod7-finite", semiring.NewModular(7), func() int64 { return int64(r.Intn(7)) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			vals := map[structure.WeightKey]int64{}
+			val := func(k structure.WeightKey) (int64, bool) { v, ok := vals[k]; return v, ok }
+			d := NewDynamic[int64](c, tc.s, val)
+			prog := d.p
+
+			var pins []pinned
+			record := func() {
+				sn := d.Snapshot()
+				p := pinned{snap: sn, value: d.Value(), gates: map[int]int64{}}
+				for g := 0; g < prog.NumGates(); g += 3 {
+					p.gates[g] = d.GateValue(g)
+				}
+				pins = append(pins, p)
+			}
+
+			record() // initial state
+			for step := 0; step < 60; step++ {
+				k := key([]string{"u", "v", "w"}[r.Intn(3)], r.Intn(n))
+				vals[k] = tc.draw()
+				d.SetInput(k, vals[k])
+				if step%17 == 0 {
+					record()
+				}
+			}
+
+			for i, p := range pins {
+				if got := p.snap.Value(); !tc.s.Equal(got, p.value) {
+					t.Errorf("pin %d (epoch %d): Value = %d, want %d", i, p.snap.Epoch(), got, p.value)
+				}
+				for g, want := range p.gates {
+					if got := p.snap.GateValue(g); !tc.s.Equal(got, want) {
+						t.Errorf("pin %d gate %d: %d, want %d", i, g, got, want)
+					}
+				}
+			}
+			// Release in a scrambled order; later snapshots must survive the
+			// truncation that follows each release.
+			for _, i := range r.Perm(len(pins)) {
+				pins[i].snap.Release()
+				for j, p := range pins {
+					if p.snap.released {
+						continue
+					}
+					if got := p.snap.Value(); !tc.s.Equal(got, p.value) {
+						t.Errorf("after releasing pin %d, pin %d resolves %d, want %d", i, j, got, p.value)
+					}
+				}
+			}
+			if got := d.RetainedUndoBytes(); got != 0 {
+				t.Errorf("retained undo bytes %d after all snapshots released, want 0", got)
+			}
+		})
+	}
+}
+
+// TestSnapshotEvalWithMatchesReference runs point-query style overrides on a
+// pinned snapshot while the writer keeps mutating, checking the overlay wave
+// against a from-scratch evaluation of the pinned state + overrides.
+func TestSnapshotEvalWithMatchesReference(t *testing.T) {
+	n := 4
+	c := buildTriangleLike(n)
+	r := rand.New(rand.NewSource(43))
+
+	for _, tc := range []struct {
+		name string
+		s    semiring.Semiring[int64]
+		draw func() int64
+	}{
+		{"Nat-generic", semiring.Nat, func() int64 { return int64(r.Intn(5)) }},
+		{"Int-ring", semiring.Int, func() int64 { return int64(r.Intn(9) - 4) }},
+		{"Mod7-finite", semiring.NewModular(7), func() int64 { return int64(r.Intn(7)) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			vals := map[structure.WeightKey]int64{}
+			for a := 0; a < n; a++ {
+				for _, w := range []string{"u", "v", "w"} {
+					vals[key(w, a)] = tc.draw()
+				}
+			}
+			val := func(k structure.WeightKey) (int64, bool) { v, ok := vals[k]; return v, ok }
+			d := NewDynamic[int64](c, tc.s, val)
+
+			// Pin, remember the pinned assignment, then let the writer move on.
+			snap := d.Snapshot()
+			defer snap.Release()
+			pinnedVals := map[structure.WeightKey]int64{}
+			for k, v := range vals {
+				pinnedVals[k] = v
+			}
+			for step := 0; step < 25; step++ {
+				k := key([]string{"u", "v", "w"}[r.Intn(3)], r.Intn(n))
+				vals[k] = tc.draw()
+				d.SetInput(k, vals[k])
+			}
+
+			for trial := 0; trial < 20; trial++ {
+				over := map[structure.WeightKey]int64{}
+				var changes []InputChange[int64]
+				for i := 0; i < 1+r.Intn(3); i++ {
+					k := key([]string{"u", "v", "w"}[r.Intn(3)], r.Intn(n))
+					v := tc.draw()
+					over[k] = v
+					changes = append(changes, InputChange[int64]{Key: k, Value: v})
+				}
+				refVal := func(k structure.WeightKey) (int64, bool) {
+					if v, ok := over[k]; ok {
+						return v, true
+					}
+					v, ok := pinnedVals[k]
+					return v, ok
+				}
+				want := Evaluate[int64](c, tc.s, refVal)
+				if got := snap.EvalWith(changes); !tc.s.Equal(got, want) {
+					t.Fatalf("trial %d: snapshot EvalWith = %d, reference = %d", trial, got, want)
+				}
+				// Repeated use of one handle must not leak overlay state.
+				if got := snap.Value(); !tc.s.Equal(got, Evaluate[int64](c, tc.s, func(k structure.WeightKey) (int64, bool) {
+					v, ok := pinnedVals[k]
+					return v, ok
+				})) {
+					t.Fatalf("trial %d: snapshot Value drifted after EvalWith", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotConcurrentReadersObserveCommittedEpochs is the race-enabled
+// stress test of the MVCC contract at the circuit layer: one writer streams
+// single-input commits while several reader goroutines pin snapshots and
+// check the resolved output against the sequential oracle recorded for their
+// pinned epoch.
+func TestSnapshotConcurrentReadersObserveCommittedEpochs(t *testing.T) {
+	n := 4
+	c := buildTriangleLike(n)
+	vals := map[structure.WeightKey]int64{}
+	val := func(k structure.WeightKey) (int64, bool) { v, ok := vals[k]; return v, ok }
+	d := NewDynamic[int64](c, semiring.Nat, val)
+
+	const (
+		updates = 150
+		readers = 4
+	)
+	var oracle sync.Map // epoch → expected output value
+	oracle.Store(d.Epoch(), d.Value())
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < updates; i++ {
+			k := key([]string{"u", "v", "w"}[r.Intn(3)], r.Intn(n))
+			vals2 := int64(r.Intn(5))
+			d.SetInput(k, vals2)
+			// The oracle entry lands after the commit; readers that pinned
+			// this epoch first spin until it appears.
+			oracle.Store(d.Epoch(), d.Value())
+		}
+	}()
+
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := d.Snapshot()
+				got := snap.Value()
+				var want any
+				for {
+					var ok bool
+					if want, ok = oracle.Load(snap.Epoch()); ok {
+						break
+					}
+					runtime.Gosched()
+				}
+				if got != want.(int64) {
+					errs <- errf("reader %d at epoch %d: snapshot value %d, oracle %d", seed, snap.Epoch(), got, want)
+					snap.Release()
+					return
+				}
+				if r.Intn(2) == 0 {
+					// Point-style overlay read must not disturb the pin.
+					_ = snap.EvalWith([]InputChange[int64]{{Key: key("u", r.Intn(n)), Value: int64(r.Intn(5))}})
+					if again := snap.Value(); again != got {
+						errs <- errf("reader %d: Value changed %d → %d after EvalWith", seed, got, again)
+						snap.Release()
+						return
+					}
+				}
+				snap.Release()
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := d.RetainedUndoBytes(); got != 0 {
+		t.Errorf("retained undo bytes %d after all readers done, want 0", got)
+	}
+}
+
+// TestSnapshotReclamationBoundsUndoMemory checks the truncation contract:
+// history grows only while a pin needs it and is dropped as soon as the
+// oldest pin releases.
+func TestSnapshotReclamationBoundsUndoMemory(t *testing.T) {
+	n := 4
+	c := buildTriangleLike(n)
+	vals := map[structure.WeightKey]int64{}
+	val := func(k structure.WeightKey) (int64, bool) { v, ok := vals[k]; return v, ok }
+	d := NewDynamic[int64](c, semiring.Nat, val)
+	r := rand.New(rand.NewSource(5))
+	update := func() {
+		k := key([]string{"u", "v", "w"}[r.Intn(3)], r.Intn(n))
+		vals[k]++
+		d.SetInput(k, vals[k])
+	}
+
+	// No pins: a long stream retains nothing.
+	for i := 0; i < 50; i++ {
+		update()
+	}
+	if got := d.RetainedUndoBytes(); got != 0 {
+		t.Fatalf("retained %d bytes with no snapshots, want 0", got)
+	}
+
+	old := d.Snapshot()
+	for i := 0; i < 10; i++ {
+		update()
+	}
+	grew := d.RetainedUndoBytes()
+	if grew == 0 {
+		t.Fatal("no undo history retained while a snapshot is pinned")
+	}
+	recent := d.Snapshot()
+	for i := 0; i < 10; i++ {
+		update()
+	}
+	// Releasing the old pin must shrink history to what the recent pin needs.
+	beforeRelease := d.RetainedUndoBytes()
+	old.Release()
+	afterOld := d.RetainedUndoBytes()
+	if afterOld == 0 {
+		t.Fatal("history for the recent pin was dropped with the old one")
+	}
+	if afterOld >= beforeRelease {
+		t.Fatalf("history did not shrink after releasing the oldest pin (%d → %d bytes)", beforeRelease, afterOld)
+	}
+	recent.Release()
+	if got := d.RetainedUndoBytes(); got != 0 {
+		t.Fatalf("retained %d bytes after all pins released, want 0", got)
+	}
+	for i := 0; i < 20; i++ {
+		update()
+	}
+	if got := d.RetainedUndoBytes(); got != 0 {
+		t.Fatalf("retained %d bytes on the pin-free path, want 0", got)
+	}
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -23,6 +23,15 @@ const freeVarWeightPrefix = ".fv:"
 
 // Query is a compiled weighted query f(x̄) over a structure, ready for
 // evaluation, point queries and updates in a fixed semiring.
+//
+// # Goroutine safety
+//
+// A Query is a single-writer object: Value, SetWeight, SetTuple and
+// ApplyBatch mutate the underlying dynamic evaluator and must be serialised
+// by the caller (the agg layer does this with a fail-fast writer lock).
+// Concurrent *reads* go through Snapshot, which pins the current committed
+// epoch: any number of snapshots may evaluate point queries concurrently
+// with each other and with the single writer, without ever blocking it.
 type Query[T any] struct {
 	s       semiring.Semiring[T]
 	res     *compile.Result
@@ -36,6 +45,8 @@ type Query[T any] struct {
 	relState map[string]map[string]bool
 	// scratch is the reusable leaf-change buffer behind ApplyBatch.
 	scratch []circuit.InputChange[T]
+	// point is the reusable override buffer behind Value's point queries.
+	point []circuit.InputChange[T]
 }
 
 // Shared is the semiring-agnostic half of a compiled query: the circuit of
@@ -196,8 +207,10 @@ func (q *Query[T]) ValueClosed() (T, error) {
 
 // Value returns the value of the query at the given tuple of the free
 // variables.  Following the proof of Theorem 8, the point query is simulated
-// by 2k temporary weight updates: the fresh weights v_i are raised to 1 at
-// the queried elements, the output is read, and the weights are reset.
+// by k temporary weight updates: the fresh weights v_i are raised to 1 at
+// the queried elements, the output is read, and the weights are reset — all
+// under one exclusive critical section of the evaluator, so concurrent
+// snapshots never observe the transient toggles.
 func (q *Query[T]) Value(args ...structure.Element) (T, error) {
 	var zero T
 	if len(args) != len(q.free) {
@@ -206,14 +219,11 @@ func (q *Query[T]) Value(args ...structure.Element) (T, error) {
 	if len(args) == 0 {
 		return q.dyn.Value(), nil
 	}
+	q.point = q.point[:0]
 	for i, a := range args {
-		q.dyn.SetInput(q.fvKey(i, a), q.s.One())
+		q.point = append(q.point, circuit.InputChange[T]{Key: q.fvKey(i, a), Value: q.s.One()})
 	}
-	out := q.dyn.Value()
-	for i, a := range args {
-		q.dyn.SetInput(q.fvKey(i, a), q.s.Zero())
-	}
-	return out, nil
+	return q.dyn.EvalWith(q.point), nil
 }
 
 // validateWeight checks that a weight symbol exists with the tuple's arity.
@@ -277,8 +287,14 @@ func (q *Query[T]) SetTuple(rel string, tuple structure.Tuple, present bool) err
 func (q *Query[T]) applyTuple(rel string, tuple structure.Tuple, present bool) {
 	q.relState[rel][tuple.Key()] = present
 	pos, neg := compile.RelationInputKeys(rel, tuple)
-	q.dyn.SetInput(pos, semiring.Iverson(q.s, present))
-	q.dyn.SetInput(neg, semiring.Iverson(q.s, !present))
+	// Both membership inputs land in one batch so the epoch commits once per
+	// tuple update and a snapshot can never pin a half-toggled tuple.
+	leaf := append(q.scratch[:0],
+		circuit.InputChange[T]{Key: pos, Value: semiring.Iverson(q.s, present)},
+		circuit.InputChange[T]{Key: neg, Value: semiring.Iverson(q.s, !present)})
+	q.dyn.ApplyBatch(leaf)
+	clear(leaf)
+	q.scratch = leaf[:0]
 }
 
 // Change is one element of an ApplyBatch batch: a weight update (Weight

@@ -302,15 +302,26 @@ func (ans *Answers) validateTuple(rel string, tuple structure.Tuple, present boo
 
 // SetTuple inserts or removes a tuple of a dynamic relation, maintaining the
 // enumeration data structure in constant time.  Insertions must preserve the
-// Gaifman graph of the preprocessed structure.
+// Gaifman graph of the preprocessed structure.  Both membership inputs flip
+// within a single committed epoch, so a snapshot can never observe the tuple
+// half-toggled.
 func (ans *Answers) SetTuple(rel string, tuple structure.Tuple, present bool) error {
 	if err := ans.validateTuple(rel, tuple, present); err != nil {
 		return fmt.Errorf("enumerate: %w", err)
 	}
 	ans.relState[rel][tuple.Key()] = present
 	pos, neg := compile.RelationInputKeys(rel, tuple)
-	ans.enum.SetInput(pos, Bool(present))
-	ans.enum.SetInput(neg, Bool(!present))
+	e := ans.enum
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s1, f1 := e.assign(pos, Bool(present))
+	s2, f2 := e.assign(neg, Bool(!present))
+	if f1 || f2 {
+		e.runWave()
+	}
+	if s1 || s2 {
+		e.log.Commit()
+	}
 	return nil
 }
 
@@ -337,20 +348,24 @@ func (ans *Answers) ApplyBatch(changes []TupleChange) error {
 	// Feed the enumerator's input slots directly and run one coalesced wave
 	// at the end, instead of materialising an InputAssignment slice: local
 	// search commits many tiny batches, where the slice traffic would cost
-	// more than the coalescing saves.
-	touched := false
+	// more than the coalescing saves.  The whole batch commits one epoch.
+	e := ans.enum
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	stored, flipped := false, false
 	for _, ch := range changes {
 		ans.relState[ch.Rel][ch.Tuple.Key()] = ch.Present
 		pos, neg := compile.RelationInputKeys(ch.Rel, ch.Tuple)
-		if ans.enum.assign(pos, Bool(ch.Present)) {
-			touched = true
-		}
-		if ans.enum.assign(neg, Bool(!ch.Present)) {
-			touched = true
-		}
+		s1, f1 := e.assign(pos, Bool(ch.Present))
+		s2, f2 := e.assign(neg, Bool(!ch.Present))
+		stored = stored || s1 || s2
+		flipped = flipped || f1 || f2
 	}
-	if touched {
-		ans.enum.runWave()
+	if flipped {
+		e.runWave()
+	}
+	if stored {
+		e.log.Commit()
 	}
 	return nil
 }

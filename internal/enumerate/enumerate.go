@@ -16,8 +16,11 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"sync"
+	"unsafe"
 
 	"repro/internal/circuit"
+	"repro/internal/mvcc"
 	"repro/internal/provenance"
 	"repro/internal/semiring"
 	"repro/internal/structure"
@@ -124,8 +127,24 @@ func (c *sliceCursor) Next() (provenance.Monomial, bool) {
 // topological ranks, parents CSR and children arena instead of rebuilding
 // them: many enumerators may share one Program, each with private emptiness
 // bookkeeping.
+//
+// # Goroutine safety
+//
+// An Enumerator is a single-writer object: SetInput and SetInputs (and the
+// update paths of Answers built on them) must be serialised by the caller,
+// and live cursors may only run between updates on the same goroutine that
+// mutates.  Concurrent reads go through Snapshot, which pins the current
+// committed epoch: snapshot cursors stream one consistent epoch while the
+// writer keeps committing, without blocking it.
 type Enumerator struct {
 	p *circuit.Program
+
+	// mu guards the mutable state below against snapshot readers: writers
+	// hold it exclusively, snapshot resolution holds it shared.  The undo
+	// log records, per committed epoch, the pre-change input values and
+	// emptiness bits that pinned snapshots roll back through.
+	mu  sync.RWMutex
+	log mvcc.Log[enumUndo]
 
 	// inputValue[id] is the value of input gate id.
 	inputValue map[int]Value
@@ -141,6 +160,22 @@ type Enumerator struct {
 	queued    []bool
 	changedCh [][]int // changedCh[g] lists g's children whose emptiness flipped
 }
+
+// enumUndo is one undo-log entry: the pre-change state of a gate within one
+// committed transition.  Input gates record their old value and emptiness;
+// interior gates record only the emptiness bit (their cursors re-derive
+// everything else from children emptiness).
+type enumUndo struct {
+	gate     int32
+	kind     uint8 // undoInput or undoEmpty
+	oldEmpty bool
+	oldInput Value
+}
+
+const (
+	undoInput = uint8(iota)
+	undoEmpty
+)
 
 // InputAssignment pairs a weight input with its new value for SetInputs.
 type InputAssignment struct {
@@ -257,6 +292,7 @@ func build(p *circuit.Program, inputs func(key structure.WeightKey) Value, nonem
 		adders:     make([]*adderMeta, n),
 		perms:      make([]*permGateMeta, n),
 	}
+	e.log.EntryBytes = int64(unsafe.Sizeof(enumUndo{}))
 	e.buckets = make([][]int, p.Depth()+1)
 	e.queued = make([]bool, n)
 	e.changedCh = make([][]int, n)
@@ -367,10 +403,16 @@ func (e *Enumerator) CollectAll(limit int) []provenance.Monomial {
 }
 
 // SetInput replaces the value of a weight input and updates the emptiness
-// bookkeeping along the input's fan-out cone.
+// bookkeeping along the input's fan-out cone, committing one epoch.
 func (e *Enumerator) SetInput(key structure.WeightKey, v Value) {
-	if e.assign(key, v) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	stored, flipped := e.assign(key, v)
+	if flipped {
 		e.runWave()
+	}
+	if stored {
+		e.log.Commit()
 	}
 }
 
@@ -378,37 +420,63 @@ func (e *Enumerator) SetInput(key structure.WeightKey, v Value) {
 // emptiness bookkeeping with a single propagation wave, so gates shared by
 // several changed inputs are revisited once per batch instead of once per
 // input.  The result is identical to calling SetInput for each assignment in
-// order.
+// order, except that the whole batch commits a single epoch.
 func (e *Enumerator) SetInputs(assigns []InputAssignment) {
-	touched := false
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	stored, flipped := false, false
 	for _, a := range assigns {
-		if e.assign(a.Key, a.Value) {
-			touched = true
-		}
+		s, f := e.assign(a.Key, a.Value)
+		stored = stored || s
+		flipped = flipped || f
 	}
-	if touched {
+	if flipped {
 		e.runWave()
+	}
+	if stored {
+		e.log.Commit()
 	}
 }
 
+// Epoch returns the current committed epoch: the number of committed input
+// mutations so far.
+func (e *Enumerator) Epoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.log.Epoch()
+}
+
+// RetainedUndoBytes reports the memory currently held by undo history for
+// outstanding snapshots; zero whenever no snapshot is pinned.
+func (e *Enumerator) RetainedUndoBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.log.Retained()
+}
+
 // assign stores an input value and, when its emptiness flipped, seeds the
-// wave; it reports whether anything changed.
-func (e *Enumerator) assign(key structure.WeightKey, v Value) bool {
+// wave.  It reports whether a value was stored (the mutation must commit an
+// epoch) and whether the input's emptiness flipped (a wave must run).  The
+// caller holds the exclusive lock.
+func (e *Enumerator) assign(key structure.WeightKey, v Value) (stored, flipped bool) {
 	id := e.p.InputGate(key)
 	if id < 0 {
-		return false
+		return false, false
 	}
 	if v == nil {
 		v = zeroValue{}
 	}
+	if e.log.Logging() {
+		e.log.Append(enumUndo{gate: int32(id), kind: undoInput, oldEmpty: e.empty[id], oldInput: e.inputValue[id]})
+	}
 	e.inputValue[id] = v
 	newEmpty := v.Empty()
 	if newEmpty == e.empty[id] {
-		return false
+		return true, false
 	}
 	e.empty[id] = newEmpty
 	e.seed(id)
-	return true
+	return true, true
 }
 
 // seed notifies the parents of a gate whose emptiness flipped, queueing them
@@ -444,6 +512,9 @@ func (e *Enumerator) runWave() {
 			e.changedCh[g] = e.changedCh[g][:0]
 			if newEmpty == e.empty[g] {
 				continue
+			}
+			if e.log.Logging() {
+				e.log.Append(enumUndo{gate: int32(g), kind: undoEmpty, oldEmpty: e.empty[g]})
 			}
 			e.empty[g] = newEmpty
 			e.seed(g)
@@ -527,6 +598,13 @@ func (e *Enumerator) refreshGate(g int, changedChildren []int) bool {
 // Cursors per gate kind
 // ---------------------------------------------------------------------------
 
+// view is what a cursor needs from its owner to open child cursors: the live
+// Enumerator for live cursors, a pinned Snapshot for snapshot cursors.  The
+// cursor machinery below is otherwise oblivious to which epoch it streams.
+type view interface {
+	gateCursor(id int) Cursor
+}
+
 // gateCursor creates a cursor over the monomials of a gate.  Empty gates get
 // an empty cursor.
 func (e *Enumerator) gateCursor(id int) Cursor {
@@ -566,7 +644,7 @@ func (c *constCursor) Next() (provenance.Monomial, bool) {
 // concatCursor enumerates an addition gate: the concatenation of its
 // non-empty children (per occurrence).
 type concatCursor struct {
-	e       *Enumerator
+	e       view
 	meta    *adderMeta
 	idx     int
 	current Cursor
@@ -593,7 +671,7 @@ func (c *concatCursor) Next() (provenance.Monomial, bool) {
 // of monomials) over all combinations of children monomials, in
 // lexicographic cursor order.
 type productCursor struct {
-	e        *Enumerator
+	e        view
 	children []int32
 	cursors  []Cursor
 	current  []provenance.Monomial
@@ -601,7 +679,7 @@ type productCursor struct {
 	done     bool
 }
 
-func newProductCursor(e *Enumerator, children []int32) *productCursor {
+func newProductCursor(e view, children []int32) *productCursor {
 	return &productCursor{
 		e:        e,
 		children: children,
@@ -720,7 +798,7 @@ type permRowState struct {
 // permCursor enumerates a permanent gate: all products over injective
 // assignments of rows to non-empty columns.
 type permCursor struct {
-	e     *Enumerator
+	e     view
 	meta  *permGateMeta
 	rows  []*permRowState
 	used  []int
@@ -728,7 +806,7 @@ type permCursor struct {
 	begun bool
 }
 
-func newPermCursor(e *Enumerator, meta *permGateMeta) *permCursor {
+func newPermCursor(e view, meta *permGateMeta) *permCursor {
 	return &permCursor{e: e, meta: meta}
 }
 

@@ -1,0 +1,246 @@
+package enumerate
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/compile"
+	"repro/internal/logic"
+	"repro/internal/provenance"
+	"repro/internal/structure"
+)
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+// TestEnumeratorSnapshotPinsValues pins snapshots of a hand-built circuit
+// (add, mul and permanent gates) along an update stream and checks that each
+// keeps streaming exactly the monomial multiset of its own epoch — including
+// input-value replacements that do not flip emptiness, which only the undo
+// log can recover.
+func TestEnumeratorSnapshotPinsValues(t *testing.T) {
+	c := circuit.NewBuilder()
+	a := c.Input(key("a", 0))
+	b := c.Input(key("b", 0))
+	d := c.Input(key("d", 0))
+	e4 := c.Input(key("e", 0))
+	sum := c.Add(a, b, d, b)
+	prod := c.Mul(sum, a)
+	perm := c.Perm(2, 3, []circuit.PermEntry{
+		{Row: 0, Col: 0, Gate: a}, {Row: 1, Col: 0, Gate: b},
+		{Row: 0, Col: 1, Gate: d}, {Row: 1, Col: 1, Gate: e4},
+		{Row: 0, Col: 2, Gate: b},
+	})
+	c.SetOutput(c.Add(prod, c.ConstInt(2), perm, c.Mul(b, d)))
+
+	gens := []Value{Zero(), Gen("g0"), Gen("g1"),
+		FromPoly(provenance.FromMonomials(provenance.NewMonomial("x"), provenance.NewMonomial("y")))}
+	inputs := map[structure.WeightKey]Value{
+		key("a", 0): Gen("a"), key("b", 0): Gen("b"),
+		key("d", 0): Zero(), key("e", 0): One(),
+	}
+	lookup := func(k structure.WeightKey) Value { return inputs[k] }
+	e := New(c, lookup)
+
+	type pinned struct {
+		snap *Snapshot
+		want []string // monomial multiset at the pinned epoch
+	}
+	explicit := func() []string { return polyMultiset(EvaluateExplicit(c, lookup)) }
+
+	pins := []pinned{{e.Snapshot(), explicit()}}
+	r := rand.New(rand.NewSource(31))
+	keys := []structure.WeightKey{key("a", 0), key("b", 0), key("d", 0), key("e", 0)}
+	for step := 0; step < 30; step++ {
+		k := keys[r.Intn(len(keys))]
+		v := gens[r.Intn(len(gens))]
+		inputs[k] = v
+		e.SetInput(k, v)
+		if step%7 == 0 {
+			pins = append(pins, pinned{e.Snapshot(), explicit()})
+		}
+	}
+
+	for i, p := range pins {
+		var got []provenance.Monomial
+		cur := p.snap.Cursor()
+		for {
+			m, ok := cur.Next()
+			if !ok {
+				break
+			}
+			got = append(got, m)
+		}
+		if !equalStringSlices(monomialMultiset(got), p.want) {
+			t.Errorf("pin %d (epoch %d): snapshot enumerates %v, want %v",
+				i, p.snap.Epoch(), monomialMultiset(got), p.want)
+		}
+		if p.snap.Empty() != (len(p.want) == 0) {
+			t.Errorf("pin %d: Empty() = %v with %d monomials expected", i, p.snap.Empty(), len(p.want))
+		}
+	}
+	// The live enumerator still answers the present.
+	if got := monomialMultiset(e.CollectAll(0)); !equalStringSlices(got, explicit()) {
+		t.Errorf("live enumerator drifted: %v vs %v", got, explicit())
+	}
+	for _, i := range r.Perm(len(pins)) {
+		pins[i].snap.Release()
+		pins[i].snap.Release() // idempotent
+	}
+	if got := e.RetainedUndoBytes(); got != 0 {
+		t.Errorf("retained undo bytes %d after all snapshots released, want 0", got)
+	}
+}
+
+// TestAnswersSnapshotPinnedEpochs pins answer-set snapshots along a stream
+// of dynamic tuple updates and checks Collect, Count and Empty against the
+// naive answers of a frozen mirror structure.
+func TestAnswersSnapshotPinnedEpochs(t *testing.T) {
+	a := enumerationStructure(9, 20, 29)
+	phi := logic.Conj(logic.R("E", "x", "y"), logic.Neg(logic.R("E", "y", "x")))
+	vars := []string{"x", "y"}
+	ans, err := EnumerateAnswers(a, phi, vars, compile.Options{DynamicRelations: []string{"E"}})
+	if err != nil {
+		t.Fatalf("EnumerateAnswers: %v", err)
+	}
+
+	type pinned struct {
+		snap   *AnswersSnapshot
+		mirror *structure.Structure
+	}
+	record := func() pinned { return pinned{ans.Snapshot(), a.Clone()} }
+
+	pins := []pinned{record()}
+	r := rand.New(rand.NewSource(37))
+	edges := append([]structure.Tuple(nil), a.Tuples("E")...)
+	for step := 0; step < 30; step++ {
+		base := edges[r.Intn(len(edges))]
+		target := base
+		if r.Intn(2) == 0 {
+			target = structure.Tuple{base[1], base[0]}
+		}
+		present := r.Intn(2) == 0
+		if err := ans.SetTuple("E", target, present); err != nil {
+			t.Fatalf("SetTuple: %v", err)
+		}
+		setMirror(a, "E", target, present)
+		if step%9 == 0 {
+			pins = append(pins, record())
+		}
+	}
+
+	for i, p := range pins {
+		want := sortTuples(logic.Answers(phi, p.mirror, vars))
+		got := sortTuples(p.snap.Collect(0))
+		if !equalStringSlices(got, want) {
+			t.Errorf("pin %d (epoch %d): snapshot answers %v, want %v", i, p.snap.Epoch(), got, want)
+		}
+		if p.snap.Count() != int64(len(want)) {
+			t.Errorf("pin %d: Count() = %d, want %d", i, p.snap.Count(), len(want))
+		}
+		if p.snap.Empty() != (len(want) == 0) {
+			t.Errorf("pin %d: Empty() inconsistent", i)
+		}
+	}
+	if ans.RetainedUndoBytes() == 0 {
+		t.Error("no undo history retained while snapshots are pinned")
+	}
+	for _, p := range pins {
+		p.snap.Release()
+	}
+	if got := ans.RetainedUndoBytes(); got != 0 {
+		t.Errorf("retained undo bytes %d after all snapshots released, want 0", got)
+	}
+}
+
+// TestAnswersSnapshotConcurrentReaders is the race-enabled stress test of
+// the MVCC contract at the enumeration layer: one writer streams tuple
+// updates while reader goroutines pin snapshots and check their enumerated
+// answer set against the sequential oracle recorded for their pinned epoch.
+func TestAnswersSnapshotConcurrentReaders(t *testing.T) {
+	a := enumerationStructure(8, 18, 41)
+	phi := logic.Conj(logic.R("E", "x", "y"), logic.Neg(logic.R("E", "y", "x")))
+	vars := []string{"x", "y"}
+	ans, err := EnumerateAnswers(a, phi, vars, compile.Options{DynamicRelations: []string{"E"}})
+	if err != nil {
+		t.Fatalf("EnumerateAnswers: %v", err)
+	}
+
+	const (
+		updates = 120
+		readers = 4
+	)
+	var oracle sync.Map // epoch → sorted answer keys
+	oracle.Store(ans.Epoch(), sortTuples(ans.Collect(0)))
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		r := rand.New(rand.NewSource(43))
+		edges := append([]structure.Tuple(nil), a.Tuples("E")...)
+		for i := 0; i < updates; i++ {
+			base := edges[r.Intn(len(edges))]
+			target := base
+			if r.Intn(2) == 0 {
+				target = structure.Tuple{base[1], base[0]}
+			}
+			if err := ans.SetTuple("E", target, r.Intn(2) == 0); err != nil {
+				t.Errorf("SetTuple: %v", err)
+				return
+			}
+			// The oracle entry lands after the commit; readers that pinned
+			// this epoch first spin until it appears.
+			oracle.Store(ans.Epoch(), sortTuples(ans.Collect(0)))
+		}
+	}()
+
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := ans.Snapshot()
+				got := sortTuples(snap.Collect(0))
+				var want any
+				for {
+					var ok bool
+					if want, ok = oracle.Load(snap.Epoch()); ok {
+						break
+					}
+					runtime.Gosched()
+				}
+				if !equalStringSlices(got, want.([]string)) {
+					errs <- errf("reader %d at epoch %d: snapshot answers %v, oracle %v", seed, snap.Epoch(), got, want)
+					snap.Release()
+					return
+				}
+				if int64(len(got)) != snap.Count() {
+					errs <- errf("reader %d at epoch %d: Count %d, enumerated %d", seed, snap.Epoch(), snap.Count(), len(got))
+					snap.Release()
+					return
+				}
+				snap.Release()
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := ans.RetainedUndoBytes(); got != 0 {
+		t.Errorf("retained undo bytes %d after all readers done, want 0", got)
+	}
+}

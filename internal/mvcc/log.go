@@ -1,0 +1,205 @@
+// Package mvcc provides the epoch bookkeeping behind snapshot reads over the
+// incrementally maintained engines: a commit counter, a per-transition undo
+// log, and reader pins that keep just enough history alive to resolve any
+// pinned epoch.
+//
+// The design follows the copy-on-write version chains of factorised-database
+// engines: the writer keeps mutating its single current state in place, and
+// for every commit made while readers are pinned it records the pre-change
+// value of each touched slot ("undo entries" — exactly the wave scratch the
+// engines already compute).  A reader pinned at epoch P recovers the value of
+// slot g at P as the *first* undo entry for g among the transitions
+// P→P+1, …, C−1→C, falling back to the current state when no transition
+// touched g.  Once the oldest pin is released, the history before the new
+// minimum is truncated and its buffers recycled, so the writer's steady state
+// with no readers stays allocation-free.
+//
+// A Log is not safe for concurrent use; the owning engine serialises access
+// (writers exclusively, readers under a shared lock).
+package mvcc
+
+// Log is the epoch/undo state for one engine.  E is the undo-entry type
+// (typically a slot id plus the pre-change value).  The zero value is ready
+// to use; set EntryBytes to the approximate per-entry size so Retained can
+// report history memory.
+type Log[E any] struct {
+	// EntryBytes approximates the in-memory size of one undo entry, used by
+	// Retained.  Zero reports entry counts instead of bytes.
+	EntryBytes int64
+
+	commit uint64 // current committed epoch C
+	base   uint64 // epoch of trans[0]: trans[i] holds the undo entries of transition (base+i) → (base+i+1)
+	trans  []*transition[E]
+	cur    *transition[E] // entries of the in-progress mutation (commit → commit+1), nil when none logged
+	free   []*transition[E]
+	pins   map[uint64]int // pinned epoch → reader count
+	npins  int
+}
+
+type transition[E any] struct{ entries []E }
+
+// maxFreeBuffers bounds the recycled-buffer pool: enough to absorb the
+// steady-state churn of a few concurrent transitions without retaining an
+// unbounded tail after a burst.
+const maxFreeBuffers = 8
+
+// Logging reports whether undo entries must be recorded for the current
+// mutation, i.e. whether any reader is pinned.  Writers check this once per
+// touched slot; with no readers the answer is false and the mutation path
+// does no extra work.
+func (l *Log[E]) Logging() bool { return l.npins > 0 }
+
+// Append records one undo entry for the in-progress mutation.  Call only
+// when Logging reports true.
+func (l *Log[E]) Append(e E) {
+	if l.cur == nil {
+		l.cur = l.get()
+	}
+	l.cur.entries = append(l.cur.entries, e)
+}
+
+// Commit seals the in-progress mutation as the transition commit → commit+1
+// and returns the new committed epoch.  While readers are pinned every
+// commit pushes a transition (possibly empty) so transitions stay indexable
+// by epoch; with no readers the history is dropped on the spot and the
+// counter alone advances.
+func (l *Log[E]) Commit() uint64 {
+	if l.npins > 0 {
+		t := l.cur
+		if t == nil {
+			t = l.get()
+		}
+		if len(l.trans) == 0 {
+			// Re-anchor: pin-free commits advanced the counter without
+			// retaining transitions, so an empty history starts here.
+			l.base = l.commit
+		}
+		l.trans = append(l.trans, t)
+		l.cur = nil
+		l.commit++
+		return l.commit
+	}
+	if l.cur != nil {
+		l.recycle(l.cur)
+		l.cur = nil
+	}
+	l.commit++
+	l.truncate()
+	return l.commit
+}
+
+// Epoch returns the current committed epoch.
+func (l *Log[E]) Epoch() uint64 { return l.commit }
+
+// Pins returns the number of outstanding reader pins.
+func (l *Log[E]) Pins() int { return l.npins }
+
+// Pin registers a reader at the current committed epoch and returns that
+// epoch.  History from the returned epoch on is retained until Unpin.
+func (l *Log[E]) Pin() uint64 {
+	if l.pins == nil {
+		l.pins = make(map[uint64]int)
+	}
+	l.pins[l.commit]++
+	l.npins++
+	return l.commit
+}
+
+// Unpin releases one reader pin taken at the given epoch and truncates any
+// history no remaining pin needs.  Unpinning an epoch that is not pinned
+// panics: it indicates a double release.
+func (l *Log[E]) Unpin(epoch uint64) {
+	n, ok := l.pins[epoch]
+	if !ok {
+		panic("mvcc: Unpin of an epoch that is not pinned")
+	}
+	if n == 1 {
+		delete(l.pins, epoch)
+	} else {
+		l.pins[epoch] = n - 1
+	}
+	l.npins--
+	l.truncate()
+}
+
+// Walk visits, in commit order, every undo entry of the transitions
+// from → from+1, …, C−1 → C and returns C.  Readers use it to extend a
+// first-wins digest of their pinned epoch: the first entry seen for a slot
+// is its value at any epoch ≤ the transition's from-epoch, in particular at
+// the pinned one.  from must be ≥ the oldest pinned epoch (the caller's own
+// pin guarantees the history is still there).
+func (l *Log[E]) Walk(from uint64, fn func(E)) uint64 {
+	for e := from; e < l.commit; e++ {
+		for _, entry := range l.trans[e-l.base].entries {
+			fn(entry)
+		}
+	}
+	return l.commit
+}
+
+// Retained reports the memory held by live undo history, in bytes when
+// EntryBytes is set and in entries otherwise.  Recycled buffers waiting in
+// the bounded freelist are not counted: they are capped capital, not
+// history.
+func (l *Log[E]) Retained() int64 {
+	per := l.EntryBytes
+	if per == 0 {
+		per = 1
+	}
+	var n int64
+	for _, t := range l.trans {
+		n += int64(cap(t.entries)) * per
+	}
+	if l.cur != nil {
+		n += int64(cap(l.cur.entries)) * per
+	}
+	return n
+}
+
+// truncate drops every transition older than the oldest pin (all of them
+// when no pin remains), recycling the buffers.  With no pin left it also
+// drops entries parked in the open transition by non-committing operations
+// (e.g. override evaluations that restore the state in place).
+func (l *Log[E]) truncate() {
+	if l.npins == 0 && l.cur != nil {
+		l.recycle(l.cur)
+		l.cur = nil
+	}
+	min := l.commit
+	for e := range l.pins {
+		if e < min {
+			min = e
+		}
+	}
+	k := 0
+	for k < len(l.trans) && l.base+uint64(k) < min {
+		l.recycle(l.trans[k])
+		k++
+	}
+	if k == 0 {
+		return
+	}
+	copy(l.trans, l.trans[k:])
+	for i := len(l.trans) - k; i < len(l.trans); i++ {
+		l.trans[i] = nil
+	}
+	l.trans = l.trans[:len(l.trans)-k]
+	l.base += uint64(k)
+}
+
+func (l *Log[E]) get() *transition[E] {
+	if n := len(l.free); n > 0 {
+		t := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		return t
+	}
+	return &transition[E]{}
+}
+
+func (l *Log[E]) recycle(t *transition[E]) {
+	t.entries = t.entries[:0]
+	if len(l.free) < maxFreeBuffers {
+		l.free = append(l.free, t)
+	}
+}

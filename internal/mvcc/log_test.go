@@ -1,0 +1,143 @@
+package mvcc
+
+import "testing"
+
+type entry struct {
+	slot int
+	old  int
+}
+
+// digest resolves slot values at a pinned epoch against current state, the
+// way engine snapshots do: first undo entry wins, current value otherwise.
+func digest(l *Log[entry], pinned uint64, current map[int]int) map[int]int {
+	seen := map[int]int{}
+	l.Walk(pinned, func(e entry) {
+		if _, ok := seen[e.slot]; !ok {
+			seen[e.slot] = e.old
+		}
+	})
+	out := map[int]int{}
+	for s, v := range current {
+		out[s] = v
+	}
+	for s, v := range seen {
+		out[s] = v
+	}
+	return out
+}
+
+func TestLogResolvesPinnedEpochs(t *testing.T) {
+	var l Log[entry]
+	cur := map[int]int{1: 10, 2: 20}
+
+	// No pins: commits advance the epoch without retaining history.
+	l.Commit()
+	if got := l.Retained(); got != 0 {
+		t.Fatalf("retained %d with no pins, want 0", got)
+	}
+
+	p0 := l.Pin()
+	want0 := map[int]int{1: 10, 2: 20}
+
+	// Transition p0 → p0+1 changes both slots.
+	for _, e := range []entry{{1, 10}, {2, 20}} {
+		if !l.Logging() {
+			t.Fatal("Logging false while pinned")
+		}
+		l.Append(e)
+	}
+	cur[1], cur[2] = 11, 21
+	l.Commit()
+
+	p1 := l.Pin()
+	want1 := map[int]int{1: 11, 2: 21}
+
+	// Transition p1 → p1+1 changes slot 1 again.
+	l.Append(entry{1, 11})
+	cur[1] = 12
+	l.Commit()
+
+	for _, c := range []struct {
+		pin  uint64
+		want map[int]int
+	}{{p0, want0}, {p1, want1}} {
+		got := digest(&l, c.pin, cur)
+		for s, w := range c.want {
+			if got[s] != w {
+				t.Errorf("epoch %d slot %d = %d, want %d", c.pin, s, got[s], w)
+			}
+		}
+	}
+
+	// Releasing the older pin truncates only the history before p1.
+	before := l.Retained()
+	l.Unpin(p0)
+	after := l.Retained()
+	if after >= before {
+		t.Errorf("retained %d after releasing oldest pin, want < %d", after, before)
+	}
+	got := digest(&l, p1, cur)
+	if got[1] != 11 || got[2] != 21 {
+		t.Errorf("epoch %d resolves to %v after truncation, want %v", p1, got, want1)
+	}
+
+	// Releasing the last pin drops all history; further commits retain none.
+	l.Unpin(p1)
+	if got := l.Retained(); got != 0 {
+		t.Fatalf("retained %d after all pins released, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		l.Commit()
+	}
+	if got := l.Retained(); got != 0 {
+		t.Fatalf("retained %d after pin-free commits, want 0", got)
+	}
+}
+
+func TestLogEmptyTransitionsKeepIndexing(t *testing.T) {
+	var l Log[entry]
+	p := l.Pin()
+	// Three commits, only the middle one logs an entry; walking from the pin
+	// must still see it exactly once and transitions must line up by epoch.
+	l.Commit()
+	l.Append(entry{7, 70})
+	l.Commit()
+	l.Commit()
+	var seen []entry
+	end := l.Walk(p, func(e entry) { seen = append(seen, e) })
+	if end != l.Epoch() {
+		t.Fatalf("Walk returned %d, want current epoch %d", end, l.Epoch())
+	}
+	if len(seen) != 1 || seen[0] != (entry{7, 70}) {
+		t.Fatalf("walk saw %v, want exactly [{7 70}]", seen)
+	}
+	l.Unpin(p)
+}
+
+func TestLogPinCounts(t *testing.T) {
+	var l Log[entry]
+	a := l.Pin()
+	b := l.Pin()
+	if a != b {
+		t.Fatalf("pins at the same epoch disagree: %d vs %d", a, b)
+	}
+	if l.Pins() != 2 {
+		t.Fatalf("Pins() = %d, want 2", l.Pins())
+	}
+	l.Append(entry{1, 1})
+	l.Commit()
+	l.Unpin(a)
+	if l.Retained() == 0 {
+		t.Fatal("history dropped while a pin at its epoch remains")
+	}
+	l.Unpin(b)
+	if l.Retained() != 0 {
+		t.Fatal("history retained after the last pin released")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Unpin did not panic")
+		}
+	}()
+	l.Unpin(b)
+}

@@ -594,6 +594,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.stats.snapshot()
 	snap.CachedQueries = s.cache.len()
 	snap.CacheEntryBytes, snap.CacheBytes = s.cache.entryBytes()
+	if gauges := s.sessionGauges(); len(gauges) > 0 {
+		snap.SessionEpochs = make(map[string]uint64, len(gauges))
+		for _, g := range gauges {
+			snap.SessionEpochs[g.name] = g.epoch
+			snap.SessionRetainedUndoBytes += g.retained
+		}
+	}
 	s.mu.RLock()
 	snap.Databases = len(s.dbs)
 	s.mu.RUnlock()

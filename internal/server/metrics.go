@@ -51,7 +51,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"aggserve_cache_misses_total", "Compiled-query cache misses.", s.stats.CacheMisses.Load()},
 		{"aggserve_errors_total", "Requests answered with a non-2xx status.", s.stats.Errors.Load()},
 		{"aggserve_canceled_total", "Requests abandoned by their client mid-work.", s.stats.Canceled.Load()},
-		{"aggserve_busy_total", "Fail-fast session-busy rejections (409).", s.stats.Busy.Load()},
+		{"aggserve_busy_total", "Fail-fast session-busy rejections (409): writer-writer conflicts on one session.", s.stats.Busy.Load()},
 	} {
 		pw.Header(c.name, c.help, "counter")
 		pw.Counter(c.name, nil, uint64(c.v))
@@ -93,6 +93,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	} {
 		pw.Header(g.name, g.help, "gauge")
 		pw.Gauge(g.name, nil, g.v)
+	}
+
+	// Per-session MVCC gauges: the committed epoch advances with every
+	// update, and the retained-undo-bytes gauge shows how much history open
+	// snapshot readers are pinning (zero in steady state with no readers).
+	if gauges := s.sessionGauges(); len(gauges) > 0 {
+		pw.Header("aggserve_session_epoch", "Updates committed per session.", "gauge")
+		for _, g := range gauges {
+			pw.Gauge("aggserve_session_epoch", obs.Labels{"session": g.name}, float64(g.epoch))
+		}
+		pw.Header("aggserve_session_retained_undo_bytes", "Undo-history bytes pinned by open snapshot readers, per session.", "gauge")
+		for _, g := range gauges {
+			pw.Gauge("aggserve_session_retained_undo_bytes", obs.Labels{"session": g.name}, float64(g.retained))
+		}
 	}
 
 	goVersion, revision := buildInfoOnce()

@@ -270,10 +270,13 @@ func (s *Server) compiledEnumerator(dbName, phiText string, vars []string) (*agg
 }
 
 // SessionHandle is a named dynamic-update session registered with the
-// server.  The handle serialises its operations with its own lock, so point
-// queries and update batches on one session queue while distinct sessions
-// proceed in parallel; the underlying agg.Session therefore never reports
-// busy through this path.
+// server.  The handle serialises *updates* with its own lock, so update
+// batches on one session queue while distinct sessions proceed in parallel
+// and the underlying agg.Session never reports a writer–writer conflict
+// through this path.  Point queries take no lock at all: agg.Session.Eval
+// reads through an MVCC snapshot of the last committed epoch, so /point
+// keeps answering — without queueing and without 409s — while a /batch is
+// mid-flight on the same session.
 type SessionHandle struct {
 	name     string
 	db       string
@@ -299,14 +302,20 @@ func (h *SessionHandle) Semiring() string { return h.semiring }
 // FreeVars returns the free variables of the session's query.
 func (h *SessionHandle) FreeVars() []string { return h.sess.FreeVars() }
 
-// Eval reads the session's query value at a tuple of its free variables
-// (no arguments for a closed query), queueing behind other operations on
-// the same handle.
+// Eval reads the session's query value at a tuple of its free variables (no
+// arguments for a closed query).  It does not take the handle's update lock:
+// the read pins a snapshot of the last committed epoch, so it proceeds
+// concurrently with updates on the same session.
 func (h *SessionHandle) Eval(ctx context.Context, args ...int) (agg.Value, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	return h.sess.Eval(ctx, args...)
 }
+
+// Epoch reports the number of updates committed on the session so far.
+func (h *SessionHandle) Epoch() uint64 { return h.sess.Epoch() }
+
+// RetainedUndoBytes reports the undo-history memory currently pinned by
+// open snapshot readers of the session.
+func (h *SessionHandle) RetainedUndoBytes() int64 { return h.sess.RetainedUndoBytes() }
 
 // Set applies one update, queueing behind other operations.
 func (h *SessionHandle) Set(change agg.Change) error {
@@ -385,6 +394,33 @@ func (s *Server) Session(name string) (*SessionHandle, error) {
 		return h, nil
 	}
 	return nil, fmt.Errorf("session %q: %w", name, agg.ErrUnknownSession)
+}
+
+// sessionGauge is one row of the per-session MVCC gauges exported on /stats
+// and /metrics: the session's committed epoch and the undo-history bytes its
+// open snapshot readers currently retain.
+type sessionGauge struct {
+	name     string
+	epoch    uint64
+	retained int64
+}
+
+// sessionGauges samples every registered session, sorted by name for stable
+// exposition.  The registry lock is dropped before the sessions are probed:
+// Epoch and RetainedUndoBytes only touch per-session state.
+func (s *Server) sessionGauges() []sessionGauge {
+	s.mu.RLock()
+	hs := make([]*SessionHandle, 0, len(s.sessions))
+	for _, h := range s.sessions {
+		hs = append(hs, h)
+	}
+	s.mu.RUnlock()
+	out := make([]sessionGauge, len(hs))
+	for i, h := range hs {
+		out[i] = sessionGauge{name: h.name, epoch: h.Epoch(), retained: h.RetainedUndoBytes()}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
 }
 
 // workers resolves a per-request worker count against the server default.

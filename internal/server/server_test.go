@@ -253,6 +253,108 @@ func TestConcurrentPointsAndUpdates(t *testing.T) {
 	}
 }
 
+// TestPointDuringInFlightBatch is the MVCC acceptance test at the HTTP
+// layer: /point answers 200 from a snapshot of the last committed epoch
+// while a /batch on the same session is mid-flight, instead of queueing
+// behind it or failing 409.  The test holds the handle's update lock to pin
+// the batch deterministically — exactly the state a long write wave is in.
+func TestPointDuringInFlightBatch(t *testing.T) {
+	srv, ts, db := newTestServer(t, 6)
+	const sessionExpr = "sum y . [E(x,y)] * w(x,y)"
+	if resp, code := postJSON(t, ts.URL+"/session", map[string]any{
+		"name": "m", "expr": sessionExpr, "semiring": "natural",
+	}); code != http.StatusOK {
+		t.Fatalf("creating session: %v", resp)
+	}
+	h, err := srv.Session("m")
+	if err != nil {
+		t.Fatalf("resolving session: %v", err)
+	}
+	before, code := postJSON(t, ts.URL+"/point", map[string]any{"session": "m", "args": []int{0}})
+	if code != http.StatusOK {
+		t.Fatalf("baseline point: %v", before)
+	}
+	epochBefore := h.Epoch()
+
+	h.mu.Lock() // the batch below blocks here, like a mid-flight write wave
+	edges := db.A.Tuples("E")
+	updates := make([]map[string]any, len(edges))
+	for i, e := range edges {
+		updates[i] = map[string]any{"weight": "w", "tuple": e, "value": 77}
+	}
+	batchStatus := make(chan int, 1)
+	go func() {
+		raw, _ := json.Marshal(map[string]any{"session": "m", "updates": updates})
+		r, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			batchStatus <- -1
+			return
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		batchStatus <- r.StatusCode
+	}()
+
+	// Points keep answering the pre-batch value while the write is in flight:
+	// no queueing (the batch holds the update lock the whole time) and no 409.
+	for i := 0; i < 10; i++ {
+		got, code := postJSON(t, ts.URL+"/point", map[string]any{"session": "m", "args": []int{0}})
+		if code != http.StatusOK {
+			t.Fatalf("point during in-flight batch: status %d (%v)", code, got)
+		}
+		if got["value"] != before["value"] {
+			t.Fatalf("point during in-flight batch = %v, want pre-batch value %v", got["value"], before["value"])
+		}
+	}
+	select {
+	case code := <-batchStatus:
+		t.Fatalf("batch completed (status %d) while the update lock was held", code)
+	default:
+	}
+
+	h.mu.Unlock()
+	if code := <-batchStatus; code != http.StatusOK {
+		t.Fatalf("released batch: status %d", code)
+	}
+	if got := srv.Stats().Busy.Load(); got != 0 {
+		t.Errorf("busy counter = %d after reads under write, want 0 (writer-writer conflicts only)", got)
+	}
+	if h.Epoch() <= epochBefore {
+		t.Errorf("epoch did not advance past the batch: %d -> %d", epochBefore, h.Epoch())
+	}
+
+	// The MVCC gauges surface on /stats and /metrics.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	var snap StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	resp.Body.Close()
+	if snap.SessionEpochs["m"] != h.Epoch() {
+		t.Errorf("/stats sessionEpochs[m] = %d, want %d", snap.SessionEpochs["m"], h.Epoch())
+	}
+	if snap.SessionRetainedUndoBytes != 0 {
+		t.Errorf("/stats sessionRetainedUndoBytes = %d with no open readers, want 0", snap.SessionRetainedUndoBytes)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		fmt.Sprintf(`aggserve_session_epoch{session="m"} %d`, h.Epoch()),
+		`aggserve_session_retained_undo_bytes{session="m"} 0`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
 // TestEnumerateStreamsCorrectPrefix is acceptance criterion 3: /enumerate
 // under a limit streams a prefix of the full enumeration, every answer
 // satisfies the formula, and the summary line reports the true total.

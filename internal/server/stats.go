@@ -29,7 +29,10 @@ type Stats struct {
 	InFlight atomic.Int64 // requests currently being served
 	Errors   atomic.Int64 // requests answered with a non-2xx status
 	Canceled atomic.Int64 // requests abandoned by their client mid-work
-	Busy     atomic.Int64 // fail-fast ErrSessionBusy rejections (409s)
+	// Busy counts fail-fast ErrSessionBusy rejections (409s).  Since reads
+	// answer from MVCC snapshots these arise only from writer–writer
+	// conflicts: two updates racing for the same session's write lock.
+	Busy atomic.Int64
 }
 
 // StatsSnapshot is the JSON shape served by GET /stats.
@@ -62,6 +65,13 @@ type StatsSnapshot struct {
 	StartTime string `json:"startTime"`
 	GoVersion string `json:"goVersion"`
 	Revision  string `json:"revision,omitempty"`
+
+	// SessionEpochs maps each registered session to the number of updates
+	// committed on it, and SessionRetainedUndoBytes is the MVCC undo history
+	// currently pinned by open snapshot readers, summed over all sessions
+	// (zero whenever no reader is pinned).
+	SessionEpochs            map[string]uint64 `json:"sessionEpochs,omitempty"`
+	SessionRetainedUndoBytes int64             `json:"sessionRetainedUndoBytes"`
 
 	// CacheBytes is the total resident size of the frozen Programs held by
 	// the compiled-artefact cache; CacheEntryBytes lists the per-entry sizes
