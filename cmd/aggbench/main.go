@@ -27,6 +27,7 @@ func main() {
 	e16check := flag.Bool("e16check", false, "run the E16 re-platformed nested/localsearch comparison as a pass/fail smoke check and exit")
 	e17check := flag.Bool("e17check", false, "run the E17 instrumentation-overhead comparison as a pass/fail smoke check and exit")
 	e18check := flag.Bool("e18check", false, "run the E18 snapshot-reads-under-writes comparison as a pass/fail smoke check and exit")
+	e19check := flag.Bool("e19check", false, "run the E19 fleet scale-out comparison as a pass/fail smoke check and exit")
 	flag.Parse()
 
 	if *e14check {
@@ -52,6 +53,13 @@ func main() {
 	}
 	if *e18check {
 		if err := bench.E18Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *e19check {
+		if err := bench.E19Check(); err != nil {
 			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -6,12 +6,19 @@
 // compilation (Theorem 6) across many requests.  Client disconnects cancel
 // the work they were waiting for.
 //
+// With -route, aggserve instead runs as a fleet router: it loads no
+// database and consistent-hashes every request across the given replicas —
+// compiled-query cache keys for /query, /enumerate and /analyze, session
+// names (sticky) for /session, /point, /update and /batch — with health
+// probes, fail-over, and fleet-wide /stats and /metrics aggregation.
+//
 // Usage:
 //
 //	aggserve -kind grid -n 4096 -listen :8080
 //	aggserve -db traffic=roads.txt -db social=graph.txt
 //	agggen -kind bounded-degree -n 10000 | aggserve -stdin
 //	aggserve -log-format json -log-level debug -slow-query 100ms -pprof-addr localhost:6060
+//	aggserve -listen :8080 -route http://10.0.0.1:8081,http://10.0.0.2:8081
 //
 //	curl -X POST localhost:8080/query \
 //	  -d '{"expr":"sum x, y . [E(x,y)] * w(x,y)","semiring":"natural"}'
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"repro/agg"
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -86,12 +94,20 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug enables per-request access logs)")
 	slowQuery := flag.Duration("slow-query", 0, "log requests slower than this threshold at warn level (0 disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	route := flag.String("route", "", "run as a fleet router over these comma-separated replica base URLs (no database is loaded)")
+	healthInterval := flag.Duration("health-interval", time.Second, "router mode: period of the replica /healthz probe loop")
+	vnodes := flag.Int("vnodes", 0, "router mode: virtual nodes per replica on the hash ring (0 = default)")
 	flag.Parse()
 
 	log, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aggserve: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *route != "" {
+		runRouter(log, *listen, *route, *healthInterval, *vnodes)
+		return
 	}
 
 	srv := server.New(server.Options{
@@ -137,26 +153,47 @@ func main() {
 		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := newHTTPServer(*pprofAddr, pprofMux)
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+			if err := pprofSrv.ListenAndServe(); err != nil {
 				log.Error("pprof listener", "addr", *pprofAddr, "err", err)
 			}
 		}()
 		log.Info("pprof listening", "addr", *pprofAddr)
 	}
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
+	httpSrv := newHTTPServer(*listen, srv.Handler())
 	goVersion, revision := server.BuildInfo()
 	log.Info("aggserve listening",
 		"addr", *listen,
 		"semirings", agg.SemiringNames(),
 		"goVersion", goVersion,
 		"revision", revision)
+	serve(log, httpSrv)
+}
+
+// newHTTPServer builds a listener with the slow-client timeouts every
+// aggserve frontend sets: a client must deliver its request headers within
+// ReadHeaderTimeout and keep-alive connections are reaped after IdleTimeout,
+// so one slowloris peer cannot hold a connection slot forever.  Request
+// bodies and responses stay un-deadlined: /enumerate legitimately streams
+// for as long as the client reads.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// serve runs the server until it fails or a SIGINT/SIGTERM triggers a
+// graceful shutdown.
+func serve(log *slog.Logger, httpSrv *http.Server) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 
 	select {
 	case err := <-errCh:
@@ -173,4 +210,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runRouter is the -route mode: a consistent-hash router over an aggserve
+// replica fleet.
+func runRouter(log *slog.Logger, listen, route string, healthInterval time.Duration, vnodes int) {
+	var replicas []string
+	for _, u := range strings.Split(route, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			replicas = append(replicas, u)
+		}
+	}
+	rt, err := fleet.New(fleet.Options{
+		Replicas:       replicas,
+		VNodes:         vnodes,
+		HealthInterval: healthInterval,
+		Logger:         log,
+	})
+	if err != nil {
+		log.Error("router", "err", err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+	log.Info("aggserve routing", "addr", listen, "replicas", replicas)
+	serve(log, newHTTPServer(listen, rt.Handler()))
 }

@@ -773,6 +773,12 @@ func Registry(quick bool) []Experiment {
 		{"E16", func() *Table { return E16Replatform(e16Nested, e16Search) }},
 		{"E17", func() *Table { return E17InstrumentationOverhead(small, 10) }},
 		{"E18", func() *Table { return E18SnapshotReads(small, 10000) }},
+		{"E19", func() *Table {
+			if quick {
+				return E19FleetScaling(500, 24, 12, 8, 32)
+			}
+			return E19FleetScaling(800, 32, 12, 8, 48)
+		}},
 	}
 }
 

@@ -1,0 +1,375 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// fanResult is one replica's answer to a fleet-wide fan-out.
+type fanResult[T any] struct {
+	rep *replica
+	val T
+	err error
+}
+
+// fanOut queries every replica concurrently — the by-id registry / async
+// fan-out / await-all shape — bounding each replica by FanoutTimeout so a
+// dead or slow replica delays the merged answer by at most one timeout and
+// is reported as an error instead of being waited on.
+func fanOut[T any](rt *Router, f func(ctx context.Context, rep *replica) (T, error)) []fanResult[T] {
+	results := make([]fanResult[T], len(rt.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range rt.replicas {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rt.opts.FanoutTimeout)
+			defer cancel()
+			v, err := f(ctx, rep)
+			results[i] = fanResult[T]{rep: rep, val: v, err: err}
+		}(i, rep)
+	}
+	wg.Wait()
+	return results
+}
+
+// getJSON fetches path from one replica into v over the shared client.
+func (rt *Router) getJSON(ctx context.Context, rep *replica, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.id+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// RouterStats is the router's own serving state, nested under "router" in
+// the fleet /stats document.
+type RouterStats struct {
+	Replicas      int            `json:"replicas"`
+	Live          int            `json:"live"`
+	Proxied       int64          `json:"proxied"`
+	Reroutes      int64          `json:"reroutes"`
+	Unavailable   int64          `json:"unavailable"`
+	GatewayErrors int64          `json:"gatewayErrors"`
+	UptimeSeconds float64        `json:"uptimeSeconds"`
+	ReplicaStates []ReplicaState `json:"replicaStates"`
+}
+
+// FleetStats is the JSON document of the fleet-wide GET /stats: the merged
+// counters under "fleet", each replica's own /stats under "replicas" (keyed
+// by replica URL), scrape failures under "replicaErrors", and the router's
+// proxy/health state under "router".
+type FleetStats struct {
+	Fleet         server.StatsSnapshot            `json:"fleet"`
+	Replicas      map[string]server.StatsSnapshot `json:"replicas"`
+	ReplicaErrors map[string]string               `json:"replicaErrors,omitempty"`
+	Router        RouterStats                     `json:"router"`
+}
+
+func (rt *Router) routerStats() RouterStats {
+	states := rt.ReplicaStates()
+	rs := RouterStats{
+		Replicas:      len(rt.replicas),
+		Reroutes:      rt.reroutes.Load(),
+		Unavailable:   rt.unavailable.Load(),
+		GatewayErrors: rt.gateway.Load(),
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		ReplicaStates: states,
+	}
+	for _, st := range states {
+		rs.Proxied += st.Proxied
+		if st.Up {
+			rs.Live++
+		}
+	}
+	return rs
+}
+
+// FleetStatsSnapshot fans out to every replica's /stats and merges.
+func (rt *Router) FleetStatsSnapshot() FleetStats {
+	out := FleetStats{
+		Replicas: make(map[string]server.StatsSnapshot, len(rt.replicas)),
+		Router:   rt.routerStats(),
+	}
+	results := fanOut(rt, func(ctx context.Context, rep *replica) (server.StatsSnapshot, error) {
+		var snap server.StatsSnapshot
+		err := rt.getJSON(ctx, rep, "/stats", &snap)
+		return snap, err
+	})
+	for _, res := range results {
+		if res.err != nil {
+			if out.ReplicaErrors == nil {
+				out.ReplicaErrors = map[string]string{}
+			}
+			out.ReplicaErrors[res.rep.id] = res.err.Error()
+			continue
+		}
+		out.Replicas[res.rep.id] = res.val
+		mergeStats(&out.Fleet, &res.val)
+	}
+	return out
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(rt.FleetStatsSnapshot())
+}
+
+// mergeStats folds one replica's snapshot into the fleet view: counters and
+// byte totals sum, session epoch maps union (sticky routing keeps session
+// names disjoint across replicas), uptime takes the oldest replica, and the
+// build identity carries over from the first replica reporting one.
+func mergeStats(dst, src *server.StatsSnapshot) {
+	dst.Queries += src.Queries
+	dst.Points += src.Points
+	dst.Updates += src.Updates
+	dst.UpdateBatches += src.UpdateBatches
+	dst.Batches += src.Batches
+	dst.BatchedUpdates += src.BatchedUpdates
+	dst.Enumerations += src.Enumerations
+	dst.Analyzes += src.Analyzes
+	dst.Sessions += src.Sessions
+	dst.Compiles += src.Compiles
+	dst.CacheHits += src.CacheHits
+	dst.CacheMisses += src.CacheMisses
+	dst.CompileMillis += src.CompileMillis
+	dst.EvalMillis += src.EvalMillis
+	dst.InFlight += src.InFlight
+	dst.Errors += src.Errors
+	dst.Canceled += src.Canceled
+	dst.Busy += src.Busy
+	dst.CachedQueries += src.CachedQueries
+	dst.Databases += src.Databases
+	dst.CacheBytes += src.CacheBytes
+	dst.CacheEntryBytes = append(dst.CacheEntryBytes, src.CacheEntryBytes...)
+	dst.SessionRetainedUndoBytes += src.SessionRetainedUndoBytes
+	if len(src.SessionEpochs) > 0 && dst.SessionEpochs == nil {
+		dst.SessionEpochs = map[string]uint64{}
+	}
+	for name, epoch := range src.SessionEpochs {
+		dst.SessionEpochs[name] = epoch
+	}
+	if src.UptimeSeconds > dst.UptimeSeconds {
+		dst.UptimeSeconds = src.UptimeSeconds
+		dst.StartTime = src.StartTime
+	}
+	if dst.GoVersion == "" {
+		dst.GoVersion = src.GoVersion
+	}
+	if dst.Revision == "" {
+		dst.Revision = src.Revision
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-wide /metrics
+// ---------------------------------------------------------------------------
+
+// FleetMetricsSnapshot fans out to every replica's raw /metrics.json and
+// merges: counters sum and histograms merge bucket-by-bucket, so a fleet
+// histogram's every bucket count equals the sum of the corresponding
+// per-replica buckets.  The int result counts replicas that failed to
+// report.
+func (rt *Router) FleetMetricsSnapshot() (*server.MetricsSnapshot, int) {
+	merged := &server.MetricsSnapshot{
+		Requests: map[string]obs.Snapshot{},
+		Stages:   map[string]obs.Snapshot{},
+	}
+	failed := 0
+	results := fanOut(rt, func(ctx context.Context, rep *replica) (*server.MetricsSnapshot, error) {
+		var snap server.MetricsSnapshot
+		err := rt.getJSON(ctx, rep, "/metrics.json", &snap)
+		return &snap, err
+	})
+	for _, res := range results {
+		if res.err != nil {
+			res.rep.setErr(res.err)
+			failed++
+			continue
+		}
+		mergeStats(&merged.Stats, &res.val.Stats)
+		for ep, snap := range res.val.Requests {
+			have := merged.Requests[ep]
+			have.Merge(&snap)
+			merged.Requests[ep] = have
+		}
+		for st, snap := range res.val.Stages {
+			have := merged.Stages[st]
+			have.Merge(&snap)
+			merged.Stages[st] = have
+		}
+	}
+	return merged, failed
+}
+
+// handleMetrics serves the fleet-wide Prometheus exposition: the aggserve_*
+// families re-emitted from the merged replica snapshots (histograms are the
+// exact bucket sums), plus aggfleet_* families describing the router itself
+// — per-replica liveness and gauges, reroute and error counters, and the
+// router-side request latency per endpoint.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	merged, failed := rt.FleetMetricsSnapshot()
+	var buf bytes.Buffer
+	pw := obs.NewWriter(&buf)
+
+	st := &merged.Stats
+	pw.Header("aggserve_requests_total", "Requests completed successfully, by endpoint (fleet-wide).", "counter")
+	for _, c := range []struct {
+		endpoint string
+		v        int64
+	}{
+		{"query", st.Queries},
+		{"session", st.Sessions},
+		{"point", st.Points},
+		{"update", st.UpdateBatches},
+		{"batch", st.Batches},
+		{"enumerate", st.Enumerations},
+		{"analyze", st.Analyzes},
+	} {
+		pw.Counter("aggserve_requests_total", obs.Labels{"endpoint": c.endpoint}, uint64(c.v))
+	}
+
+	pw.Header("aggserve_updates_applied_total", "Individual updates applied, by path (fleet-wide).", "counter")
+	pw.Counter("aggserve_updates_applied_total", obs.Labels{"path": "single"}, uint64(st.Updates))
+	pw.Counter("aggserve_updates_applied_total", obs.Labels{"path": "batched"}, uint64(st.BatchedUpdates))
+
+	for _, c := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"aggserve_compiles_total", "Queries compiled across the fleet.", st.Compiles},
+		{"aggserve_cache_hits_total", "Compiled-query cache hits across the fleet.", st.CacheHits},
+		{"aggserve_cache_misses_total", "Compiled-query cache misses across the fleet.", st.CacheMisses},
+		{"aggserve_errors_total", "Requests answered with a non-2xx status across the fleet.", st.Errors},
+		{"aggserve_canceled_total", "Requests abandoned by their client across the fleet.", st.Canceled},
+		{"aggserve_busy_total", "Fail-fast session-busy rejections (409) across the fleet.", st.Busy},
+	} {
+		pw.Header(c.name, c.help, "counter")
+		pw.Counter(c.name, nil, uint64(c.v))
+	}
+
+	pw.Header("aggserve_request_duration_seconds", "End-to-end replica request latency by endpoint, summed over replicas.", "histogram")
+	for _, ep := range sortedKeys(merged.Requests) {
+		snap := merged.Requests[ep]
+		pw.Histogram("aggserve_request_duration_seconds", obs.Labels{"endpoint": ep}, &snap)
+	}
+	pw.Header("aggserve_stage_duration_seconds", "Internal pipeline stage latency, summed over replicas.", "histogram")
+	for _, stage := range sortedKeys(merged.Stages) {
+		snap := merged.Stages[stage]
+		pw.Histogram("aggserve_stage_duration_seconds", obs.Labels{"stage": stage}, &snap)
+	}
+
+	sessionsActive := len(st.SessionEpochs)
+	for _, g := range []struct {
+		name, help string
+		v          float64
+	}{
+		{"aggserve_in_flight_requests", "Requests currently being served across the fleet.", float64(st.InFlight)},
+		{"aggserve_cache_entries", "Compiled queries resident across all replica caches.", float64(st.CachedQueries)},
+		{"aggserve_cache_bytes", "Total bytes of frozen circuit programs across all replica caches.", float64(st.CacheBytes)},
+		{"aggserve_sessions_active", "Named sessions registered across the fleet.", float64(sessionsActive)},
+		{"aggserve_databases", "Database mounts summed over replicas.", float64(st.Databases)},
+		{"aggserve_session_retained_undo_bytes_total", "MVCC undo bytes pinned by open snapshot readers, fleet-wide.", float64(st.SessionRetainedUndoBytes)},
+	} {
+		pw.Header(g.name, g.help, "gauge")
+		pw.Gauge(g.name, nil, g.v)
+	}
+	if sessionsActive > 0 {
+		pw.Header("aggserve_session_epoch", "Updates committed per session (each session lives on exactly one replica).", "gauge")
+		for _, name := range sortedKeys(st.SessionEpochs) {
+			pw.Gauge("aggserve_session_epoch", obs.Labels{"session": name}, float64(st.SessionEpochs[name]))
+		}
+	}
+
+	// Router-side families.
+	rs := rt.routerStats()
+	for _, g := range []struct {
+		name, help string
+		v          float64
+	}{
+		{"aggfleet_replicas", "Replicas configured on the ring.", float64(rs.Replicas)},
+		{"aggfleet_replicas_live", "Replicas currently marked up.", float64(rs.Live)},
+		{"aggfleet_uptime_seconds", "Seconds since the router started.", rs.UptimeSeconds},
+		{"aggfleet_scrape_failures", "Replicas that failed to report to this scrape.", float64(failed)},
+	} {
+		pw.Header(g.name, g.help, "gauge")
+		pw.Gauge(g.name, nil, g.v)
+	}
+	for _, c := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"aggfleet_reroutes_total", "Requests rerouted to another replica after a dial failure.", rs.Reroutes},
+		{"aggfleet_unavailable_total", "Requests answered 503: no live replica for the key.", rs.Unavailable},
+		{"aggfleet_gateway_errors_total", "Requests answered 502: replica unreachable mid-exchange.", rs.GatewayErrors},
+	} {
+		pw.Header(c.name, c.help, "counter")
+		pw.Counter(c.name, nil, uint64(c.v))
+	}
+
+	pw.Header("aggfleet_replica_up", "Replica liveness as seen by the router (1 up, 0 down).", "gauge")
+	for _, s := range rs.ReplicaStates {
+		up := 0.0
+		if s.Up {
+			up = 1
+		}
+		pw.Gauge("aggfleet_replica_up", obs.Labels{"replica": s.ID}, up)
+	}
+	pw.Header("aggfleet_replica_proxied_total", "Requests proxied to each replica.", "counter")
+	for _, s := range rs.ReplicaStates {
+		pw.Counter("aggfleet_replica_proxied_total", obs.Labels{"replica": s.ID}, uint64(s.Proxied))
+	}
+	pw.Header("aggfleet_replica_probe_failures_total", "Failed health probes per replica.", "counter")
+	for _, s := range rs.ReplicaStates {
+		pw.Counter("aggfleet_replica_probe_failures_total", obs.Labels{"replica": s.ID}, uint64(s.ProbeFailures))
+	}
+	pw.Header("aggfleet_replica_sessions", "Sessions registered on each replica (last readiness probe).", "gauge")
+	for _, s := range rs.ReplicaStates {
+		pw.Gauge("aggfleet_replica_sessions", obs.Labels{"replica": s.ID}, float64(s.Sessions))
+	}
+	pw.Header("aggfleet_replica_cache_entries", "Compiled queries cached on each replica (last readiness probe).", "gauge")
+	for _, s := range rs.ReplicaStates {
+		pw.Gauge("aggfleet_replica_cache_entries", obs.Labels{"replica": s.ID}, float64(s.CacheEntries))
+	}
+
+	pw.Header("aggfleet_request_duration_seconds", "Router-side end-to-end latency by endpoint (includes the proxy hop).", "histogram")
+	for _, ep := range routerEndpoints {
+		snap := rt.hist[ep].Snapshot()
+		pw.Histogram("aggfleet_request_duration_seconds", obs.Labels{"endpoint": ep}, &snap)
+	}
+
+	if err := pw.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

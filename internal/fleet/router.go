@@ -1,0 +1,641 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/agg"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Replicas lists the base URLs of the aggserve replicas to route across
+	// (e.g. "http://10.0.0.1:8080").  The URL doubles as the replica's ring
+	// identifier, so keep it stable across router restarts.
+	Replicas []string
+	// VNodes is the number of virtual nodes per replica on the hash ring
+	// (≤ 0 selects the default of 128).
+	VNodes int
+	// HealthInterval is the period of the /healthz probe loop (≤ 0 selects
+	// 1s); HealthTimeout bounds each probe (≤ 0 selects 2s).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// FanoutTimeout bounds each per-replica request of a fleet-wide /stats
+	// or /metrics fan-out (≤ 0 selects 2s).  A slow or dead replica costs at
+	// most this long and is reported, never waited on indefinitely.
+	FanoutTimeout time.Duration
+	// MaxIdleConnsPerHost tunes the shared keep-alive proxy client (≤ 0
+	// selects 32): each busy replica keeps a warm connection pool so the
+	// proxy hop does not pay a TCP handshake per request.
+	MaxIdleConnsPerHost int
+	// Logger receives mark-down/mark-up transitions and proxy errors.  Nil
+	// discards them.
+	Logger *slog.Logger
+}
+
+// routerEndpoints names every proxied route with its own router-side latency
+// histogram, in the order the fleet /metrics exposition emits them.
+var routerEndpoints = []string{"query", "session", "point", "update", "batch", "enumerate", "analyze"}
+
+// replica is the router's view of one aggserve process: its ring identity,
+// liveness, and the gauges the health probe reports.
+type replica struct {
+	id   string
+	base *url.URL
+
+	up            atomic.Bool
+	proxied       atomic.Int64
+	probes        atomic.Int64
+	probeFailures atomic.Int64
+	markDowns     atomic.Int64
+	markUps       atomic.Int64
+	sessions      atomic.Int64 // last readiness probe's session count
+	cacheEntries  atomic.Int64 // last readiness probe's compiled-cache size
+	lastErr       atomic.Value // string: last probe or proxy error
+}
+
+func (rep *replica) setErr(err error) {
+	if err != nil {
+		rep.lastErr.Store(err.Error())
+	}
+}
+
+// markDown flips the replica to down, returning true on the transition.
+func (rep *replica) markDown() bool { return rep.up.CompareAndSwap(true, false) }
+
+// ReplicaState is a point-in-time snapshot of one replica's router-side
+// state, exported on the fleet /stats and /metrics and used by tests.
+type ReplicaState struct {
+	ID            string `json:"id"`
+	Up            bool   `json:"up"`
+	Proxied       int64  `json:"proxied"`
+	Probes        int64  `json:"probes"`
+	ProbeFailures int64  `json:"probeFailures"`
+	MarkDowns     int64  `json:"markDowns"`
+	MarkUps       int64  `json:"markUps"`
+	Sessions      int64  `json:"sessions"`
+	CacheEntries  int64  `json:"cacheEntries"`
+	LastError     string `json:"lastError,omitempty"`
+}
+
+// Router consistent-hashes aggserve requests across a replica fleet.  Create
+// one with New, serve Handler(), and Close it to stop the health probes.
+// All methods are safe for concurrent use.
+type Router struct {
+	opts     Options
+	ring     *Ring
+	replicas []*replica
+	client   *http.Client
+	log      *slog.Logger
+	start    time.Time
+
+	reroutes    atomic.Int64 // proxy attempts moved to another replica after a dial failure
+	unavailable atomic.Int64 // requests answered 503: no live replica
+	gateway     atomic.Int64 // requests answered 502: replica unreachable mid-exchange
+
+	hist map[string]*obs.Histogram // router-side end-to-end latency per endpoint
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// New builds a router over the given replicas and starts its health-probe
+// loop.  Replicas start marked up — routing works before the first probe
+// completes — and the first probe round fires immediately.
+func New(opts Options) (*Router, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("fleet: router needs at least one replica URL")
+	}
+	if opts.HealthInterval <= 0 {
+		opts.HealthInterval = time.Second
+	}
+	if opts.HealthTimeout <= 0 {
+		opts.HealthTimeout = 2 * time.Second
+	}
+	if opts.FanoutTimeout <= 0 {
+		opts.FanoutTimeout = 2 * time.Second
+	}
+	if opts.MaxIdleConnsPerHost <= 0 {
+		opts.MaxIdleConnsPerHost = 32
+	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+
+	replicas := make([]*replica, len(opts.Replicas))
+	ids := make([]string, len(opts.Replicas))
+	for i, raw := range opts.Replicas {
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: replica %q: %w", raw, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("fleet: replica %q: need an absolute URL like http://host:port", raw)
+		}
+		id := strings.TrimSuffix(u.String(), "/")
+		replicas[i] = &replica{id: id, base: u}
+		replicas[i].up.Store(true)
+		ids[i] = id
+	}
+	ring, err := NewRing(ids, opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+
+	rt := &Router{
+		opts:     opts,
+		ring:     ring,
+		replicas: replicas,
+		log:      log,
+		start:    time.Now(),
+		hist:     make(map[string]*obs.Histogram, len(routerEndpoints)),
+		stop:     make(chan struct{}),
+		client: &http.Client{
+			// One shared keep-alive transport: every proxied request and
+			// fan-out probe reuses warm connections to the replicas.
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * opts.MaxIdleConnsPerHost,
+				MaxIdleConnsPerHost: opts.MaxIdleConnsPerHost,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	for _, ep := range routerEndpoints {
+		rt.hist[ep] = obs.NewHistogram()
+	}
+
+	rt.done.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Close stops the health-probe loop and drops the idle proxy connections.
+// In-flight proxied requests are not interrupted.
+func (rt *Router) Close() {
+	close(rt.stop)
+	rt.done.Wait()
+	rt.client.CloseIdleConnections()
+}
+
+// Replicas reports the configured replica count.
+func (rt *Router) Replicas() int { return len(rt.replicas) }
+
+// ReplicaStates snapshots every replica's router-side state, in ring order.
+func (rt *Router) ReplicaStates() []ReplicaState {
+	out := make([]ReplicaState, len(rt.replicas))
+	for i, rep := range rt.replicas {
+		st := ReplicaState{
+			ID:            rep.id,
+			Up:            rep.up.Load(),
+			Proxied:       rep.proxied.Load(),
+			Probes:        rep.probes.Load(),
+			ProbeFailures: rep.probeFailures.Load(),
+			MarkDowns:     rep.markDowns.Load(),
+			MarkUps:       rep.markUps.Load(),
+			Sessions:      rep.sessions.Load(),
+			CacheEntries:  rep.cacheEntries.Load(),
+		}
+		if e, ok := rep.lastErr.Load().(string); ok {
+			st.LastError = e
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Live reports how many replicas are currently marked up.
+func (rt *Router) Live() int {
+	n := 0
+	for _, rep := range rt.replicas {
+		if rep.up.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// OwnerOf returns the index of the replica that owns the given shard key
+// with the full fleet live (tests use it to find which replica to kill).
+func (rt *Router) OwnerOf(key string) int { return rt.ring.Lookup(key) }
+
+// QueryShardKey is the shard key of a /query-style request; exported so
+// tests and benchmarks can predict placements.  It mirrors the replica's
+// compiled-query cache key: database, canonical expression, semiring and
+// the dynamic-relations option, with the replica-side defaults applied so
+// equivalent requests agree.  An expression that fails to canonicalize
+// hashes as raw text — the owning replica then reports the parse error with
+// its usual taxonomy.
+func QueryShardKey(db, expr, semiring string, dynamic []string) string {
+	if db == "" {
+		db = "default"
+	}
+	if semiring == "" {
+		semiring = "natural"
+	}
+	canon, err := agg.Canonicalize(expr)
+	if err != nil {
+		canon = expr
+	}
+	dyn := append([]string(nil), dynamic...)
+	sort.Strings(dyn)
+	return strings.Join([]string{"q", db, canon, semiring, strings.Join(dyn, ",")}, "\x00")
+}
+
+// FormulaShardKey is the shard key of an /enumerate-style request: database,
+// canonical formula and answer variables.
+func FormulaShardKey(db, phi string, vars []string) string {
+	if db == "" {
+		db = "default"
+	}
+	canon, err := agg.CanonicalizeFormula(phi)
+	if err != nil {
+		canon = phi
+	}
+	return strings.Join([]string{"e", db, canon, strings.Join(vars, ",")}, "\x00")
+}
+
+// SessionShardKey is the shard key of a named session: every request naming
+// the session — create, point, update, batch, delete — routes to the same
+// replica, where its MVCC state lives.
+func SessionShardKey(name string) string { return "s\x00" + name }
+
+// ---------------------------------------------------------------------------
+// HTTP surface
+// ---------------------------------------------------------------------------
+
+// Handler returns the router's HTTP handler.  It serves the same API as a
+// single aggserve replica: /query, /session, /point, /update, /batch,
+// /enumerate and /analyze proxy to the replica owning the request's shard
+// key; /stats and /metrics fan out to every replica and merge; /healthz
+// reports the router's own readiness.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", rt.timed("query", rt.routeQuery))
+	mux.HandleFunc("POST /session", rt.timed("session", rt.routeSessionBody))
+	mux.HandleFunc("DELETE /session", rt.timed("session", rt.routeSessionQuery))
+	mux.HandleFunc("POST /point", rt.timed("point", rt.routePoint))
+	mux.HandleFunc("POST /update", rt.timed("update", rt.routeSessionBody))
+	mux.HandleFunc("POST /batch", rt.timed("batch", rt.routeSessionBody))
+	mux.HandleFunc("GET /enumerate", rt.timed("enumerate", rt.routeEnumerate))
+	mux.HandleFunc("GET /analyze", rt.timed("analyze", rt.routeAnalyze))
+	mux.HandleFunc("GET /stats", rt.handleStats)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	return mux
+}
+
+// timed records the router-side end-to-end latency of one proxied endpoint.
+func (rt *Router) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := rt.hist[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start))
+	}
+}
+
+// body reads and returns the full request body (requests are small JSON
+// documents; the shard key lives inside, so the router must buffer before
+// it can pick a replica).
+func body(r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(r.Body)
+}
+
+func (rt *Router) routeQuery(w http.ResponseWriter, r *http.Request) {
+	raw, err := body(r)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	var req struct {
+		DB       string   `json:"db"`
+		Expr     string   `json:"expr"`
+		Semiring string   `json:"semiring"`
+		Dynamic  []string `json:"dynamic"`
+	}
+	// A body that fails to decode still forwards (hashed raw): the owning
+	// replica produces the canonical 400 with the taxonomy code.
+	_ = json.Unmarshal(raw, &req)
+	rt.forward(w, r, QueryShardKey(req.DB, req.Expr, req.Semiring, req.Dynamic), raw, true)
+}
+
+// routeSessionBody routes the endpoints whose JSON body names a session:
+// /session (create, field "name"), /update and /batch (field "session").
+func (rt *Router) routeSessionBody(w http.ResponseWriter, r *http.Request) {
+	raw, err := body(r)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	var req struct {
+		Name    string `json:"name"`
+		Session string `json:"session"`
+	}
+	_ = json.Unmarshal(raw, &req)
+	name := req.Session
+	if name == "" {
+		name = req.Name
+	}
+	rt.forward(w, r, SessionShardKey(name), raw, false)
+}
+
+// routeSessionQuery routes DELETE /session?name=... by its query parameter.
+func (rt *Router) routeSessionQuery(w http.ResponseWriter, r *http.Request) {
+	rt.forward(w, r, SessionShardKey(r.URL.Query().Get("name")), nil, false)
+}
+
+func (rt *Router) routePoint(w http.ResponseWriter, r *http.Request) {
+	raw, err := body(r)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	var req struct {
+		Session  string `json:"session"`
+		DB       string `json:"db"`
+		Expr     string `json:"expr"`
+		Semiring string `json:"semiring"`
+	}
+	_ = json.Unmarshal(raw, &req)
+	key := QueryShardKey(req.DB, req.Expr, req.Semiring, nil)
+	if req.Session != "" {
+		key = SessionShardKey(req.Session)
+	}
+	rt.forward(w, r, key, raw, true)
+}
+
+func (rt *Router) routeEnumerate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	rt.forward(w, r, FormulaShardKey(q.Get("db"), q.Get("phi"), splitList(q.Get("vars"))), nil, true)
+}
+
+// routeAnalyze mirrors the replica's /analyze preparation split: with vars
+// it analyses the enumeration program (formula key), otherwise the query
+// program — so the report lands on the replica already holding that
+// compiled Program.
+func (rt *Router) routeAnalyze(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	expr := q.Get("expr")
+	if expr == "" {
+		expr = q.Get("phi")
+	}
+	if vars := splitList(q.Get("vars")); len(vars) > 0 {
+		rt.forward(w, r, FormulaShardKey(q.Get("db"), expr, vars), nil, true)
+		return
+	}
+	rt.forward(w, r, QueryShardKey(q.Get("db"), expr, q.Get("semiring"), nil), nil, true)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	live := rt.Live()
+	h := struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+		Replicas      int     `json:"replicas"`
+		Live          int     `json:"live"`
+	}{"ok", time.Since(rt.start).Seconds(), len(rt.replicas), live}
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case live == 0:
+		h.Status = "down"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	case live < len(rt.replicas):
+		h.Status = "degraded"
+	}
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+// writeError emits a router-originated error in the replicas' JSON error
+// shape, so clients see one taxonomy whether the hop or the replica failed.
+func (rt *Router) writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}{msg, code})
+}
+
+// hopHeaders are never copied across the proxy hop (RFC 9110 §7.6.1).
+var hopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// forward proxies the request to the live replica owning key, streaming the
+// response through (NDJSON enumeration lines flush as they arrive).  The
+// outgoing request carries the client's context, so a disconnect cancels
+// the replica-side evaluation; replica errors pass through verbatim —
+// status code and JSON body with its taxonomy code survive the hop.
+//
+// Fail-over policy: a dial-level failure (nothing reached the replica, so
+// any method is safe to retry) marks the replica down and reroutes to the
+// next live owner.  When replayable is true the request is a pure read
+// (/query, /point, /enumerate, /analyze — MVCC snapshots and cached
+// Programs, no replica state changes), so any transport failure reroutes
+// the same way — this covers the killed-replica case where a pooled
+// keep-alive connection dies with EOF instead of a dial error.  Mutating
+// requests (/session, /update, /batch) never retry past a connection the
+// replica may have read from: the exchange failure surfaces as a 502.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, reqBody []byte, replayable bool) {
+	tried := make(map[int]bool)
+	for {
+		idx, ok := rt.ring.LookupLive(key, func(i int) bool {
+			return !tried[i] && rt.replicas[i].up.Load()
+		})
+		if !ok {
+			rt.unavailable.Add(1)
+			rt.writeError(w, http.StatusServiceUnavailable, "unavailable", "no live replica for this key")
+			return
+		}
+		rep := rt.replicas[idx]
+
+		target := *rep.base
+		target.Path = strings.TrimSuffix(target.Path, "/") + r.URL.Path
+		target.RawQuery = r.URL.RawQuery
+		var bodyReader io.Reader
+		if len(reqBody) > 0 {
+			bodyReader = bytes.NewReader(reqBody)
+		}
+		out, err := http.NewRequestWithContext(r.Context(), r.Method, target.String(), bodyReader)
+		if err != nil {
+			rt.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		copyHeaders(out.Header, r.Header)
+
+		resp, err := rt.client.Do(out)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // the client is gone; nothing to write
+			}
+			rep.setErr(err)
+			var opErr *net.OpError
+			dialFailed := errors.As(err, &opErr) && opErr.Op == "dial"
+			if dialFailed || replayable {
+				// Safe to reroute: either the connection never opened
+				// (nothing reached the replica, so even an update cannot
+				// double-apply) or the request is a pure read.  Mark the
+				// replica down now instead of waiting for the next probe.
+				if rep.markDown() {
+					rep.markDowns.Add(1)
+					rt.log.Warn("replica marked down (proxy failed)", "replica", rep.id, "err", err)
+				}
+				tried[idx] = true
+				rt.reroutes.Add(1)
+				continue
+			}
+			// A mutating exchange died mid-flight; the replica may have
+			// acted, so surface the failure instead of silently retrying.
+			rt.gateway.Add(1)
+			rt.writeError(w, http.StatusBadGateway, "unreachable",
+				fmt.Sprintf("replica %s: %v", rep.id, err))
+			return
+		}
+		defer resp.Body.Close()
+		rep.proxied.Add(1)
+
+		copyHeaders(w.Header(), resp.Header)
+		w.WriteHeader(resp.StatusCode)
+		flushCopy(w, resp.Body)
+		return
+	}
+}
+
+func copyHeaders(dst, src http.Header) {
+	for _, h := range hopHeaders {
+		src.Del(h)
+	}
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// flushCopy streams src to w, flushing after every chunk so NDJSON lines
+// reach the client as the replica emits them instead of pooling in the
+// router's buffers.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // client went away mid-stream
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Health probes
+// ---------------------------------------------------------------------------
+
+// healthLoop probes every replica each HealthInterval.  A probe hits the
+// replica's readiness endpoint (GET /healthz), requiring both a 200 and
+// status "ok" in the body — a replica that is listening but not serving is
+// down for routing purposes.  Probes also refresh the per-replica session
+// and cache-entry gauges the fleet /metrics exports.
+func (rt *Router) healthLoop() {
+	defer rt.done.Done()
+	rt.probeAll() // immediate first round: recover marked-down replicas fast
+	ticker := time.NewTicker(rt.opts.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			rt.probeAll()
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, rep := range rt.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			rt.probe(rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) probe(rep *replica) {
+	rep.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.id+"/healthz", nil)
+	if err != nil {
+		rt.probeFailed(rep, err)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.probeFailed(rep, err)
+		return
+	}
+	defer resp.Body.Close()
+	var h server.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		rt.probeFailed(rep, fmt.Errorf("decoding /healthz: %w", err))
+		return
+	}
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		rt.probeFailed(rep, fmt.Errorf("/healthz status %d (%q)", resp.StatusCode, h.Status))
+		return
+	}
+	rep.sessions.Store(int64(h.Sessions))
+	rep.cacheEntries.Store(int64(h.CacheEntries))
+	if rep.up.CompareAndSwap(false, true) {
+		rep.markUps.Add(1)
+		rt.log.Info("replica marked up", "replica", rep.id)
+	}
+}
+
+func (rt *Router) probeFailed(rep *replica, err error) {
+	rep.probeFailures.Add(1)
+	rep.setErr(err)
+	if rep.markDown() {
+		rep.markDowns.Add(1)
+		rt.log.Warn("replica marked down (probe failed)", "replica", rep.id, "err", err)
+	}
+}
+
+// splitList mirrors the replica's comma-list query-parameter parsing.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -26,7 +26,8 @@ import (
 //	GET  /enumerate  stream query answers as NDJSON with constant delay
 //	GET  /stats      serving counters
 //	GET  /metrics    Prometheus text exposition (counters, latency histograms)
-//	GET  /healthz    liveness probe
+//	GET  /metrics.json  raw mergeable metrics snapshot (fleet router scrape)
+//	GET  /healthz    readiness probe (status, uptime, sessions, cache entries)
 //
 // Request contexts are honoured: a disconnected client cancels the
 // evaluation or enumeration stream it was waiting for (counted in the
@@ -44,9 +45,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /analyze", s.wrap("analyze", s.handleAnalyze))
 	mux.HandleFunc("GET /stats", s.wrap("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		s.writeJSON(w, map[string]bool{"ok": true})
-	})
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
@@ -591,6 +591,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 var buildInfoOnce = sync.OnceValues(BuildInfo)
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, s.StatsSnapshot())
+}
+
+// StatsSnapshot assembles the full /stats view: the atomic counters plus the
+// cache, session, database and build gauges.  The fleet router consumes it
+// directly when merging per-replica stats.
+func (s *Server) StatsSnapshot() StatsSnapshot {
 	snap := s.stats.snapshot()
 	snap.CachedQueries = s.cache.len()
 	snap.CacheEntryBytes, snap.CacheBytes = s.cache.entryBytes()
@@ -607,7 +614,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap.UptimeSeconds = time.Since(s.start).Seconds()
 	snap.StartTime = s.start.UTC().Format(time.RFC3339)
 	snap.GoVersion, snap.Revision = buildInfoOnce()
-	s.writeJSON(w, snap)
+	return snap
+}
+
+// ---------------------------------------------------------------------------
+// GET /healthz
+// ---------------------------------------------------------------------------
+
+// Health is the JSON shape of the GET /healthz readiness probe.  Beyond the
+// bare "listening" signal of a 200, it reports enough serving state for a
+// router or external load balancer to distinguish a freshly started empty
+// replica from one actively holding sessions and compiled queries.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Sessions      int     `json:"sessions"`
+	CacheEntries  int     `json:"cacheEntries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	sessions := len(s.sessions)
+	s.mu.RUnlock()
+	s.writeJSON(w, Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Sessions:      sessions,
+		CacheEntries:  s.cache.len(),
+	})
 }
 
 func splitList(s string) []string {

@@ -2,12 +2,47 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"runtime"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// MetricsSnapshot is the raw, mergeable form of the /metrics exposition: the
+// full stats view plus the per-endpoint request histograms and per-stage
+// pipeline histograms as obs snapshots.  The fleet router scrapes it from
+// GET /metrics.json on every replica and merges the fleet-wide view by
+// summing counters and histogram buckets (obs.Snapshot merges exactly, so
+// fleet bucket counts equal the sum of the per-replica buckets).
+type MetricsSnapshot struct {
+	Stats    StatsSnapshot           `json:"stats"`
+	Requests map[string]obs.Snapshot `json:"requests"`
+	Stages   map[string]obs.Snapshot `json:"stages"`
+}
+
+// MetricsSnapshot captures the server's current counters and histograms.
+func (s *Server) MetricsSnapshot() *MetricsSnapshot {
+	m := &MetricsSnapshot{
+		Stats:    s.StatsSnapshot(),
+		Requests: make(map[string]obs.Snapshot, len(endpoints)),
+		Stages:   make(map[string]obs.Snapshot, int(obs.NumStages)),
+	}
+	for _, ep := range endpoints {
+		m.Requests[ep] = s.reqHist[ep].Snapshot()
+	}
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		m.Stages[st.String()] = s.tr.Stage(st).Snapshot()
+	}
+	return m
+}
+
+// handleMetricsJSON serves the raw snapshot for fleet-wide aggregation.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.MetricsSnapshot())
+}
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
 // format: the Stats counters, the per-endpoint request-latency histograms,
