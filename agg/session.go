@@ -3,8 +3,10 @@ package agg
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/enumerate"
+	"repro/internal/live"
 	"repro/internal/obs"
 )
 
@@ -40,6 +42,14 @@ type Session struct {
 	// enumerable queries with dynamic relations: tuple updates are mirrored
 	// into it so Readers can enumerate the answer set at a pinned epoch.
 	ans *enumerate.Answers
+
+	// hub fans committed epochs out to Subscribe streams.  It stays nil
+	// until the first subscriber, so the write path of an unobserved
+	// session pays one atomic load and nothing else.
+	hub atomic.Pointer[live.Hub]
+	// liveDelta is the per-key answer-set state behind delta subscriptions;
+	// it is touched only by the hub's single evaluator goroutine.
+	liveDelta map[live.Key]map[string][]int
 }
 
 // Change is one update of a Session: a weight update (Weight non-empty:
@@ -184,6 +194,9 @@ func (s *Session) apply(change Change) error {
 			return newError(ErrUpdate, s.p.text, merr)
 		}
 	}
+	if h := s.hub.Load(); h != nil {
+		h.Notify(s.sess.Epoch())
+	}
 	return nil
 }
 
@@ -221,13 +234,17 @@ func (s *Session) ApplyBatch(changes []Change) error {
 			}
 		}
 	}
+	if h := s.hub.Load(); h != nil {
+		h.Notify(s.sess.Epoch())
+	}
 	return nil
 }
 
 // Close marks the session closed; subsequent operations fail with
 // ErrSessionClosed.  Close blocks until an in-flight update finishes and is
 // idempotent.  Readers obtained from Snapshot before the Close keep working —
-// close them separately to release their pinned history.
+// close them separately to release their pinned history.  Subscribe streams
+// receive any pending update and then end with ErrSessionClosed.
 func (s *Session) Close() error {
 	s.once.Do(func() {
 		s.writerMu.Lock()
@@ -235,6 +252,9 @@ func (s *Session) Close() error {
 		s.closed = true
 		s.stateMu.Unlock()
 		s.writerMu.Unlock()
+		if h := s.hub.Load(); h != nil {
+			h.Close()
+		}
 	})
 	return nil
 }

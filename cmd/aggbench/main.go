@@ -28,6 +28,7 @@ func main() {
 	e17check := flag.Bool("e17check", false, "run the E17 instrumentation-overhead comparison as a pass/fail smoke check and exit")
 	e18check := flag.Bool("e18check", false, "run the E18 snapshot-reads-under-writes comparison as a pass/fail smoke check and exit")
 	e19check := flag.Bool("e19check", false, "run the E19 fleet scale-out comparison as a pass/fail smoke check and exit")
+	e20check := flag.Bool("e20check", false, "run the E20 live-push/ingest comparison as a pass/fail smoke check and exit")
 	flag.Parse()
 
 	if *e14check {
@@ -60,6 +61,13 @@ func main() {
 	}
 	if *e19check {
 		if err := bench.E19Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *e20check {
+		if err := bench.E20Check(); err != nil {
 			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
 			os.Exit(1)
 		}

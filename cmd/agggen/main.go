@@ -6,6 +6,14 @@
 //
 //	agggen -kind grid -n 10000 -seed 1 > db.txt
 //	agggen -kind bounded-degree -n 5000 | aggquery -stdin -query triangles
+//
+// The special kind "cdc" emits an NDJSON change stream instead of a
+// database: deterministic, Gaifman-safe tuple/weight changes against the
+// base workload selected by -base, one change per line, directly
+// consumable by POST /ingest on aggserve:
+//
+//	agggen -kind cdc -base grid -n 10000 -changes 1000000 > changes.ndjson
+//	curl -N --data-binary @changes.ndjson 'http://host/ingest?session=live'
 package main
 
 import (
@@ -14,14 +22,31 @@ import (
 	"os"
 
 	"repro/agg"
+	"repro/internal/dbio"
+	"repro/internal/workload"
 )
 
 func main() {
-	kind := flag.String("kind", "bounded-degree", "workload kind: bounded-degree, grid, forest, pref-attach, road, nested, search")
+	kind := flag.String("kind", "bounded-degree", "workload kind: bounded-degree, grid, forest, pref-attach, road, nested, search, cdc")
 	n := flag.Int("n", 1000, "approximate number of database elements")
 	degree := flag.Int("degree", 3, "degree / branching / attachment parameter")
 	seed := flag.Int64("seed", 1, "random seed")
+	base := flag.String("base", "grid", "base workload the cdc change stream runs against (cdc kind only)")
+	changes := flag.Int("changes", 100000, "number of changes to emit (cdc kind only)")
 	flag.Parse()
+
+	if *kind == "cdc" {
+		db, err := dbio.Source{Kind: *base, N: *n, Degree: *degree, Seed: *seed}.Generate()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "agggen: %v\n", err)
+			os.Exit(2)
+		}
+		if err := workload.WriteChanges(os.Stdout, db, *changes, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "agggen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	db, err := agg.Load(agg.Source{Kind: *kind, N: *n, Degree: *degree, Seed: *seed})
 	if err != nil {

@@ -3,14 +3,19 @@
 // repro/agg facade into an LRU cache of compiled circuits, and serves
 // concurrent clients over HTTP/JSON — semiring evaluation, point queries,
 // dynamic-update sessions and constant-delay enumeration all amortise one
-// compilation (Theorem 6) across many requests.  Client disconnects cancel
-// the work they were waiting for.
+// compilation (Theorem 6) across many requests.  Sessions also push:
+// GET /subscribe streams live re-evaluated updates (SSE or NDJSON, resumable
+// via Last-Event-ID, slow clients coalesce instead of stalling the writer)
+// and POST /ingest applies an NDJSON change stream as coalesced batch waves
+// with epoch acks on the same connection.  Client disconnects cancel the
+// work they were waiting for.
 //
 // With -route, aggserve instead runs as a fleet router: it loads no
 // database and consistent-hashes every request across the given replicas —
 // compiled-query cache keys for /query, /enumerate and /analyze, session
-// names (sticky) for /session, /point, /update and /batch — with health
-// probes, fail-over, and fleet-wide /stats and /metrics aggregation.
+// names (sticky) for /session, /point, /update, /batch, /subscribe and
+// /ingest, streamed through with per-chunk flushing — with health probes,
+// fail-over, and fleet-wide /stats and /metrics aggregation.
 //
 // Usage:
 //

@@ -779,6 +779,12 @@ func Registry(quick bool) []Experiment {
 			}
 			return E19FleetScaling(800, 32, 12, 8, 48)
 		}},
+		{"E20", func() *Table {
+			if quick {
+				return E20LivePush(small[:1], 1000, 4000)
+			}
+			return E20LivePush(small, 2000, 10000)
+		}},
 	}
 }
 

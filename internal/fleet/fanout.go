@@ -148,6 +148,13 @@ func mergeStats(dst, src *server.StatsSnapshot) {
 	dst.Enumerations += src.Enumerations
 	dst.Analyzes += src.Analyzes
 	dst.Sessions += src.Sessions
+	dst.Subscriptions += src.Subscriptions
+	dst.Subscribers += src.Subscribers
+	dst.Pushes += src.Pushes
+	dst.PushCoalesced += src.PushCoalesced
+	dst.Ingests += src.Ingests
+	dst.IngestWaves += src.IngestWaves
+	dst.IngestedChanges += src.IngestedChanges
 	dst.Compiles += src.Compiles
 	dst.CacheHits += src.CacheHits
 	dst.CacheMisses += src.CacheMisses
@@ -207,6 +214,7 @@ func (rt *Router) FleetMetricsSnapshot() (*server.MetricsSnapshot, int) {
 			continue
 		}
 		mergeStats(&merged.Stats, &res.val.Stats)
+		merged.Push.Merge(&res.val.Push)
 		for ep, snap := range res.val.Requests {
 			have := merged.Requests[ep]
 			have.Merge(&snap)
@@ -243,6 +251,8 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"update", st.UpdateBatches},
 		{"batch", st.Batches},
 		{"enumerate", st.Enumerations},
+		{"subscribe", st.Subscriptions},
+		{"ingest", st.Ingests},
 		{"analyze", st.Analyzes},
 	} {
 		pw.Counter("aggserve_requests_total", obs.Labels{"endpoint": c.endpoint}, uint64(c.v))
@@ -251,6 +261,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Header("aggserve_updates_applied_total", "Individual updates applied, by path (fleet-wide).", "counter")
 	pw.Counter("aggserve_updates_applied_total", obs.Labels{"path": "single"}, uint64(st.Updates))
 	pw.Counter("aggserve_updates_applied_total", obs.Labels{"path": "batched"}, uint64(st.BatchedUpdates))
+	pw.Counter("aggserve_updates_applied_total", obs.Labels{"path": "ingested"}, uint64(st.IngestedChanges))
 
 	for _, c := range []struct {
 		name, help string
@@ -262,6 +273,9 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"aggserve_errors_total", "Requests answered with a non-2xx status across the fleet.", st.Errors},
 		{"aggserve_canceled_total", "Requests abandoned by their client across the fleet.", st.Canceled},
 		{"aggserve_busy_total", "Fail-fast session-busy rejections (409) across the fleet.", st.Busy},
+		{"aggserve_pushes_total", "Updates pushed to /subscribe clients across the fleet.", st.Pushes},
+		{"aggserve_push_coalesced_total", "Evaluated results folded into pushed updates across the fleet.", st.PushCoalesced},
+		{"aggserve_ingest_waves_total", "Batch waves committed by /ingest across the fleet.", st.IngestWaves},
 	} {
 		pw.Header(c.name, c.help, "counter")
 		pw.Counter(c.name, nil, uint64(c.v))
@@ -277,6 +291,8 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap := merged.Stages[stage]
 		pw.Histogram("aggserve_stage_duration_seconds", obs.Labels{"stage": stage}, &snap)
 	}
+	pw.Header("aggserve_push_latency_seconds", "Commit-to-client push latency of /subscribe streams, summed over replicas.", "histogram")
+	pw.Histogram("aggserve_push_latency_seconds", nil, &merged.Push)
 
 	sessionsActive := len(st.SessionEpochs)
 	for _, g := range []struct {
@@ -287,6 +303,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"aggserve_cache_entries", "Compiled queries resident across all replica caches.", float64(st.CachedQueries)},
 		{"aggserve_cache_bytes", "Total bytes of frozen circuit programs across all replica caches.", float64(st.CacheBytes)},
 		{"aggserve_sessions_active", "Named sessions registered across the fleet.", float64(sessionsActive)},
+		{"aggserve_subscribers_active", "Live /subscribe streams open across the fleet.", float64(st.Subscribers)},
 		{"aggserve_databases", "Database mounts summed over replicas.", float64(st.Databases)},
 		{"aggserve_session_retained_undo_bytes_total", "MVCC undo bytes pinned by open snapshot readers, fleet-wide.", float64(st.SessionRetainedUndoBytes)},
 	} {

@@ -516,3 +516,225 @@ func TestEnumerateStreamsThroughRouter(t *testing.T) {
 		t.Errorf("summary streamed = %v, want 5", last["streamed"])
 	}
 }
+
+// nextStreamLine reads the next non-heartbeat NDJSON object from a live
+// stream, failing the test if the stream ends first.
+func nextStreamLine(t *testing.T, sc *bufio.Scanner) map[string]any {
+	t.Helper()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad stream line %q: %v", line, err)
+		}
+		if m["heartbeat"] == true {
+			continue
+		}
+		return m
+	}
+	t.Fatalf("stream ended early: %v", sc.Err())
+	return nil
+}
+
+// TestSubscribeLiveThroughRouter: a /subscribe stream through the router
+// lands on the session's ring owner, pushes each committed epoch through
+// the proxy while the connection stays open (per-chunk flush — the update
+// arrives long before the response completes), and a client disconnect
+// propagates back to the replica, which cancels the subscription and
+// drains its subscriber gauge.
+func TestSubscribeLiveThroughRouter(t *testing.T) {
+	f := startFleet(t, 3)
+
+	if out, code := postJSON(t, f.URL()+"/session", map[string]any{
+		"name": "live", "expr": edgeSum, "dynamic": []string{"E"},
+	}); code != http.StatusOK {
+		t.Fatalf("creating session: %d %v", code, out)
+	}
+	owner := f.Router.OwnerOf(SessionShardKey("live"))
+
+	resp, err := http.Get(f.URL() + "/subscribe?session=live&mode=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q did not survive the hop", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+
+	first := nextStreamLine(t, sc)
+	if first["epoch"] != float64(0) || first["value"] == nil {
+		t.Fatalf("initial push = %v, want epoch-0 value", first)
+	}
+
+	// Commit an epoch while the stream is open; the push must flow through
+	// the still-streaming proxied response.
+	if out, code := postJSON(t, f.URL()+"/update", map[string]any{
+		"session": "live",
+		"updates": []map[string]any{{"rel": "E", "tuple": []int{0, 1}, "present": false}},
+	}); code != http.StatusOK {
+		t.Fatalf("update: %d %v", code, out)
+	}
+	next := nextStreamLine(t, sc)
+	if next["epoch"] != float64(1) {
+		t.Fatalf("live push = %v, want epoch 1", next)
+	}
+
+	// Sticky: the subscription lives on the ring owner and nowhere else.
+	for i := 0; i < 3; i++ {
+		st := f.Replica(i).Stats()
+		want := int64(0)
+		if i == owner {
+			want = 1
+		}
+		if got := st.Subscriptions.Load(); got != want {
+			t.Errorf("replica %d subscriptions = %d, want %d", i, got, want)
+		}
+	}
+
+	// Disconnect: the replica notices the canceled proxy hop, counts it,
+	// and the subscriber gauge drains.
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := f.Replica(owner).Stats()
+		if st.Canceled.Load() >= 1 && st.Subscribers.Load() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never observed the disconnect: canceled=%d subscribers=%d",
+				st.Canceled.Load(), st.Subscribers.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSubscribeKillOwnerMidStream: killing the replica that owns an open
+// /subscribe stream must surface as a clean end-of-stream on the client —
+// never a hang.
+func TestSubscribeKillOwnerMidStream(t *testing.T) {
+	f := startFleet(t, 3)
+
+	if out, code := postJSON(t, f.URL()+"/session", map[string]any{
+		"name": "doomed", "expr": edgeSum, "dynamic": []string{"E"},
+	}); code != http.StatusOK {
+		t.Fatalf("creating session: %d %v", code, out)
+	}
+	owner := f.Router.OwnerOf(SessionShardKey("doomed"))
+
+	resp, err := http.Get(f.URL() + "/subscribe?session=doomed&mode=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	nextStreamLine(t, sc) // initial snapshot arrived; the stream is live
+
+	f.KillReplica(owner)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sc.Scan() {
+		}
+		// Any terminal outcome is acceptable — EOF or a transport error —
+		// as long as the stream ends.
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscribe stream hung after its owner was killed")
+	}
+}
+
+// TestIngestThroughRouter: /ingest streams the request body through the
+// router without buffering, so acks flow back to the client while it is
+// still producing changes (full duplex across the hop).  The final state
+// is unchanged — every removal is paired with a re-insert — and the
+// owner's ingest counters account for every line.
+func TestIngestThroughRouter(t *testing.T) {
+	f := startFleet(t, 3)
+
+	if out, code := postJSON(t, f.URL()+"/session", map[string]any{
+		"name": "feed", "expr": edgeSum, "dynamic": []string{"E"},
+	}); code != http.StatusOK {
+		t.Fatalf("creating session: %d %v", code, out)
+	}
+	owner := f.Router.OwnerOf(SessionShardKey("feed"))
+	base, code := postJSON(t, f.URL()+"/point", map[string]any{"session": "feed"})
+	if code != http.StatusOK {
+		t.Fatalf("baseline point: %d %v", code, base)
+	}
+
+	pr, pwr := io.Pipe()
+	req, err := http.NewRequest("POST", f.URL()+"/ingest?session=feed&wave=2&ack=1", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		resCh <- result{resp, err}
+	}()
+
+	write := func(lines string) {
+		t.Helper()
+		if _, err := io.WriteString(pwr, lines); err != nil {
+			t.Fatalf("writing changes: %v", err)
+		}
+	}
+	// Wave 1: remove an edge and put it back.
+	write(`{"rel":"E","tuple":[0,1],"present":false}` + "\n" +
+		`{"rel":"E","tuple":[0,1]}` + "\n")
+	res := <-resCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	defer res.resp.Body.Close()
+	if res.resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", res.resp.StatusCode)
+	}
+	sc := bufio.NewScanner(res.resp.Body)
+	ack := nextStreamLine(t, sc)
+	if ack["applied"] != float64(2) || ack["epoch"] != float64(1) {
+		t.Fatalf("first ack = %v, want applied=2 epoch=1", ack)
+	}
+
+	// Wave 2, written only after the first ack came back through the hop.
+	write(`{"rel":"E","tuple":[1,2],"present":false}` + "\n" +
+		`{"rel":"E","tuple":[1,2]}` + "\n")
+	ack = nextStreamLine(t, sc)
+	if ack["applied"] != float64(4) || ack["epoch"] != float64(2) {
+		t.Fatalf("second ack = %v, want applied=4 epoch=2", ack)
+	}
+
+	pwr.Close()
+	fin := nextStreamLine(t, sc)
+	if fin["done"] != true || fin["applied"] != float64(4) {
+		t.Fatalf("final line = %v, want done applied=4", fin)
+	}
+
+	after, code := postJSON(t, f.URL()+"/point", map[string]any{"session": "feed"})
+	if code != http.StatusOK {
+		t.Fatalf("point after ingest: %d %v", code, after)
+	}
+	if after["value"] != base["value"] {
+		t.Errorf("value drifted %v -> %v despite paired remove/re-insert", base["value"], after["value"])
+	}
+
+	st := f.Replica(owner).Stats()
+	if st.Ingests.Load() != 1 || st.IngestedChanges.Load() != 4 || st.IngestWaves.Load() != 2 {
+		t.Errorf("owner ingest counters = %d/%d/%d, want 1 ingest, 4 changes, 2 waves",
+			st.Ingests.Load(), st.IngestedChanges.Load(), st.IngestWaves.Load())
+	}
+}

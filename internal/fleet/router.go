@@ -50,7 +50,7 @@ type Options struct {
 
 // routerEndpoints names every proxied route with its own router-side latency
 // histogram, in the order the fleet /metrics exposition emits them.
-var routerEndpoints = []string{"query", "session", "point", "update", "batch", "enumerate", "analyze"}
+var routerEndpoints = []string{"query", "session", "point", "update", "batch", "enumerate", "subscribe", "ingest", "analyze"}
 
 // replica is the router's view of one aggserve process: its ring identity,
 // liveness, and the gauges the health probe reports.
@@ -293,6 +293,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /update", rt.timed("update", rt.routeSessionBody))
 	mux.HandleFunc("POST /batch", rt.timed("batch", rt.routeSessionBody))
 	mux.HandleFunc("GET /enumerate", rt.timed("enumerate", rt.routeEnumerate))
+	mux.HandleFunc("GET /subscribe", rt.timed("subscribe", rt.routeSubscribe))
+	mux.HandleFunc("POST /ingest", rt.timed("ingest", rt.routeIngest))
 	mux.HandleFunc("GET /analyze", rt.timed("analyze", rt.routeAnalyze))
 	mux.HandleFunc("GET /stats", rt.handleStats)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
@@ -379,6 +381,68 @@ func (rt *Router) routePoint(w http.ResponseWriter, r *http.Request) {
 		key = SessionShardKey(req.Session)
 	}
 	rt.forward(w, r, key, raw, true)
+}
+
+// routeSubscribe routes the live push stream by its session shard key, so
+// subscribers land on the replica whose MVCC session produces the commits
+// they watch.  The subscription is replayable (a pure read: reconnecting
+// replays nothing the client cannot reconcile via Last-Event-ID), and the
+// proxied response streams through flushCopy, so every pushed update and
+// heartbeat reaches the client as the replica emits it.  The outgoing
+// request carries the client's context: a subscriber hanging up cancels the
+// replica-side subscription.
+func (rt *Router) routeSubscribe(w http.ResponseWriter, r *http.Request) {
+	rt.forward(w, r, SessionShardKey(r.URL.Query().Get("session")), nil, true)
+}
+
+// routeIngest proxies the streaming /ingest change feed to the session's
+// owner.  The body is an unbounded NDJSON stream, so unlike every other
+// routed endpoint it is never buffered and never retried: a transport
+// failure surfaces as a 502, and the waves the replica already acked stay
+// committed — the client resumes from its last epoch checkpoint.
+func (rt *Router) routeIngest(w http.ResponseWriter, r *http.Request) {
+	key := SessionShardKey(r.URL.Query().Get("session"))
+	idx, ok := rt.ring.LookupLive(key, func(i int) bool { return rt.replicas[i].up.Load() })
+	if !ok {
+		rt.unavailable.Add(1)
+		rt.writeError(w, http.StatusServiceUnavailable, "unavailable", "no live replica for this key")
+		return
+	}
+	rep := rt.replicas[idx]
+
+	// Acks stream back while the change feed is still being read, so the
+	// router's own connection must be full-duplex too.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	target := *rep.base
+	target.Path = strings.TrimSuffix(target.Path, "/") + r.URL.Path
+	target.RawQuery = r.URL.RawQuery
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, target.String(), r.Body)
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	copyHeaders(out.Header, r.Header)
+	resp, err := rt.client.Do(out)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // the client is gone; nothing to write
+		}
+		rep.setErr(err)
+		if rep.markDown() {
+			rep.markDowns.Add(1)
+			rt.log.Warn("replica marked down (ingest proxy failed)", "replica", rep.id, "err", err)
+		}
+		rt.gateway.Add(1)
+		rt.writeError(w, http.StatusBadGateway, "unreachable",
+			fmt.Sprintf("replica %s: %v", rep.id, err))
+		return
+	}
+	defer resp.Body.Close()
+	rep.proxied.Add(1)
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	flushCopy(w, resp.Body)
 }
 
 func (rt *Router) routeEnumerate(w http.ResponseWriter, r *http.Request) {

@@ -24,6 +24,8 @@ import (
 //	POST /update     apply weight/tuple updates to a session one at a time
 //	POST /batch      apply a batch atomically with one propagation wave
 //	GET  /enumerate  stream query answers as NDJSON with constant delay
+//	GET  /subscribe  live push stream of re-evaluated results (SSE / NDJSON)
+//	POST /ingest     stream NDJSON changes, applied as coalesced batch waves
 //	GET  /stats      serving counters
 //	GET  /metrics    Prometheus text exposition (counters, latency histograms)
 //	GET  /metrics.json  raw mergeable metrics snapshot (fleet router scrape)
@@ -42,6 +44,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /update", s.wrap("update", s.handleUpdate))
 	mux.HandleFunc("POST /batch", s.wrap("batch", s.handleBatch))
 	mux.HandleFunc("GET /enumerate", s.wrap("enumerate", s.handleEnumerate))
+	mux.HandleFunc("GET /subscribe", s.wrap("subscribe", s.handleSubscribe))
+	mux.HandleFunc("POST /ingest", s.wrap("ingest", s.handleIngest))
 	mux.HandleFunc("GET /analyze", s.wrap("analyze", s.handleAnalyze))
 	mux.HandleFunc("GET /stats", s.wrap("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -85,6 +89,10 @@ func (w *statusWriter) Flush() {
 		f.Flush()
 	}
 }
+
+// Unwrap lets http.NewResponseController reach the underlying writer, so
+// /ingest can enable full-duplex streaming through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // wrap is the per-request observability shell: it tracks in-flight requests,
 // threads the server's stage tracer through the request context (so facade

@@ -20,6 +20,10 @@ type MetricsSnapshot struct {
 	Stats    StatsSnapshot           `json:"stats"`
 	Requests map[string]obs.Snapshot `json:"requests"`
 	Stages   map[string]obs.Snapshot `json:"stages"`
+	// Push is the commit-to-client push latency of /subscribe streams: the
+	// time from a committed batch or point write to the re-evaluated update
+	// being written to the subscriber.
+	Push obs.Snapshot `json:"push"`
 }
 
 // MetricsSnapshot captures the server's current counters and histograms.
@@ -28,6 +32,7 @@ func (s *Server) MetricsSnapshot() *MetricsSnapshot {
 		Stats:    s.StatsSnapshot(),
 		Requests: make(map[string]obs.Snapshot, len(endpoints)),
 		Stages:   make(map[string]obs.Snapshot, int(obs.NumStages)),
+		Push:     s.pushHist.Snapshot(),
 	}
 	for _, ep := range endpoints {
 		m.Requests[ep] = s.reqHist[ep].Snapshot()
@@ -68,6 +73,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"update", s.stats.UpdateBatches.Load()},
 		{"batch", s.stats.Batches.Load()},
 		{"enumerate", s.stats.Enumerations.Load()},
+		{"subscribe", s.stats.Subscriptions.Load()},
+		{"ingest", s.stats.Ingests.Load()},
 		{"analyze", s.stats.Analyzes.Load()},
 	} {
 		pw.Counter("aggserve_requests_total", obs.Labels{"endpoint": c.endpoint}, uint64(c.v))
@@ -76,6 +83,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Header("aggserve_updates_applied_total", "Individual updates applied, by path.", "counter")
 	pw.Counter("aggserve_updates_applied_total", obs.Labels{"path": "single"}, uint64(s.stats.Updates.Load()))
 	pw.Counter("aggserve_updates_applied_total", obs.Labels{"path": "batched"}, uint64(s.stats.BatchedUpdates.Load()))
+	pw.Counter("aggserve_updates_applied_total", obs.Labels{"path": "ingested"}, uint64(s.stats.IngestedChanges.Load()))
 
 	for _, c := range []struct {
 		name, help string
@@ -87,6 +95,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"aggserve_errors_total", "Requests answered with a non-2xx status.", s.stats.Errors.Load()},
 		{"aggserve_canceled_total", "Requests abandoned by their client mid-work.", s.stats.Canceled.Load()},
 		{"aggserve_busy_total", "Fail-fast session-busy rejections (409): writer-writer conflicts on one session.", s.stats.Busy.Load()},
+		{"aggserve_pushes_total", "Updates pushed to /subscribe clients.", s.stats.Pushes.Load()},
+		{"aggserve_push_coalesced_total", "Evaluated results folded into pushed updates by lagging subscribers.", s.stats.PushCoalesced.Load()},
+		{"aggserve_ingest_waves_total", "Batch waves committed by /ingest change streams.", s.stats.IngestWaves.Load()},
 	} {
 		pw.Header(c.name, c.help, "counter")
 		pw.Counter(c.name, nil, uint64(c.v))
@@ -108,6 +119,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		pw.Histogram("aggserve_stage_duration_seconds", obs.Labels{"stage": st.String()}, &snap)
 	}
 
+	// Push latency: commit to subscriber write, over all /subscribe streams.
+	pw.Header("aggserve_push_latency_seconds", "Commit-to-client push latency of /subscribe streams.", "histogram")
+	pushSnap := s.pushHist.Snapshot()
+	pw.Histogram("aggserve_push_latency_seconds", nil, &pushSnap)
+
 	// Gauges: serving state and cache occupancy.
 	entryBytes, cacheBytes := s.cache.entryBytes()
 	s.mu.RLock()
@@ -122,6 +138,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"aggserve_cache_entries", "Compiled queries resident in the LRU cache.", float64(len(entryBytes))},
 		{"aggserve_cache_bytes", "Total bytes of frozen circuit programs in the cache.", float64(cacheBytes)},
 		{"aggserve_sessions_active", "Named dynamic-update sessions currently registered.", float64(sessions)},
+		{"aggserve_subscribers_active", "Live /subscribe streams currently open.", float64(s.stats.Subscribers.Load())},
 		{"aggserve_databases", "Databases mounted.", float64(databases)},
 		{"aggserve_start_time_seconds", "Unix time the server started.", float64(s.start.UnixNano()) / float64(time.Second)},
 		{"aggserve_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds()},

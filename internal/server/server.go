@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"iter"
 	"log/slog"
 	"sort"
 	"strings"
@@ -49,7 +50,7 @@ type Options struct {
 
 // endpoints names every serving route with its own request-latency
 // histogram, in the order /metrics emits them.
-var endpoints = []string{"query", "session", "point", "update", "batch", "enumerate", "analyze", "stats"}
+var endpoints = []string{"query", "session", "point", "update", "batch", "enumerate", "subscribe", "ingest", "analyze", "stats"}
 
 // Server serves compiled queries over one or more mounted databases.  All
 // methods and the HTTP handler are safe for concurrent use.
@@ -65,6 +66,8 @@ type Server struct {
 	// for GET /metrics.
 	tr      *obs.Tracer
 	reqHist map[string]*obs.Histogram
+	// pushHist records commit-to-client push latency on /subscribe streams.
+	pushHist *obs.Histogram
 
 	log   *slog.Logger
 	reqID atomic.Int64
@@ -90,6 +93,7 @@ func New(opts Options) *Server {
 		start:    time.Now(),
 		tr:       obs.NewTracer(),
 		reqHist:  reqHist,
+		pushHist: obs.NewHistogram(),
 		log:      log,
 		dbs:      map[string]*agg.Engine{},
 		sessions: map[string]*SessionHandle{},
@@ -346,6 +350,13 @@ func (h *SessionHandle) ApplyBatch(changes []agg.Change) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.sess.ApplyBatch(changes)
+}
+
+// Subscribe streams live re-evaluations of the session's query; it takes no
+// handle lock — each pushed update reads through an MVCC snapshot of the
+// committed epoch, like Eval, so subscriptions never slow down writers.
+func (h *SessionHandle) Subscribe(ctx context.Context, opts ...agg.SubscribeOption) iter.Seq2[agg.Update, error] {
+	return h.sess.Subscribe(ctx, opts...)
 }
 
 // CreateSession compiles (through the cache) and registers a named session.

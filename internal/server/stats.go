@@ -19,6 +19,15 @@ type Stats struct {
 	Analyzes       atomic.Int64 // completed /analyze requests
 	Sessions       atomic.Int64 // sessions created via /session
 
+	Subscriptions atomic.Int64 // /subscribe streams opened
+	Subscribers   atomic.Int64 // gauge: /subscribe streams currently open
+	Pushes        atomic.Int64 // updates pushed to /subscribe clients
+	PushCoalesced atomic.Int64 // evaluated results folded into pushed updates by lagging clients
+
+	Ingests         atomic.Int64 // completed /ingest requests
+	IngestWaves     atomic.Int64 // batch waves committed by /ingest
+	IngestedChanges atomic.Int64 // changes applied via /ingest
+
 	Compiles    atomic.Int64 // expressions compiled (cache misses that ran the compiler)
 	CacheHits   atomic.Int64 // cache lookups served without compiling
 	CacheMisses atomic.Int64 // cache lookups that had to compile
@@ -37,27 +46,36 @@ type Stats struct {
 
 // StatsSnapshot is the JSON shape served by GET /stats.
 type StatsSnapshot struct {
-	Queries        int64   `json:"queries"`
-	Points         int64   `json:"points"`
-	Updates        int64   `json:"updates"`
-	UpdateBatches  int64   `json:"updateBatches"`
-	Batches        int64   `json:"batches"`
-	BatchedUpdates int64   `json:"batchedUpdates"`
-	Enumerations   int64   `json:"enumerations"`
-	Analyzes       int64   `json:"analyzes"`
-	Sessions       int64   `json:"sessions"`
-	Compiles       int64   `json:"compiles"`
-	CacheHits      int64   `json:"cacheHits"`
-	CacheMisses    int64   `json:"cacheMisses"`
-	CompileMillis  float64 `json:"compileMillis"`
-	EvalMillis     float64 `json:"evalMillis"`
-	InFlight       int64   `json:"inFlight"`
-	Errors         int64   `json:"errors"`
-	Canceled       int64   `json:"canceled"`
-	Busy           int64   `json:"busy"`
-	CachedQueries  int     `json:"cachedQueries"`
-	Databases      int     `json:"databases"`
-	UptimeSeconds  float64 `json:"uptimeSeconds"`
+	Queries        int64 `json:"queries"`
+	Points         int64 `json:"points"`
+	Updates        int64 `json:"updates"`
+	UpdateBatches  int64 `json:"updateBatches"`
+	Batches        int64 `json:"batches"`
+	BatchedUpdates int64 `json:"batchedUpdates"`
+	Enumerations   int64 `json:"enumerations"`
+	Analyzes       int64 `json:"analyzes"`
+	Sessions       int64 `json:"sessions"`
+
+	Subscriptions   int64 `json:"subscriptions"`
+	Subscribers     int64 `json:"subscribers"`
+	Pushes          int64 `json:"pushes"`
+	PushCoalesced   int64 `json:"pushCoalesced"`
+	Ingests         int64 `json:"ingests"`
+	IngestWaves     int64 `json:"ingestWaves"`
+	IngestedChanges int64 `json:"ingestedChanges"`
+
+	Compiles      int64   `json:"compiles"`
+	CacheHits     int64   `json:"cacheHits"`
+	CacheMisses   int64   `json:"cacheMisses"`
+	CompileMillis float64 `json:"compileMillis"`
+	EvalMillis    float64 `json:"evalMillis"`
+	InFlight      int64   `json:"inFlight"`
+	Errors        int64   `json:"errors"`
+	Canceled      int64   `json:"canceled"`
+	Busy          int64   `json:"busy"`
+	CachedQueries int     `json:"cachedQueries"`
+	Databases     int     `json:"databases"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
 
 	// StartTime is the server start in RFC 3339; GoVersion and Revision
 	// identify the running build (VCS revision when the binary was built
@@ -93,15 +111,24 @@ func (st *Stats) snapshot() StatsSnapshot {
 		Enumerations:   st.Enumerations.Load(),
 		Analyzes:       st.Analyzes.Load(),
 		Sessions:       st.Sessions.Load(),
-		Compiles:       st.Compiles.Load(),
-		CacheHits:      st.CacheHits.Load(),
-		CacheMisses:    st.CacheMisses.Load(),
-		CompileMillis:  float64(st.CompileNanos.Load()) / 1e6,
-		EvalMillis:     float64(st.EvalNanos.Load()) / 1e6,
-		InFlight:       st.InFlight.Load(),
-		Errors:         st.Errors.Load(),
-		Canceled:       st.Canceled.Load(),
-		Busy:           st.Busy.Load(),
+
+		Subscriptions:   st.Subscriptions.Load(),
+		Subscribers:     st.Subscribers.Load(),
+		Pushes:          st.Pushes.Load(),
+		PushCoalesced:   st.PushCoalesced.Load(),
+		Ingests:         st.Ingests.Load(),
+		IngestWaves:     st.IngestWaves.Load(),
+		IngestedChanges: st.IngestedChanges.Load(),
+
+		Compiles:      st.Compiles.Load(),
+		CacheHits:     st.CacheHits.Load(),
+		CacheMisses:   st.CacheMisses.Load(),
+		CompileMillis: float64(st.CompileNanos.Load()) / 1e6,
+		EvalMillis:    float64(st.EvalNanos.Load()) / 1e6,
+		InFlight:      st.InFlight.Load(),
+		Errors:        st.Errors.Load(),
+		Canceled:      st.Canceled.Load(),
+		Busy:          st.Busy.Load(),
 	}
 }
 

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"bufio"
+	"io"
+	"iter"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/structure"
+)
+
+// Change is one entry of a CDC change stream, mirroring the wire format of
+// one NDJSON line of POST /ingest (and of one element of a /batch request):
+// a weight update sets Weight/Tuple/Value, a tuple update sets Rel/Tuple and
+// Present.
+type Change struct {
+	Weight  string `json:"weight,omitempty"`
+	Rel     string `json:"rel,omitempty"`
+	Tuple   []int  `json:"tuple"`
+	Value   int64  `json:"value,omitempty"`
+	Present *bool  `json:"present,omitempty"`
+}
+
+// ChangeStream generates a deterministic CDC stream of n changes against the
+// generated database d, over the graph signature (relations E and S, weights
+// w and u).  Every change is safe under the paper's dynamic-update
+// constraint by construction — the Gaifman graph never leaves the base
+// class:
+//
+//   - weight updates (w on a currently-present edge, u on any vertex) never
+//     touch the Gaifman graph;
+//   - E changes only toggle ORIGINAL edges of d (a removal shrinks the
+//     Gaifman graph, a re-insertion restores an original edge);
+//   - S changes toggle unary membership, which induces no Gaifman pairs.
+//
+// The stream is stateful and self-consistent: an edge is only removed while
+// present and only re-inserted while absent, so replaying it through
+// Session.ApplyBatch (or POST /ingest) never hits a duplicate-insert or
+// missing-delete error.  The same (d, n, seed) always yields the identical
+// sequence.
+func ChangeStream(d *Database, n int, seed int64) iter.Seq[Change] {
+	return func(yield func(Change) bool) {
+		r := rand.New(rand.NewSource(seed))
+		edges := d.A.Tuples("E")
+		present := make([]bool, len(edges))
+		for i := range present {
+			present[i] = true
+		}
+		inS := make([]bool, d.A.N)
+		for v := 0; v < d.A.N; v++ {
+			inS[v] = d.A.HasTuple("S", v)
+		}
+		no := false
+		for i := 0; i < n; i++ {
+			var c Change
+			switch k := r.Intn(10); {
+			case k < 4: // edge-weight update, or a re-insert if the edge is out
+				e := r.Intn(len(edges))
+				if present[e] {
+					c = Change{Weight: "w", Tuple: edges[e], Value: r.Int63n(8) + 1}
+				} else {
+					present[e] = true
+					c = Change{Rel: "E", Tuple: edges[e]}
+				}
+			case k < 6: // vertex-weight update
+				c = Change{Weight: "u", Tuple: structure.Tuple{r.Intn(d.A.N)}, Value: r.Int63n(8) + 1}
+			case k < 8: // toggle an original edge
+				e := r.Intn(len(edges))
+				if present[e] {
+					present[e] = false
+					c = Change{Rel: "E", Tuple: edges[e], Present: &no}
+				} else {
+					present[e] = true
+					c = Change{Rel: "E", Tuple: edges[e]}
+				}
+			default: // toggle unary S membership
+				v := r.Intn(d.A.N)
+				if inS[v] {
+					inS[v] = false
+					c = Change{Rel: "S", Tuple: structure.Tuple{v}, Present: &no}
+				} else {
+					inS[v] = true
+					c = Change{Rel: "S", Tuple: structure.Tuple{v}}
+				}
+			}
+			if !yield(c) {
+				return
+			}
+		}
+	}
+}
+
+// appendJSON appends the single-line JSON encoding of c (the exact /ingest
+// wire format) to buf.  Hand-rolled so that million-change streams do not
+// pay encoding/json's reflection on every line.
+func (c Change) appendJSON(buf []byte) []byte {
+	buf = append(buf, '{')
+	if c.Weight != "" {
+		buf = append(buf, `"weight":"`...)
+		buf = append(buf, c.Weight...)
+		buf = append(buf, `",`...)
+	}
+	if c.Rel != "" {
+		buf = append(buf, `"rel":"`...)
+		buf = append(buf, c.Rel...)
+		buf = append(buf, `",`...)
+	}
+	buf = append(buf, `"tuple":[`...)
+	for i, x := range c.Tuple {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(x), 10)
+	}
+	buf = append(buf, ']')
+	if c.Weight != "" {
+		buf = append(buf, `,"value":`...)
+		buf = strconv.AppendInt(buf, c.Value, 10)
+	}
+	if c.Present != nil && !*c.Present {
+		buf = append(buf, `,"present":false`...)
+	}
+	return append(buf, '}', '\n')
+}
+
+// WriteChanges writes the NDJSON encoding of ChangeStream(d, n, seed) to w:
+// one change per line, directly consumable by POST /ingest.
+func WriteChanges(w io.Writer, d *Database, n int, seed int64) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 64)
+	for c := range ChangeStream(d, n, seed) {
+		if _, err := bw.Write(c.appendJSON(buf[:0])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
